@@ -1,0 +1,122 @@
+// Benchmarks for the extensions beyond the paper's evaluation: the
+// ablation of §4.1 design choices, the CPM objective, and the dynamic
+// Leiden variants (the paper's future-work direction).
+package gveleiden_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gveleiden/internal/core"
+	"gveleiden/internal/graph"
+)
+
+// --- Ablation: the §4.1 optimizations, one knob at a time ------------
+
+func BenchmarkAblation_Pruning(b *testing.B) {
+	g := classGraphs(b)["web"]
+	for _, cfg := range []struct {
+		name    string
+		disable bool
+	}{{"flag-pruning", false}, {"no-pruning", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			opt := core.DefaultOptions()
+			opt.DisablePruning = cfg.disable
+			for i := 0; i < b.N; i++ {
+				core.Leiden(g, opt)
+			}
+		})
+	}
+}
+
+func BenchmarkAblation_Grain(b *testing.B) {
+	g := classGraphs(b)["web"]
+	for _, grain := range []int{64, 1024, 16384} {
+		b.Run(fmt.Sprintf("grain-%d", grain), func(b *testing.B) {
+			opt := core.DefaultOptions()
+			opt.Grain = grain
+			for i := 0; i < b.N; i++ {
+				core.Leiden(g, opt)
+			}
+		})
+	}
+}
+
+func BenchmarkAblation_Variants(b *testing.B) {
+	g := classGraphs(b)["road"]
+	for _, cfg := range []struct {
+		name    string
+		variant core.Variant
+	}{
+		{"light", core.VariantLight},
+		{"medium", core.VariantMedium},
+		{"heavy", core.VariantHeavy},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			opt := core.DefaultOptions()
+			opt.Variant = cfg.variant
+			for i := 0; i < b.N; i++ {
+				core.Leiden(g, opt)
+			}
+		})
+	}
+}
+
+// --- CPM objective ----------------------------------------------------
+
+func BenchmarkObjective(b *testing.B) {
+	g := classGraphs(b)["web"]
+	for _, cfg := range []struct {
+		name string
+		obj  core.Objective
+		res  float64
+	}{
+		{"modularity", core.ObjectiveModularity, 1},
+		{"cpm", core.ObjectiveCPM, 0.02},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			opt := core.DefaultOptions()
+			opt.Objective = cfg.obj
+			opt.Resolution = cfg.res
+			for i := 0; i < b.N; i++ {
+				core.Leiden(g, opt)
+			}
+		})
+	}
+}
+
+// --- Dynamic Leiden ----------------------------------------------------
+
+func BenchmarkDynamic(b *testing.B) {
+	g := classGraphs(b)["social"]
+	opt := core.DefaultOptions()
+	prev := core.Leiden(g, opt)
+	m := int(g.NumUndirectedEdges() / 1000)
+	if m < 1 {
+		m = 1
+	}
+	ins, del := graph.RandomDelta(g, m, m, 5)
+	delta := core.Delta{Insertions: ins, Deletions: del}
+	gNew := graph.ApplyDelta(g, ins, del)
+
+	b.Run("static-rerun", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Leiden(gNew, opt)
+		}
+	})
+	b.Run("naive-dynamic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.LeidenDynamic(gNew, prev.Membership, delta, core.DynamicNaive, opt)
+		}
+	})
+	b.Run("dynamic-frontier", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.LeidenDynamic(gNew, prev.Membership, delta, core.DynamicFrontier, opt)
+		}
+	})
+	b.Run("apply-delta", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			graph.ApplyDelta(g, ins, del)
+		}
+	})
+}

@@ -1,0 +1,244 @@
+// Benchmarks regenerating the measurement behind every table and figure
+// of the paper (see DESIGN.md §4 for the index). Each benchmark times
+// the exact computation the corresponding experiment measures; the
+// cmd/benchall tool renders the full tables from the same code paths.
+//
+// Run them all with:
+//
+//	go test -bench=. -benchmem
+package gveleiden_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"gveleiden/internal/baseline"
+	"gveleiden/internal/bench"
+	"gveleiden/internal/core"
+	"gveleiden/internal/gen"
+	"gveleiden/internal/graph"
+	"gveleiden/internal/quality"
+)
+
+// benchScale keeps `go test -bench=.` under a minute on one core while
+// still exercising multi-pass behaviour on every graph class.
+const benchScale = 0.15
+
+var (
+	corpusOnce sync.Once
+	corpus     map[string]*graph.CSR // one representative per class
+)
+
+func classGraphs(b *testing.B) map[string]*graph.CSR {
+	corpusOnce.Do(func() {
+		corpus = map[string]*graph.CSR{}
+		for _, d := range bench.Registry(benchScale) {
+			switch d.Name {
+			case "web-indochina", "soc-livejournal", "road-asia", "kmer-A2a":
+				g, _ := bench.Load(d)
+				corpus[d.Class] = g
+			}
+		}
+	})
+	if len(corpus) != 4 {
+		b.Fatalf("corpus setup failed: %d classes", len(corpus))
+	}
+	return corpus
+}
+
+func reportGraph(b *testing.B, g *graph.CSR) {
+	b.ReportMetric(float64(g.NumUndirectedEdges()), "edges")
+}
+
+// --- Table 2: dataset construction -----------------------------------
+
+func BenchmarkTable2_DatasetBuild(b *testing.B) {
+	for _, d := range bench.Registry(benchScale) {
+		b.Run(d.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g, _ := d.Build()
+				if g.NumVertices() == 0 {
+					b.Fatal("empty dataset")
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 6(a) / Table 1: the five implementations -----------------
+
+func BenchmarkFig6a_Leiden(b *testing.B) {
+	graphs := classGraphs(b)
+	bopt := baseline.DefaultOptions()
+	gopt := core.DefaultOptions()
+	impls := []struct {
+		name string
+		run  func(g *graph.CSR) []uint32
+	}{
+		{"Original", func(g *graph.CSR) []uint32 { return baseline.SeqLeiden(g, bopt) }},
+		{"igraph", func(g *graph.CSR) []uint32 { return baseline.SeqLeidenIgraph(g, bopt) }},
+		{"NetworKit", func(g *graph.CSR) []uint32 { return baseline.ParLeidenQueue(g, bopt) }},
+		{"cuGraphBSP", func(g *graph.CSR) []uint32 { return baseline.ParLeidenBSP(g, bopt) }},
+		{"GVELeiden", func(g *graph.CSR) []uint32 { return core.Leiden(g, gopt).Membership }},
+	}
+	for _, class := range []string{"web", "social", "road", "kmer"} {
+		g := graphs[class]
+		for _, impl := range impls {
+			b.Run(fmt.Sprintf("%s/%s", impl.name, class), func(b *testing.B) {
+				reportGraph(b, g)
+				for i := 0; i < b.N; i++ {
+					if memb := impl.run(g); len(memb) != g.NumVertices() {
+						b.Fatal("bad membership")
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- Figure 6(d): the disconnected-communities counter ---------------
+
+func BenchmarkFig6d_DisconnectionCheck(b *testing.B) {
+	g := classGraphs(b)["web"]
+	res := core.Leiden(g, core.DefaultOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ds := quality.CountDisconnected(g, res.Membership, 0); ds.Disconnected != 0 {
+			b.Fatal("GVE-Leiden emitted disconnected communities")
+		}
+	}
+}
+
+// --- Figures 1-2: refinement approaches and variants -----------------
+
+func BenchmarkFig1_Refinement(b *testing.B) {
+	g := classGraphs(b)["web"]
+	configs := []struct {
+		name    string
+		refine  core.RefinementMode
+		variant core.Variant
+	}{
+		{"greedy", core.RefineGreedy, core.VariantLight},
+		{"greedy-medium", core.RefineGreedy, core.VariantMedium},
+		{"greedy-heavy", core.RefineGreedy, core.VariantHeavy},
+		{"random", core.RefineRandom, core.VariantLight},
+		{"random-medium", core.RefineRandom, core.VariantMedium},
+		{"random-heavy", core.RefineRandom, core.VariantHeavy},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			opt := core.DefaultOptions()
+			opt.Refinement = cfg.refine
+			opt.Variant = cfg.variant
+			var q float64
+			for i := 0; i < b.N; i++ {
+				q = core.Leiden(g, opt).Modularity
+			}
+			b.ReportMetric(q, "modularity")
+		})
+	}
+}
+
+// --- Figures 3-4: super-vertex label modes ---------------------------
+
+func BenchmarkFig3_Labels(b *testing.B) {
+	g := classGraphs(b)["social"]
+	for _, cfg := range []struct {
+		name string
+		mode core.LabelMode
+	}{
+		{"move-based", core.LabelMove},
+		{"refine-based", core.LabelRefine},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			opt := core.DefaultOptions()
+			opt.Labels = cfg.mode
+			var q float64
+			for i := 0; i < b.N; i++ {
+				q = core.Leiden(g, opt).Modularity
+			}
+			b.ReportMetric(q, "modularity")
+		})
+	}
+}
+
+// --- Figure 7: phase split --------------------------------------------
+
+func BenchmarkFig7_PhaseSplit(b *testing.B) {
+	for class, g := range classGraphs(b) {
+		b.Run(class, func(b *testing.B) {
+			opt := core.DefaultOptions()
+			var mv, rf, ag, ot, fp float64
+			for i := 0; i < b.N; i++ {
+				res := core.Leiden(g, opt)
+				m, r, a, o := res.Stats.PhaseSplit()
+				mv, rf, ag, ot = m, r, a, o
+				fp = res.Stats.FirstPassFraction()
+			}
+			b.ReportMetric(mv*100, "%move")
+			b.ReportMetric(rf*100, "%refine")
+			b.ReportMetric(ag*100, "%aggregate")
+			b.ReportMetric(ot*100, "%other")
+			b.ReportMetric(fp*100, "%first-pass")
+		})
+	}
+}
+
+// --- Figure 8: runtime/|E| -------------------------------------------
+
+func BenchmarkFig8_PerEdge(b *testing.B) {
+	for class, g := range classGraphs(b) {
+		b.Run(class, func(b *testing.B) {
+			opt := core.DefaultOptions()
+			for i := 0; i < b.N; i++ {
+				core.Leiden(g, opt)
+			}
+			b.StopTimer()
+			perEdge := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(g.NumUndirectedEdges())
+			b.ReportMetric(perEdge, "ns/edge")
+		})
+	}
+}
+
+// --- Figure 9: strong scaling ----------------------------------------
+
+func BenchmarkFig9_StrongScaling(b *testing.B) {
+	g := classGraphs(b)["web"]
+	maxT := runtime.GOMAXPROCS(0)
+	for t := 1; t <= maxT*2; t *= 2 {
+		b.Run(fmt.Sprintf("threads-%d", t), func(b *testing.B) {
+			opt := core.DefaultOptions()
+			opt.Threads = t
+			for i := 0; i < b.N; i++ {
+				core.Leiden(g, opt)
+			}
+		})
+	}
+}
+
+// --- Component micro-benchmarks (phase costs behind Figure 7) --------
+
+func BenchmarkComponent_Louvain(b *testing.B) {
+	g := classGraphs(b)["web"]
+	opt := core.DefaultOptions()
+	for i := 0; i < b.N; i++ {
+		core.Louvain(g, opt)
+	}
+}
+
+func BenchmarkComponent_Modularity(b *testing.B) {
+	g := classGraphs(b)["web"]
+	res := core.Leiden(g, core.DefaultOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		quality.Modularity(g, res.Membership)
+	}
+}
+
+func BenchmarkComponent_GraphGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		gen.WebGraph(5000, 12, uint64(i))
+	}
+}

@@ -1,0 +1,147 @@
+package gveleiden_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// End-to-end integration tests for the command-line tools: build each
+// binary once, then drive the full generate → detect → analyze pipeline
+// through files, the way a user would.
+
+var (
+	cliOnce sync.Once
+	cliDir  string
+	cliErr  error
+)
+
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	cliOnce.Do(func() {
+		cliDir, cliErr = os.MkdirTemp("", "gve-cli")
+		if cliErr != nil {
+			return
+		}
+		for _, tool := range []string{"gveleiden", "graphgen", "communities", "benchall"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(cliDir, tool), "./cmd/"+tool)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				cliErr = fmt.Errorf("building %s: %v\n%s", tool, err, out)
+				return
+			}
+		}
+	})
+	if cliErr != nil {
+		t.Fatalf("building CLIs: %v", cliErr)
+	}
+	return cliDir
+}
+
+func runCLI(t *testing.T, dir, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v failed: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	bin := buildCLIs(t)
+	work := t.TempDir()
+	graphPath := filepath.Join(work, "g.mtx")
+	membPath := filepath.Join(work, "memb.txt")
+	dotPath := filepath.Join(work, "g.dot")
+
+	// 1. Generate a graph file.
+	out := runCLI(t, bin, "graphgen", "-gen", "web", "-n", "3000", "-o", graphPath)
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("graphgen output: %s", out)
+	}
+
+	// 2. Detect communities, write membership + DOT.
+	out = runCLI(t, bin, "gveleiden", "-i", graphPath, "-o", membPath,
+		"-export-dot", dotPath, "-v")
+	for _, want := range []string{"communities", "modularity", "disconnected communities: 0", "phase split"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("gveleiden output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := os.Stat(dotPath); err != nil {
+		t.Fatal("DOT file not written")
+	}
+
+	// 3. Analyze the saved membership.
+	out = runCLI(t, bin, "communities", "-g", graphPath, "-m", membPath, "-top", "3")
+	for _, want := range []string{"modularity:", "coverage:", "disconnected:    0", "largest communities"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("communities output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIDeterministicFlagStable(t *testing.T) {
+	bin := buildCLIs(t)
+	work := t.TempDir()
+	graphPath := filepath.Join(work, "g.mtx")
+	runCLI(t, bin, "graphgen", "-gen", "social", "-n", "2000", "-o", graphPath)
+
+	m1 := filepath.Join(work, "m1.txt")
+	m2 := filepath.Join(work, "m2.txt")
+	runCLI(t, bin, "gveleiden", "-i", graphPath, "-deterministic", "-threads", "1", "-o", m1)
+	runCLI(t, bin, "gveleiden", "-i", graphPath, "-deterministic", "-threads", "4", "-o", m2)
+	b1, err := os.ReadFile(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("deterministic CLI runs differ across thread counts")
+	}
+}
+
+func TestCLIBenchallSelectedExperiment(t *testing.T) {
+	bin := buildCLIs(t)
+	work := t.TempDir()
+	report := filepath.Join(work, "report.txt")
+	csvDir := filepath.Join(work, "csv")
+	out := runCLI(t, bin, "benchall", "-scale", "0.05", "-repeat", "1",
+		"-exp", "table2", "-o", report, "-csv", csvDir)
+	if !strings.Contains(out, "Table 2") {
+		t.Fatalf("benchall output:\n%s", out)
+	}
+	if _, err := os.Stat(report); err != nil {
+		t.Fatal("report file not written")
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "table2.csv")); err != nil {
+		t.Fatal("CSV not written")
+	}
+}
+
+func TestCLIErrorPaths(t *testing.T) {
+	bin := buildCLIs(t)
+	// Missing input must exit non-zero with a diagnostic.
+	cmd := exec.Command(filepath.Join(bin, "gveleiden"))
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatal("gveleiden with no input must fail")
+	}
+	if !strings.Contains(string(out), "need -i FILE or -gen NAME") {
+		t.Fatalf("unhelpful error: %s", out)
+	}
+	cmd = exec.Command(filepath.Join(bin, "communities"))
+	if err := cmd.Run(); err == nil {
+		t.Fatal("communities with no graph must fail")
+	}
+}

@@ -1,0 +1,152 @@
+// Command benchall regenerates every table and figure of the paper's
+// evaluation section plus the extension experiments (see DESIGN.md §4
+// and §4b for the index):
+//
+//	benchall                    # run the full suite
+//	benchall -exp fig6,table1   # run selected experiments
+//	benchall -scale 2 -repeat 5 # bigger corpus, tighter averaging
+//	benchall -o report.txt      # also write the report to a file
+//	benchall -csv out/          # also write one CSV per table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gveleiden/internal/bench"
+)
+
+func main() {
+	var (
+		expList = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig1,fig3,fig6,fig7,fig8,fig9,quality,dynamic,ablation,cpm,profile,ordering,lpa,memory,complexity or 'all'")
+		scale   = flag.Float64("scale", 1.0, "dataset size multiplier")
+		repeat  = flag.Int("repeat", 3, "measurement repeats (paper uses 5)")
+		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		maxThr  = flag.Int("maxthreads", 0, "strong-scaling sweep bound (0 = GOMAXPROCS)")
+		out     = flag.String("o", "", "also write the report to this file")
+		csvDir  = flag.String("csv", "", "also write one CSV per table into this directory")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:      *scale,
+		Repeats:    *repeat,
+		Threads:    *threads,
+		MaxThreads: *maxThr,
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expList, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+
+	var report strings.Builder
+	var tables []bench.Table
+	emit := func(ts []bench.Table) {
+		text := bench.RenderAll(ts)
+		fmt.Print(text + "\n")
+		report.WriteString(text + "\n")
+		tables = append(tables, ts...)
+	}
+
+	start := time.Now()
+	header := fmt.Sprintf("GVE-Leiden evaluation harness  (scale=%.2g repeats=%d threads=%d)\n",
+		*scale, *repeat, *threads)
+	fmt.Println(header)
+	report.WriteString(header + "\n")
+
+	if all || want["table2"] {
+		emit(bench.Table2(cfg))
+	}
+	var cmp []bench.CompareResult
+	if all || want["fig6"] || want["table1"] {
+		cmp = bench.RunComparison(cfg)
+	}
+	if all || want["fig6"] {
+		emit(bench.Fig6(cmp))
+	}
+	if all || want["table1"] {
+		emit(bench.Table1(cmp))
+	}
+	if all || want["fig1"] || want["fig2"] {
+		emit(bench.Fig1And2(cfg))
+	}
+	if all || want["fig3"] || want["fig4"] {
+		emit(bench.Fig3And4(cfg))
+	}
+	if all || want["fig7"] {
+		emit(bench.Fig7(cfg))
+	}
+	if all || want["fig8"] {
+		emit(bench.Fig8(cfg))
+	}
+	if all || want["fig9"] {
+		emit(bench.Fig9(cfg))
+	}
+	if all || want["quality"] {
+		emit(bench.Fig8Quality(cfg))
+	}
+	if all || want["dynamic"] {
+		emit(bench.DynamicExperiment(cfg))
+	}
+	if all || want["ablation"] {
+		emit(bench.AblationExperiment(cfg))
+	}
+	if all || want["cpm"] {
+		emit(bench.CPMExperiment(cfg))
+	}
+	if all || want["profile"] {
+		emit(bench.ProfileExperiment(cfg))
+	}
+	if all || want["ordering"] {
+		emit(bench.OrderingExperiment(cfg))
+	}
+	if all || want["lpa"] {
+		emit(bench.LPAExperiment(cfg))
+	}
+	if all || want["memory"] {
+		emit(bench.MemoryExperiment(cfg))
+	}
+	if all || want["complexity"] {
+		emit(bench.ComplexityExperiment(cfg))
+	}
+	footer := fmt.Sprintf("total harness time: %s", time.Since(start).Round(time.Millisecond))
+	fmt.Println(footer)
+	report.WriteString(footer + "\n")
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir, tables); err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d CSV files to %s\n", len(tables), *csvDir)
+	}
+}
+
+func writeCSVs(dir string, tables []bench.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range tables {
+		data, err := t.CSV()
+		if err != nil {
+			return fmt.Errorf("rendering %s: %w", t.ID, err)
+		}
+		path := filepath.Join(dir, t.ID+".csv")
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

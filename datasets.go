@@ -1,0 +1,57 @@
+package gveleiden
+
+import (
+	"gveleiden/internal/gen"
+)
+
+// The paper evaluates on four classes of graphs from the SuiteSparse
+// collection (Table 2). These deterministic generators reproduce each
+// class's structural signature at any scale (see DESIGN.md §3) and give
+// examples and downstream users self-contained workloads.
+
+// GenerateWeb returns a LAW-style web-crawl graph: high average degree,
+// power-law community sizes, strong locality. The second return value
+// is the planted community of each vertex.
+func GenerateWeb(n int, avgDegree float64, seed uint64) (*Graph, []uint32) {
+	g, m := gen.WebGraph(n, avgDegree, seed)
+	return g, m
+}
+
+// GenerateSocial returns a SNAP-style social network: dense, weakly
+// clustered, with the given number of planted communities and mixing
+// parameter μ (the fraction of inter-community edges).
+func GenerateSocial(n int, avgDegree float64, communities int, mixing float64, seed uint64) (*Graph, []uint32) {
+	g, m := gen.SocialNetwork(n, avgDegree, communities, mixing, seed)
+	return g, m
+}
+
+// GenerateRoad returns a DIMACS10-style road network: average degree
+// ≈ 2.1, near-planar, long diameter.
+func GenerateRoad(n int, seed uint64) *Graph {
+	g, _ := gen.RoadNetwork(n, seed)
+	return g
+}
+
+// GenerateKmer returns a GenBank-style protein k-mer graph: long chains
+// with occasional branch vertices, average degree ≈ 2.1.
+func GenerateKmer(n int, seed uint64) *Graph {
+	g, _ := gen.KmerGraph(n, seed)
+	return g
+}
+
+// GeneratePlanted returns an LFR-style planted-partition graph with
+// power-law community sizes — the standard benchmark with known ground
+// truth. mixing is μ; the returned slice is the planted membership.
+func GeneratePlanted(n, communities int, avgDegree, mixing float64, seed uint64) (*Graph, []uint32) {
+	g, m := gen.PlantedPartition(gen.PlantedConfig{
+		N:            n,
+		Communities:  communities,
+		MinSize:      n / (4 * communities),
+		MaxSize:      n,
+		SizeExponent: 2,
+		AvgDegree:    avgDegree,
+		Mixing:       mixing,
+		Seed:         seed,
+	})
+	return g, m
+}

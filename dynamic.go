@@ -1,0 +1,53 @@
+package gveleiden
+
+import (
+	"gveleiden/internal/core"
+	"gveleiden/internal/graph"
+)
+
+// Delta is a batch of edge updates between two graph snapshots.
+type Delta = core.Delta
+
+// DynamicMode selects the warm-start strategy of LeidenDynamic.
+type DynamicMode = core.DynamicMode
+
+// Dynamic update strategies: DynamicNaive warm-starts every vertex;
+// DynamicFrontier reprocesses only the region the batch disturbed.
+const (
+	DynamicNaive    = core.DynamicNaive
+	DynamicFrontier = core.DynamicFrontier
+)
+
+// Objective selects the quality function the optimizer maximizes.
+type Objective = core.Objective
+
+// Quality functions: classic/generalized modularity, or the
+// resolution-limit-free Constant Potts Model.
+const (
+	ObjectiveModularity = core.ObjectiveModularity
+	ObjectiveCPM        = core.ObjectiveCPM
+)
+
+// ApplyDelta returns a new snapshot with the batch applied: deletions
+// remove undirected edges, insertions add (or reinforce) them.
+func ApplyDelta(g *Graph, delta Delta) *Graph {
+	return graph.ApplyDelta(g, delta.Insertions, delta.Deletions)
+}
+
+// RandomDelta derives a reproducible random update batch from g, for
+// benchmarking the dynamic variants.
+func RandomDelta(g *Graph, insertions, deletions int, seed uint64) Delta {
+	ins, del := graph.RandomDelta(g, insertions, deletions, seed)
+	return Delta{Insertions: ins, Deletions: del}
+}
+
+// LeidenDynamic updates communities after a batch of edge changes:
+// g is the new snapshot, prev the membership computed on the old one,
+// delta the batch separating them. It warm-starts from prev — and, in
+// DynamicFrontier mode, initially reprocesses only the vertices the
+// batch disturbed — so it is much cheaper than a cold Leiden run while
+// keeping the same guarantees (valid partition, no internally-
+// disconnected communities).
+func LeidenDynamic(g *Graph, prev []uint32, delta Delta, mode DynamicMode, opt Options) *Result {
+	return core.LeidenDynamic(g, prev, delta, mode, opt)
+}

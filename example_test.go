@@ -1,0 +1,114 @@
+package gveleiden_test
+
+import (
+	"fmt"
+
+	"gveleiden"
+)
+
+// Two 4-cliques joined by a single edge: the smallest graph with an
+// unambiguous two-community structure, used across the examples.
+func twoCliques() *gveleiden.Graph {
+	b := gveleiden.NewBuilder(8)
+	for i := uint32(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(i, j, 1)
+			b.AddEdge(i+4, j+4, 1)
+		}
+	}
+	b.AddEdge(3, 4, 1)
+	return b.Build()
+}
+
+func ExampleLeiden() {
+	g := twoCliques()
+	res := gveleiden.Leiden(g, gveleiden.DefaultOptions())
+	fmt.Println("communities:", res.NumCommunities)
+	fmt.Println("same side:", res.Membership[0] == res.Membership[3])
+	fmt.Println("split:", res.Membership[0] != res.Membership[7])
+	// Output:
+	// communities: 2
+	// same side: true
+	// split: true
+}
+
+func ExampleLeiden_options() {
+	g := twoCliques()
+	opt := gveleiden.DefaultOptions()
+	opt.Refinement = gveleiden.RefineRandom // the original Leiden's rule
+	opt.Threads = 2
+	res := gveleiden.Leiden(g, opt)
+	fmt.Println("communities:", res.NumCommunities)
+	// Output:
+	// communities: 2
+}
+
+func ExampleCountDisconnected() {
+	g := twoCliques()
+	res := gveleiden.Leiden(g, gveleiden.DefaultOptions())
+	ds := gveleiden.CountDisconnected(g, res.Membership, 0)
+	fmt.Println("disconnected:", ds.Disconnected)
+	// Output:
+	// disconnected: 0
+}
+
+func ExampleLeidenDynamic() {
+	g := twoCliques()
+	opt := gveleiden.DefaultOptions()
+	res := gveleiden.Leiden(g, opt)
+
+	// A batch arrives: a second bridge between the cliques.
+	delta := gveleiden.Delta{
+		Insertions: []gveleiden.Edge{{U: 0, V: 7, W: 1}},
+	}
+	gNew := gveleiden.ApplyDelta(g, delta)
+	res2 := gveleiden.LeidenDynamic(gNew, res.Membership, delta,
+		gveleiden.DynamicFrontier, opt)
+	fmt.Println("still two communities:", res2.NumCommunities == 2)
+	// Output:
+	// still two communities: true
+}
+
+func ExampleAnalyzePartition() {
+	g := twoCliques()
+	res := gveleiden.Leiden(g, gveleiden.DefaultOptions())
+	pm := gveleiden.AnalyzePartition(g, res.Membership)
+	fmt.Printf("coverage: %.2f\n", pm.Coverage)
+	fmt.Println("sizes:", pm.MinSize, pm.MaxSize)
+	// Output:
+	// coverage: 0.92
+	// sizes: 4 4
+}
+
+func ExampleCommunityGraph() {
+	g := twoCliques()
+	res := gveleiden.Leiden(g, gveleiden.DefaultOptions())
+	q, _ := gveleiden.CommunityGraph(g, res.Membership)
+	fmt.Println("quotient vertices:", q.NumVertices())
+	fmt.Println("bridge weight:", q.ArcWeight(0, 1))
+	// Output:
+	// quotient vertices: 2
+	// bridge weight: 1
+}
+
+func ExampleLeidenHierarchy() {
+	g, _ := gveleiden.GenerateWeb(2000, 12, 1)
+	res, h := gveleiden.LeidenHierarchy(g, gveleiden.DefaultOptions())
+	fmt.Println("levels == passes:", h.Depth() == res.Passes)
+	flat, _ := h.Flatten(h.Depth())
+	fmt.Println("flatten matches:", gveleiden.SamePartition(flat, res.Membership))
+	// Output:
+	// levels == passes: true
+	// flatten matches: true
+}
+
+func ExampleModularity() {
+	g := twoCliques()
+	perCluster := []uint32{0, 0, 0, 0, 1, 1, 1, 1}
+	allInOne := []uint32{0, 0, 0, 0, 0, 0, 0, 0}
+	fmt.Printf("split: %.4f\n", gveleiden.Modularity(g, perCluster))
+	fmt.Printf("merged: %.4f\n", gveleiden.Modularity(g, allInOne))
+	// Output:
+	// split: 0.4231
+	// merged: 0.0000
+}

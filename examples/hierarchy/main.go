@@ -1,0 +1,83 @@
+// Hierarchy: multi-resolution views of a network. Leiden's passes form
+// a dendrogram — each level merges the previous level's communities —
+// and LeidenHierarchy exposes it. This example walks the levels of a
+// web-crawl-like graph, shows the quotient (community-of-communities)
+// graph, tracks how communities survive between resolutions, and emits
+// a Graphviz rendering of the top level.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gveleiden"
+)
+
+func main() {
+	const n = 30000
+	fmt.Printf("generating a %d-vertex web-crawl-like graph…\n", n)
+	g, _ := gveleiden.GenerateWeb(n, 16, 5)
+	fmt.Printf("|V|=%d |E|=%d\n\n", g.NumVertices(), g.NumUndirectedEdges())
+
+	res, h := gveleiden.LeidenHierarchy(g, gveleiden.DefaultOptions())
+	fmt.Printf("GVE-Leiden: %d communities, Q=%.4f, %d dendrogram levels\n\n",
+		res.NumCommunities, res.Modularity, h.Depth())
+
+	// Walk the dendrogram: each depth is a coarser, valid partition.
+	fmt.Println("depth  communities  modularity  stability vs next")
+	var prev []uint32
+	for depth := 1; depth <= h.Depth(); depth++ {
+		flat, err := h.Flatten(depth)
+		if err != nil {
+			panic(err)
+		}
+		stability := "-"
+		if prev != nil {
+			stability = fmt.Sprintf("%.3f", gveleiden.StabilityIndex(flat, prev))
+		}
+		fmt.Printf("%5d  %11d  %.4f      %s\n",
+			depth, distinct(flat), gveleiden.Modularity(g, flat), stability)
+		prev = flat
+	}
+	fmt.Println()
+
+	// The quotient graph: one vertex per final community.
+	q, labels := gveleiden.CommunityGraph(g, res.Membership)
+	fmt.Printf("quotient graph: %d super-vertices, %d super-edges\n",
+		q.NumVertices(), q.NumUndirectedEdges())
+	heaviest := 0.0
+	var hu, hv uint32
+	for u := 0; u < q.NumVertices(); u++ {
+		es, ws := q.Neighbors(uint32(u))
+		for k, e := range es {
+			if e != uint32(u) && float64(ws[k]) > heaviest {
+				heaviest = float64(ws[k])
+				hu, hv = labels[u], labels[e]
+			}
+		}
+	}
+	fmt.Printf("most-coupled community pair: %d ↔ %d (weight %.0f)\n\n", hu, hv, heaviest)
+
+	// Render the quotient graph for Graphviz.
+	singles := make([]uint32, q.NumVertices())
+	for i := range singles {
+		singles[i] = uint32(i)
+	}
+	f, err := os.CreateTemp("", "quotient-*.dot")
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	if err := gveleiden.WriteDOT(f, q, singles); err != nil {
+		panic(err)
+	}
+	fmt.Printf("quotient graph written to %s (render with: dot -Tsvg)\n", f.Name())
+}
+
+func distinct(labels []uint32) int {
+	seen := map[uint32]struct{}{}
+	for _, l := range labels {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
+}

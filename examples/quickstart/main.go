@@ -1,0 +1,58 @@
+// Quickstart: build a graph, detect communities with GVE-Leiden, and
+// inspect the result — the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gveleiden"
+)
+
+func main() {
+	// Zachary's karate club — the classic community-detection example.
+	// Edges copied from the original 1977 study (unit weights).
+	edges := [][2]uint32{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}, {0, 7}, {0, 8},
+		{0, 10}, {0, 11}, {0, 12}, {0, 13}, {0, 17}, {0, 19}, {0, 21},
+		{0, 31}, {1, 2}, {1, 3}, {1, 7}, {1, 13}, {1, 17}, {1, 19},
+		{1, 21}, {1, 30}, {2, 3}, {2, 7}, {2, 8}, {2, 9}, {2, 13},
+		{2, 27}, {2, 28}, {2, 32}, {3, 7}, {3, 12}, {3, 13}, {4, 6},
+		{4, 10}, {5, 6}, {5, 10}, {5, 16}, {6, 16}, {8, 30}, {8, 32},
+		{8, 33}, {9, 33}, {13, 33}, {14, 32}, {14, 33}, {15, 32},
+		{15, 33}, {18, 32}, {18, 33}, {19, 33}, {20, 32}, {20, 33},
+		{22, 32}, {22, 33}, {23, 25}, {23, 27}, {23, 29}, {23, 32},
+		{23, 33}, {24, 25}, {24, 27}, {24, 31}, {25, 31}, {26, 29},
+		{26, 33}, {27, 33}, {28, 31}, {28, 33}, {29, 32}, {29, 33},
+		{30, 32}, {30, 33}, {31, 32}, {31, 33}, {32, 33},
+	}
+	b := gveleiden.NewBuilder(34)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1], 1)
+	}
+	g := b.Build()
+
+	opt := gveleiden.DefaultOptions()
+	res := gveleiden.Leiden(g, opt)
+
+	fmt.Printf("karate club: %d vertices, %d edges\n",
+		g.NumVertices(), g.NumUndirectedEdges())
+	fmt.Printf("found %d communities, modularity %.4f, %d passes\n",
+		res.NumCommunities, res.Modularity, res.Passes)
+
+	// Group members per community.
+	groups := make(map[uint32][]int)
+	for v, c := range res.Membership {
+		groups[c] = append(groups[c], v)
+	}
+	for c := uint32(0); int(c) < res.NumCommunities; c++ {
+		fmt.Printf("  community %d: %v\n", c, groups[c])
+	}
+
+	// The Leiden guarantee: every community is internally connected.
+	ds := gveleiden.CountDisconnected(g, res.Membership, 0)
+	if ds.Disconnected != 0 {
+		log.Fatalf("unexpected: %d disconnected communities", ds.Disconnected)
+	}
+	fmt.Println("all communities are internally connected ✓")
+}

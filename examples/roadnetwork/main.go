@@ -1,0 +1,54 @@
+// Roadnetwork: community detection on a low-degree, long-diameter road
+// graph — the class where subsequent passes dominate runtime (Figure 7b)
+// and where the resolution parameter and the CPM quality function show
+// their value (many small natural clusters).
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"gveleiden"
+)
+
+func main() {
+	const n = 80000
+	fmt.Printf("generating a %d-vertex road network…\n", n)
+	g := gveleiden.GenerateRoad(n, 99)
+	fmt.Printf("|V|=%d |E|=%d (avg degree ≈ 2.1)\n\n", g.NumVertices(), g.NumUndirectedEdges())
+
+	// --- Default run: watch the pass structure. ---
+	opt := gveleiden.DefaultOptions()
+	t0 := time.Now()
+	res := gveleiden.Leiden(g, opt)
+	el := time.Since(t0)
+	fmt.Printf("GVE-Leiden: |Γ|=%d  Q=%.4f  %d passes  %s\n",
+		res.NumCommunities, res.Modularity, res.Passes, el.Round(time.Millisecond))
+	fmt.Printf("first pass: %.0f%% of runtime — on low-degree graphs the later\n"+
+		"passes dominate (paper, Figure 7b); compare ≈98%% on web graphs.\n\n",
+		res.Stats.FirstPassFraction()*100)
+	fmt.Println("per-pass coarsening (|V'| per level):")
+	for i, p := range res.Stats.Passes {
+		fmt.Printf("  pass %d: %7d vertices, %2d move iterations\n",
+			i, p.Vertices, p.MoveIterations)
+	}
+	fmt.Println()
+
+	// --- Resolution sweep: γ controls community granularity. ---
+	fmt.Println("resolution sweep (γ → communities):")
+	for _, gamma := range []float64{0.25, 1, 4, 16} {
+		o := gveleiden.DefaultOptions()
+		o.Resolution = gamma
+		r := gveleiden.Leiden(g, o)
+		fmt.Printf("  γ=%-5.2f |Γ|=%-6d Q(γ=1)=%.4f\n",
+			gamma, r.NumCommunities, gveleiden.Modularity(g, r.Membership))
+	}
+	fmt.Println()
+
+	// --- CPM: the resolution-limit-free alternative (paper §2). ---
+	cpm := gveleiden.CPM(g, res.Membership, 0.001)
+	fmt.Printf("CPM(γ=0.001) of the modularity partition: %.4f\n", cpm)
+
+	ds := gveleiden.CountDisconnected(g, res.Membership, 0)
+	fmt.Printf("disconnected communities: %d of %d ✓\n", ds.Disconnected, ds.Communities)
+}

@@ -1,0 +1,20 @@
+package gveleiden
+
+import (
+	"io"
+
+	"gveleiden/internal/export"
+)
+
+// WriteDOT renders g as a Graphviz graph, coloring vertices by
+// community when membership is non-nil. Intended for small graphs.
+func WriteDOT(w io.Writer, g *Graph, membership []uint32) error {
+	return export.WriteDOT(w, g, membership)
+}
+
+// WriteGraphML renders g as GraphML (Gephi/yEd/Cytoscape), attaching
+// each vertex's community as a node attribute when membership is
+// non-nil.
+func WriteGraphML(w io.Writer, g *Graph, membership []uint32) error {
+	return export.WriteGraphML(w, g, membership)
+}

@@ -1,0 +1,88 @@
+package gveleiden_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"gveleiden"
+)
+
+func TestFacadeMetrics(t *testing.T) {
+	g := twoCliques()
+	res := gveleiden.Leiden(g, gveleiden.DefaultOptions())
+
+	ms := gveleiden.AnalyzeCommunities(g, res.Membership)
+	if len(ms) != 2 {
+		t.Fatalf("communities = %d", len(ms))
+	}
+	for _, m := range ms {
+		if !m.Connected || m.Size != 4 {
+			t.Fatalf("bad community metrics: %+v", m)
+		}
+	}
+
+	pm := gveleiden.AnalyzePartition(g, res.Membership)
+	if pm.Communities != 2 || pm.Disconnected != 0 {
+		t.Fatalf("bad partition metrics: %+v", pm)
+	}
+
+	cond := gveleiden.Conductance(g, []uint32{0, 1, 2, 3})
+	if cond <= 0 || cond >= 1 {
+		t.Fatalf("conductance = %v", cond)
+	}
+
+	q1 := gveleiden.ModularityResolution(g, res.Membership, 1)
+	if math.Abs(q1-res.Modularity) > 1e-12 {
+		t.Fatal("γ=1 resolution must equal classic modularity")
+	}
+	if gveleiden.ModularityResolution(g, res.Membership, 4) >= q1 {
+		t.Fatal("higher γ must lower Q")
+	}
+
+	if gveleiden.RandIndex(res.Membership, res.Membership) != 1 {
+		t.Fatal("RandIndex self-comparison must be 1")
+	}
+}
+
+func TestFacadeExports(t *testing.T) {
+	g := twoCliques()
+	res := gveleiden.Leiden(g, gveleiden.DefaultOptions())
+
+	var dot bytes.Buffer
+	if err := gveleiden.WriteDOT(&dot, g, res.Membership); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "graph communities {") {
+		t.Fatal("DOT output malformed")
+	}
+
+	var gml bytes.Buffer
+	if err := gveleiden.WriteGraphML(&gml, g, res.Membership); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(gml.String(), "graphml") {
+		t.Fatal("GraphML output malformed")
+	}
+}
+
+func TestFacadeCPMValue(t *testing.T) {
+	g := twoCliques()
+	member := []uint32{0, 0, 0, 0, 1, 1, 1, 1}
+	// CPM at γ=0: just normalized internal weight = 12/13.
+	if got := gveleiden.CPM(g, member, 0); math.Abs(got-12.0/13.0) > 1e-12 {
+		t.Fatalf("CPM(γ=0) = %v", got)
+	}
+}
+
+func TestFacadeGenerateKmerDetection(t *testing.T) {
+	g := gveleiden.GenerateKmer(2000, 5)
+	res := gveleiden.Leiden(g, gveleiden.DefaultOptions())
+	if res.Modularity < 0.8 {
+		t.Fatalf("k-mer graphs are strongly modular; Q = %.3f", res.Modularity)
+	}
+	if ds := gveleiden.CountDisconnected(g, res.Membership, 0); ds.Disconnected != 0 {
+		t.Fatalf("%d disconnected", ds.Disconnected)
+	}
+}

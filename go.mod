@@ -1,0 +1,3 @@
+module gveleiden
+
+go 1.22

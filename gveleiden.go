@@ -1,0 +1,130 @@
+// Package gveleiden is a fast shared-memory parallel implementation of
+// the Leiden community-detection algorithm — a Go reproduction of
+// "Fast Leiden Algorithm for Community Detection in Shared Memory
+// Setting" (Sahu, Kothapalli, Banerjee; ICPP 2024).
+//
+// The package is a thin public facade over the internal implementation:
+//
+//	g, err := gveleiden.LoadGraph("web.mtx")
+//	res := gveleiden.Leiden(g, gveleiden.DefaultOptions())
+//	fmt.Println(res.NumCommunities, res.Modularity)
+//
+// Graphs are weighted CSR structures built with NewBuilder or loaded
+// from Matrix Market / edge-list / binary files. Leiden runs the
+// paper's GVE-Leiden algorithm (asynchronous parallel local moving,
+// greedy constrained refinement, prefix-sum CSR aggregation); Louvain
+// runs GVE-Louvain, the same machinery without the refinement phase.
+package gveleiden
+
+import (
+	"gveleiden/internal/core"
+	"gveleiden/internal/graph"
+	"gveleiden/internal/quality"
+)
+
+// Graph is a weighted undirected graph in CSR form.
+type Graph = graph.CSR
+
+// Builder accumulates edges and produces a Graph.
+type Builder = graph.Builder
+
+// Edge is a weighted undirected edge for FromEdges.
+type Edge = graph.Edge
+
+// Options configures a Leiden or Louvain run.
+type Options = core.Options
+
+// Result is the output of a run: membership, community count,
+// modularity, and per-phase statistics.
+type Result = core.Result
+
+// Stats aggregates per-pass phase timings.
+type Stats = core.Stats
+
+// RefinementMode selects greedy or randomized refinement.
+type RefinementMode = core.RefinementMode
+
+// LabelMode selects move-based or refine-based super-vertex labels.
+type LabelMode = core.LabelMode
+
+// Variant selects the light / medium / heavy effort level.
+type Variant = core.Variant
+
+// Re-exported enumeration values; see the core package for semantics.
+const (
+	RefineGreedy = core.RefineGreedy
+	RefineRandom = core.RefineRandom
+	LabelMove    = core.LabelMove
+	LabelRefine  = core.LabelRefine
+	VariantLight = core.VariantLight
+	VariantMed   = core.VariantMedium
+	VariantHeavy = core.VariantHeavy
+)
+
+// DefaultOptions returns the configuration evaluated in the paper.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Leiden detects communities with GVE-Leiden.
+func Leiden(g *Graph, opt Options) *Result { return core.Leiden(g, opt) }
+
+// Louvain detects communities with GVE-Louvain (no refinement phase;
+// may emit internally-disconnected communities).
+func Louvain(g *Graph, opt Options) *Result { return core.Louvain(g, opt) }
+
+// NewBuilder returns a graph builder expecting at least n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a symmetric weighted graph from an edge list.
+func FromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
+
+// FromAdjacency builds a unit-weight graph from adjacency lists.
+func FromAdjacency(adj [][]uint32) *Graph { return graph.FromAdjacency(adj) }
+
+// LoadGraph loads a graph from a .mtx, .bin, or edge-list file.
+func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
+
+// Modularity evaluates Equation 1 of the paper for any membership.
+func Modularity(g *Graph, membership []uint32) float64 {
+	return quality.Modularity(g, membership)
+}
+
+// CPM evaluates the Constant Potts Model quality function.
+func CPM(g *Graph, membership []uint32, gamma float64) float64 {
+	return quality.CPM(g, membership, gamma)
+}
+
+// DisconnectedStats reports internally-disconnected communities.
+type DisconnectedStats = quality.DisconnectedStats
+
+// CountDisconnected counts internally-disconnected communities — the
+// defect Leiden exists to prevent (Figure 6d of the paper).
+func CountDisconnected(g *Graph, membership []uint32, threads int) DisconnectedStats {
+	return quality.CountDisconnected(g, membership, threads)
+}
+
+// NMI compares two partitions (1 = identical up to relabeling).
+func NMI(a, b []uint32) float64 { return quality.NMI(a, b) }
+
+// Level is one layer of the community dendrogram.
+type Level = core.Level
+
+// Hierarchy is the full dendrogram of a run; Flatten(d) composes the
+// first d levels back onto the input vertices.
+type Hierarchy = core.Hierarchy
+
+// LeidenHierarchy runs Leiden and also returns the full dendrogram —
+// one level per pass, each a partition of the previous level's
+// communities. Useful for multi-resolution views of the network.
+func LeidenHierarchy(g *Graph, opt Options) (*Result, *Hierarchy) {
+	return core.LeidenHierarchy(g, opt)
+}
+
+// LeidenDeterministic runs Leiden in deterministic mode: the local
+// moving and refinement phases process graph-coloring classes with
+// frozen decision kernels, so on integer-weight graphs the result is
+// identical for any thread count. Equivalent to setting
+// Options.Deterministic.
+func LeidenDeterministic(g *Graph, opt Options) *Result {
+	opt.Deterministic = true
+	return core.Leiden(g, opt)
+}

@@ -1,0 +1,73 @@
+package baseline
+
+import (
+	"testing"
+
+	"gveleiden/internal/gen"
+	"gveleiden/internal/graph"
+	"gveleiden/internal/quality"
+)
+
+func TestLPAOnPlantedGraph(t *testing.T) {
+	g, truth := gen.PlantedPartition(gen.PlantedConfig{
+		N: 1000, Communities: 10, MinSize: 50, MaxSize: 200,
+		AvgDegree: 14, Mixing: 0.15, Seed: 3,
+	})
+	opt := DefaultOptions()
+	opt.Threads = 2
+	memb := LabelPropagation(g, opt)
+	if err := quality.ValidatePartition(g, memb); err != nil {
+		t.Fatal(err)
+	}
+	// On a clearly separated planted graph LPA recovers the structure.
+	if nmi := quality.NMI(memb, truth); nmi < 0.7 {
+		t.Fatalf("LPA NMI = %.3f on an easy instance", nmi)
+	}
+	if q := quality.Modularity(g, memb); q < 0.4 {
+		t.Fatalf("LPA Q = %.3f on an easy instance", q)
+	}
+}
+
+func TestLPATwoCliques(t *testing.T) {
+	b := graph.NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(uint32(i), uint32(j), 1)
+			b.AddEdge(uint32(i+5), uint32(j+5), 1)
+		}
+	}
+	b.AddEdge(4, 5, 1)
+	g := b.Build()
+	memb := LabelPropagation(g, DefaultOptions())
+	if got := quality.CountCommunities(memb); got != 2 {
+		t.Fatalf("LPA found %d communities on two cliques", got)
+	}
+}
+
+func TestLPATrivialInputs(t *testing.T) {
+	opt := DefaultOptions()
+	if got := LabelPropagation(graph.FromAdjacency(nil), opt); len(got) != 0 {
+		t.Fatal("empty graph")
+	}
+	got := LabelPropagation(graph.FromAdjacency([][]uint32{{}, {}}), opt)
+	if len(got) != 2 || got[0] == got[1] {
+		t.Fatal("isolated vertices must keep distinct labels")
+	}
+	got = LabelPropagation(graph.FromAdjacency([][]uint32{{1}, {0}}), opt)
+	if got[0] != got[1] {
+		t.Fatal("an edge must merge its endpoints")
+	}
+}
+
+func TestLPADeterministicForSeed(t *testing.T) {
+	g, _ := gen.WebGraph(800, 10, 5)
+	opt := DefaultOptions()
+	opt.Threads = 1
+	a := LabelPropagation(g, opt)
+	b := LabelPropagation(g, opt)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("LPA with one thread and a fixed seed must be deterministic")
+		}
+	}
+}

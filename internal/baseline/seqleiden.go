@@ -1,0 +1,306 @@
+package baseline
+
+import (
+	"gveleiden/internal/graph"
+	"gveleiden/internal/prng"
+)
+
+// SeqLeiden is a faithful sequential implementation of the original
+// Leiden algorithm (Traag, Waltman & van Eck 2019 / libleidenalg):
+// queue-driven local moving, a randomized constrained refinement phase
+// (merge probability proportional to delta-modularity), aggregation over
+// the refined partition, and the move partition as the initial partition
+// of the aggregated graph. Guarantees connected communities.
+func SeqLeiden(g *graph.CSR, opt Options) []uint32 {
+	return seqLeiden(g, opt, true)
+}
+
+// SeqLeidenIgraph is the igraph-style sequential Leiden: identical
+// structure but full-sweep local moving iterated to convergence instead
+// of a vertex queue (igraph_community_leiden with n_iterations=-1).
+func SeqLeidenIgraph(g *graph.CSR, opt Options) []uint32 {
+	return seqLeiden(g, opt, false)
+}
+
+func seqLeiden(g *graph.CSR, opt Options, queueDriven bool) []uint32 {
+	opt = opt.normalized()
+	rng := prng.NewXorshift32(opt.Seed)
+	n0 := g.NumVertices()
+	top := make([]uint32, n0)
+	for i := range top {
+		top[i] = uint32(i)
+	}
+	cur := g
+	var m float64
+	init := []uint32(nil) // initial membership of the current level
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		n := cur.NumVertices()
+		k := vertexWeights(cur)
+		if pass == 0 {
+			m = halfTotalWeight(k)
+			if m == 0 {
+				return top
+			}
+		}
+		var moved int
+		var comm []uint32
+		if queueDriven {
+			comm, moved = leidenMoveQueueSeq(cur, k, m, init, opt.MaxIterations)
+		} else {
+			comm, moved = leidenMoveSweepSeq(cur, k, m, init, opt.MaxIterations, opt.Tolerance)
+		}
+		// Refinement: constrained randomized merges within bounds.
+		refined, rmoves := leidenRefineSeq(cur, k, m, comm, rng)
+		if moved == 0 && rmoves == 0 {
+			// Converged: flat result is the move partition.
+			for v := range top {
+				top[v] = comm[top[v]]
+			}
+			break
+		}
+		next, dense := aggregateByMaps(cur, refined)
+		for v := range top {
+			top[v] = dense[refined[top[v]]]
+		}
+		if next.NumVertices() == n {
+			break
+		}
+		// Initial partition of the aggregate: the move-phase communities
+		// (Traag et al.'s recommendation). Labels are arbitrary but
+		// within [0, next n) via a representative super-vertex.
+		init = make([]uint32, next.NumVertices())
+		rep := make(map[uint32]uint32, 256) // move community → representative sv
+		for i := 0; i < n; i++ {
+			sv := dense[refined[i]]
+			b := comm[i]
+			if r, ok := rep[b]; ok {
+				init[sv] = r
+			} else {
+				rep[b] = sv
+				init[sv] = sv
+			}
+		}
+		cur = next
+	}
+	return densify(top)
+}
+
+// leidenMoveQueueSeq is the queue-driven local-moving phase used by
+// libleidenalg. init, when non-nil, is the starting membership.
+func leidenMoveQueueSeq(g *graph.CSR, k []float64, m float64, init []uint32, maxIter int) ([]uint32, int) {
+	n := g.NumVertices()
+	comm := make([]uint32, n)
+	sigma := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if init != nil {
+			comm[i] = init[i]
+		} else {
+			comm[i] = uint32(i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		sigma[comm[i]] += k[i]
+	}
+	inQueue := make([]bool, n)
+	queue := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		queue = append(queue, uint32(i))
+		inQueue[i] = true
+	}
+	weights := make(map[uint32]float64, 16)
+	moves := 0
+	processed := 0
+	budget := maxIter * n
+	for len(queue) > 0 && processed < budget {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		processed++
+		d := comm[u]
+		for c := range weights {
+			delete(weights, c)
+		}
+		es, ws := g.Neighbors(u)
+		for kk, e := range es {
+			if e == u {
+				continue
+			}
+			weights[comm[e]] += float64(ws[kk])
+		}
+		kid := weights[d]
+		best := d
+		bestDQ := 0.0
+		for c, kic := range weights {
+			if c == d {
+				continue
+			}
+			dq := deltaQ(kic, kid, k[u], sigma[c], sigma[d], m)
+			if dq > bestDQ || (dq == bestDQ && dq > 0 && c < best) {
+				bestDQ = dq
+				best = c
+			}
+		}
+		if bestDQ <= 0 || best == d {
+			continue
+		}
+		sigma[d] -= k[u]
+		sigma[best] += k[u]
+		comm[u] = best
+		moves++
+		for _, e := range es {
+			if !inQueue[e] && comm[e] != best {
+				queue = append(queue, e)
+				inQueue[e] = true
+			}
+		}
+	}
+	return comm, moves
+}
+
+// leidenMoveSweepSeq is the igraph-style local-moving phase: repeated
+// full sweeps over all vertices until a sweep's total gain falls under
+// tol or maxIter sweeps have run.
+func leidenMoveSweepSeq(g *graph.CSR, k []float64, m float64, init []uint32, maxIter int, tol float64) ([]uint32, int) {
+	n := g.NumVertices()
+	comm := make([]uint32, n)
+	sigma := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if init != nil {
+			comm[i] = init[i]
+		} else {
+			comm[i] = uint32(i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		sigma[comm[i]] += k[i]
+	}
+	weights := make(map[uint32]float64, 16)
+	moves := 0
+	for it := 0; it < maxIter; it++ {
+		var gain float64
+		for i := 0; i < n; i++ {
+			u := uint32(i)
+			d := comm[u]
+			for c := range weights {
+				delete(weights, c)
+			}
+			es, ws := g.Neighbors(u)
+			for kk, e := range es {
+				if e == u {
+					continue
+				}
+				weights[comm[e]] += float64(ws[kk])
+			}
+			kid := weights[d]
+			best := d
+			bestDQ := 0.0
+			for c, kic := range weights {
+				if c == d {
+					continue
+				}
+				dq := deltaQ(kic, kid, k[u], sigma[c], sigma[d], m)
+				if dq > bestDQ || (dq == bestDQ && dq > 0 && c < best) {
+					bestDQ = dq
+					best = c
+				}
+			}
+			if bestDQ <= 0 || best == d {
+				continue
+			}
+			sigma[d] -= k[u]
+			sigma[best] += k[u]
+			comm[u] = best
+			moves++
+			gain += bestDQ
+		}
+		if gain <= tol {
+			break
+		}
+	}
+	return comm, moves
+}
+
+// leidenRefineSeq is the randomized constrained merge procedure of the
+// original Leiden: every vertex starts singleton; isolated vertices
+// merge into a neighbouring sub-community within their community bound
+// with probability proportional to the delta-modularity of the merge.
+func leidenRefineSeq(g *graph.CSR, k []float64, m float64, bounds []uint32, rng *prng.Xorshift32) ([]uint32, int) {
+	n := g.NumVertices()
+	comm := make([]uint32, n)
+	sigma := make([]float64, n)
+	for i := 0; i < n; i++ {
+		comm[i] = uint32(i)
+		sigma[i] = k[i]
+	}
+	weights := make(map[uint32]float64, 16)
+	type cand struct {
+		c  uint32
+		dq float64
+	}
+	var cands []cand
+	moves := 0
+	for i := 0; i < n; i++ {
+		u := uint32(i)
+		c := comm[u]
+		if sigma[c] != k[u] {
+			continue // not isolated
+		}
+		for cc := range weights {
+			delete(weights, cc)
+		}
+		es, ws := g.Neighbors(u)
+		for kk, e := range es {
+			if e == u || bounds[e] != bounds[u] {
+				continue
+			}
+			weights[comm[e]] += float64(ws[kk])
+		}
+		kid := weights[c]
+		cands = cands[:0]
+		var total float64
+		for cc, kic := range weights {
+			if cc == c {
+				continue
+			}
+			dq := deltaQ(kic, kid, k[u], sigma[cc], sigma[c], m)
+			if dq > 0 {
+				cands = append(cands, cand{cc, dq})
+				total += dq
+			}
+		}
+		if total <= 0 {
+			continue
+		}
+		r := rng.Float64() * total
+		var run float64
+		target := cands[len(cands)-1].c
+		for _, cd := range cands {
+			run += cd.dq
+			if run >= r {
+				target = cd.c
+				break
+			}
+		}
+		sigma[c] -= k[u]
+		sigma[target] += k[u]
+		comm[u] = target
+		moves++
+	}
+	return comm, moves
+}
+
+// densify renumbers labels to a dense [0, k) range, preserving first-
+// occurrence order.
+func densify(labels []uint32) []uint32 {
+	dense := make(map[uint32]uint32, 256)
+	out := make([]uint32, len(labels))
+	for i, c := range labels {
+		d, ok := dense[c]
+		if !ok {
+			d = uint32(len(dense))
+			dense[c] = d
+		}
+		out[i] = d
+	}
+	return out
+}

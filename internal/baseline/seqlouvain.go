@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"gveleiden/internal/graph"
+)
+
+// SeqLouvain is a faithful sequential Louvain implementation (Blondel
+// et al. 2008): queue-driven local moving followed by aggregation,
+// repeated until modularity stops improving. It is the algorithm whose
+// internally-disconnected communities motivated Leiden.
+func SeqLouvain(g *graph.CSR, opt Options) []uint32 {
+	opt = opt.normalized()
+	n0 := g.NumVertices()
+	top := make([]uint32, n0)
+	for i := range top {
+		top[i] = uint32(i)
+	}
+	cur := g
+	var m float64
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		k := vertexWeights(cur)
+		if pass == 0 {
+			m = halfTotalWeight(k)
+			if m == 0 {
+				return top
+			}
+		}
+		comm, moved := louvainMoveSeq(cur, k, m, opt.MaxIterations)
+		if moved == 0 && pass > 0 {
+			break
+		}
+		next, dense := aggregateByMaps(cur, comm)
+		for v := range top {
+			top[v] = dense[comm[top[v]]]
+		}
+		if next.NumVertices() == cur.NumVertices() {
+			break // no shrink: converged
+		}
+		cur = next
+		if moved == 0 {
+			break
+		}
+	}
+	return top
+}
+
+// louvainMoveSeq runs the sequential queue-driven local-moving phase and
+// returns the membership and the number of vertex moves performed.
+func louvainMoveSeq(g *graph.CSR, k []float64, m float64, maxIter int) ([]uint32, int) {
+	n := g.NumVertices()
+	comm := make([]uint32, n)
+	sigma := make([]float64, n)
+	for i := 0; i < n; i++ {
+		comm[i] = uint32(i)
+		sigma[i] = k[i]
+	}
+	inQueue := make([]bool, n)
+	queue := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		queue = append(queue, uint32(i))
+		inQueue[i] = true
+	}
+	weights := make(map[uint32]float64, 16)
+	moves := 0
+	processed := 0
+	budget := maxIter * n
+	for len(queue) > 0 && processed < budget {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		processed++
+		d := comm[u]
+		for c := range weights {
+			delete(weights, c)
+		}
+		es, ws := g.Neighbors(u)
+		for kk, e := range es {
+			if e == u {
+				continue
+			}
+			weights[comm[e]] += float64(ws[kk])
+		}
+		kid := weights[d]
+		best := d
+		bestDQ := 0.0
+		for c, kic := range weights {
+			if c == d {
+				continue
+			}
+			dq := deltaQ(kic, kid, k[u], sigma[c], sigma[d], m)
+			if dq > bestDQ || (dq == bestDQ && dq > 0 && c < best) {
+				bestDQ = dq
+				best = c
+			}
+		}
+		if bestDQ <= 0 || best == d {
+			continue
+		}
+		sigma[d] -= k[u]
+		sigma[best] += k[u]
+		comm[u] = best
+		moves++
+		for _, e := range es {
+			if !inQueue[e] && comm[e] != best {
+				queue = append(queue, e)
+				inQueue[e] = true
+			}
+		}
+	}
+	return comm, moves
+}

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"gveleiden/internal/core"
+	"gveleiden/internal/quality"
+)
+
+// Table2 renders the dataset inventory in the format of the paper's
+// Table 2: |V|, |E|, average degree, and the number of communities |Γ|
+// found by GVE-Leiden.
+func Table2(cfg Config) []Table {
+	datasets := Registry(cfg.Scale)
+	rows := make([][]string, 0, len(datasets))
+	for _, d := range datasets {
+		g, _ := Load(d)
+		opt := core.DefaultOptions()
+		opt.Threads = cfg.Threads
+		res := core.Leiden(g, opt)
+		_, _, avg := g.DegreeStats()
+		rows = append(rows, []string{
+			d.Name,
+			d.Class,
+			fmt.Sprintf("%d", g.NumVertices()),
+			fmt.Sprintf("%d", g.NumUndirectedEdges()),
+			fmt.Sprintf("%.1f", avg),
+			fmt.Sprintf("%d", res.NumCommunities),
+		})
+	}
+	return []Table{{
+		ID:     "table2",
+		Title:  "Table 2: dataset (synthetic stand-ins, see DESIGN.md §3)",
+		Header: []string{"graph", "class", "|V|", "|E|", "Davg", "|Γ|"},
+		Rows:   rows,
+	}}
+}
+
+// Fig7 renders the phase split (7a) and pass split (7b) of GVE-Leiden
+// on every graph.
+func Fig7(cfg Config) []Table {
+	datasets := Registry(cfg.Scale)
+	var a, b [][]string
+	var avgMove, avgRefine, avgAgg, avgOther, avgFirst float64
+	for _, d := range datasets {
+		g, _ := Load(d)
+		opt := core.DefaultOptions()
+		opt.Threads = cfg.Threads
+		// Phase splits are timing-noise sensitive; average over repeats.
+		var mv, rf, ag, ot, first float64
+		for r := 0; r < cfg.Repeats; r++ {
+			res := core.Leiden(g, opt)
+			m, rr, aa, oo := res.Stats.PhaseSplit()
+			mv += m
+			rf += rr
+			ag += aa
+			ot += oo
+			first += res.Stats.FirstPassFraction()
+		}
+		den := float64(cfg.Repeats)
+		mv, rf, ag, ot, first = mv/den, rf/den, ag/den, ot/den, first/den
+		a = append(a, []string{
+			d.Name,
+			fmt.Sprintf("%.0f%%", mv*100),
+			fmt.Sprintf("%.0f%%", rf*100),
+			fmt.Sprintf("%.0f%%", ag*100),
+			fmt.Sprintf("%.0f%%", ot*100),
+		})
+		b = append(b, []string{d.Name, fmt.Sprintf("%.0f%%", first*100), fmt.Sprintf("%.0f%%", (1-first)*100)})
+		avgMove += mv
+		avgRefine += rf
+		avgAgg += ag
+		avgOther += ot
+		avgFirst += first
+	}
+	n := float64(len(datasets))
+	a = append(a, []string{"AVERAGE",
+		fmt.Sprintf("%.0f%%", avgMove/n*100),
+		fmt.Sprintf("%.0f%%", avgRefine/n*100),
+		fmt.Sprintf("%.0f%%", avgAgg/n*100),
+		fmt.Sprintf("%.0f%%", avgOther/n*100)})
+	b = append(b, []string{"AVERAGE", fmt.Sprintf("%.0f%%", avgFirst/n*100), fmt.Sprintf("%.0f%%", (1-avgFirst/n)*100)})
+	return []Table{
+		{ID: "fig7a", Title: "Figure 7(a): phase split of GVE-Leiden",
+			Header: []string{"graph", "local-move", "refine", "aggregate", "others"}, Rows: a},
+		{ID: "fig7b", Title: "Figure 7(b): pass split of GVE-Leiden",
+			Header: []string{"graph", "first pass", "remaining"}, Rows: b},
+	}
+}
+
+// Fig8 renders the runtime/|E| factor of GVE-Leiden per graph
+// (nanoseconds per edge; the paper's Figure 8 shows the same shape:
+// low-degree and weakly-clusterable graphs cost more per edge).
+func Fig8(cfg Config) []Table {
+	datasets := Registry(cfg.Scale)
+	rows := make([][]string, 0, len(datasets))
+	for _, d := range datasets {
+		g, _ := Load(d)
+		opt := core.DefaultOptions()
+		opt.Threads = cfg.Threads
+		t, _ := Measure(cfg.Repeats, func() []uint32 {
+			return core.Leiden(g, opt).Membership
+		})
+		perEdge := float64(t.Nanoseconds()) / float64(g.NumUndirectedEdges())
+		rows = append(rows, []string{
+			d.Name,
+			ms(t),
+			fmt.Sprintf("%.1f", perEdge),
+			fmt.Sprintf("%.1f", float64(g.NumUndirectedEdges())/float64(t.Nanoseconds())*1e3), // M edges/s
+		})
+	}
+	return []Table{{
+		ID:     "fig8",
+		Title:  "Figure 8: runtime/|E| factor of GVE-Leiden",
+		Header: []string{"graph", "runtime ms", "ns/edge", "M edges/s"},
+		Rows:   rows,
+	}}
+}
+
+// ScalingPoint is one thread-count measurement of the scaling study.
+type ScalingPoint struct {
+	Threads   int
+	Total     time.Duration
+	Move      time.Duration
+	Refine    time.Duration
+	Aggregate time.Duration
+	Other     time.Duration
+}
+
+// Fig9 runs the strong-scaling study: threads 1, 2, 4, … MaxThreads,
+// averaged across the corpus, reporting overall and per-phase speedups
+// relative to one thread (the paper's Figure 9).
+func Fig9(cfg Config) []Table {
+	maxT := cfg.MaxThreads
+	if maxT <= 0 {
+		maxT = runtime.GOMAXPROCS(0)
+	}
+	var threadCounts []int
+	for t := 1; t <= maxT; t *= 2 {
+		threadCounts = append(threadCounts, t)
+	}
+	if threadCounts[len(threadCounts)-1] != maxT {
+		threadCounts = append(threadCounts, maxT)
+	}
+	datasets := Registry(cfg.Scale)
+	points := make([]ScalingPoint, len(threadCounts))
+	for ti, t := range threadCounts {
+		points[ti].Threads = t
+		for _, d := range datasets {
+			g, _ := Load(d)
+			opt := core.DefaultOptions()
+			opt.Threads = t
+			var best *core.Result
+			var bestT time.Duration
+			for r := 0; r < cfg.Repeats; r++ {
+				start := time.Now()
+				res := core.Leiden(g, opt)
+				el := time.Since(start)
+				if best == nil || el < bestT {
+					best, bestT = res, el
+				}
+			}
+			points[ti].Total += bestT
+			for _, p := range best.Stats.Passes {
+				points[ti].Move += p.Move
+				points[ti].Refine += p.Refine
+				points[ti].Aggregate += p.Aggregate
+				points[ti].Other += p.Other
+			}
+		}
+	}
+	base := points[0]
+	rows := make([][]string, 0, len(points))
+	sp := func(b, v time.Duration) string {
+		if v == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2fx", float64(b)/float64(v))
+	}
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Threads),
+			ms(p.Total),
+			sp(base.Total, p.Total),
+			sp(base.Move, p.Move),
+			sp(base.Refine, p.Refine),
+			sp(base.Aggregate, p.Aggregate),
+			sp(base.Other, p.Other),
+		})
+	}
+	title := "Figure 9: strong scaling of GVE-Leiden (corpus totals)"
+	if runtime.NumCPU() == 1 {
+		title += "\nnote: this machine has 1 CPU; speedups are bounded by 1.0 and the\nsweep verifies overhead rather than parallel gain."
+	}
+	return []Table{{
+		ID:     "fig9",
+		Title:  title,
+		Header: []string{"threads", "total ms", "overall", "move", "refine", "aggregate", "others"},
+		Rows:   rows,
+	}}
+}
+
+// Fig8Quality is a companion to Figure 8's discussion: NMI of GVE-Leiden
+// communities against the planted ground truth where one exists.
+func Fig8Quality(cfg Config) []Table {
+	datasets := Registry(cfg.Scale)
+	rows := make([][]string, 0, len(datasets))
+	for _, d := range datasets {
+		g, truth := Load(d)
+		opt := core.DefaultOptions()
+		opt.Threads = cfg.Threads
+		res := core.Leiden(g, opt)
+		nmi := "-"
+		if truth != nil && (d.Class == "web" || d.Class == "social") {
+			nmi = fmt.Sprintf("%.3f", quality.NMI(res.Membership, truth))
+		}
+		rows = append(rows, []string{
+			d.Name,
+			fmt.Sprintf("%.4f", res.Modularity),
+			fmt.Sprintf("%d", res.NumCommunities),
+			nmi,
+		})
+	}
+	return []Table{{
+		ID:     "quality",
+		Title:  "Ground-truth recovery of GVE-Leiden (supplementary)",
+		Header: []string{"graph", "modularity", "|Γ|", "NMI vs planted"},
+		Rows:   rows,
+	}}
+}

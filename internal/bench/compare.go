@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gveleiden/internal/quality"
+)
+
+// CompareResult holds the Figure 6 measurements for one graph.
+type CompareResult struct {
+	Graph        string
+	Runtime      map[string]time.Duration
+	Modularity   map[string]float64
+	Disconnected map[string]float64 // fraction of disconnected communities
+	Communities  map[string]int
+}
+
+// RunComparison executes all five implementations (plus the Louvain
+// contrast pair) on every dataset — the data behind Figure 6 and
+// Table 1.
+func RunComparison(cfg Config) []CompareResult {
+	datasets := Registry(cfg.Scale)
+	dets := Detectors(cfg.Threads)
+	dets = append(dets, LouvainDetectors(cfg.Threads)...)
+	var out []CompareResult
+	for _, d := range datasets {
+		g, _ := Load(d)
+		res := CompareResult{
+			Graph:        d.Name,
+			Runtime:      map[string]time.Duration{},
+			Modularity:   map[string]float64{},
+			Disconnected: map[string]float64{},
+			Communities:  map[string]int{},
+		}
+		for _, det := range dets {
+			t, memb := Measure(cfg.Repeats, func() []uint32 { return det.Run(g) })
+			res.Runtime[det.Name] = t
+			res.Modularity[det.Name] = quality.Modularity(g, memb)
+			ds := quality.CountDisconnected(g, memb, cfg.Threads)
+			res.Disconnected[det.Name] = ds.Fraction
+			res.Communities[det.Name] = ds.Communities
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// leidenNames is the Figure 6 implementation order.
+var leidenNames = []string{"Original", "igraph", "NetworKit", "cuGraph", "GVE-Leiden"}
+
+// Fig6 renders the four panels of Figure 6 from comparison results:
+// (a) runtimes, (b) GVE-Leiden speedups, (c) modularity, (d) fraction
+// of disconnected communities — plus the Louvain contrast columns.
+func Fig6(results []CompareResult) []Table {
+	all := append(append([]string{}, leidenNames...), "SeqLouvain", "GVE-Louvain")
+
+	hdr := append([]string{"graph"}, all...)
+	var a, b, c, d [][]string
+	for _, r := range results {
+		rowA := []string{r.Graph}
+		rowC := []string{r.Graph}
+		rowD := []string{r.Graph}
+		for _, n := range all {
+			rowA = append(rowA, ms(r.Runtime[n]))
+			rowC = append(rowC, fmt.Sprintf("%.4f", r.Modularity[n]))
+			rowD = append(rowD, fmt.Sprintf("%.2e", r.Disconnected[n]))
+		}
+		a = append(a, rowA)
+		c = append(c, rowC)
+		d = append(d, rowD)
+
+		rowB := []string{r.Graph}
+		gve := float64(r.Runtime["GVE-Leiden"])
+		for _, n := range leidenNames[:4] {
+			rowB = append(rowB, fmt.Sprintf("%.1fx", float64(r.Runtime[n])/gve))
+		}
+		b = append(b, rowB)
+	}
+	return []Table{
+		{ID: "fig6a", Title: "Figure 6(a): runtime in ms", Header: hdr, Rows: a},
+		{ID: "fig6b", Title: "Figure 6(b): speedup of GVE-Leiden",
+			Header: append([]string{"graph"}, leidenNames[:4]...), Rows: b},
+		{ID: "fig6c", Title: "Figure 6(c): modularity", Header: hdr, Rows: c},
+		{ID: "fig6d", Title: "Figure 6(d): fraction of disconnected communities", Header: hdr, Rows: d},
+	}
+}
+
+// Table1 renders the paper's Table 1: geometric-mean speedup of
+// GVE-Leiden over each comparator across the corpus.
+func Table1(results []CompareResult) []Table {
+	rows := make([][]string, 0, 4)
+	for _, n := range leidenNames[:4] {
+		prod := 1.0
+		for _, r := range results {
+			prod *= float64(r.Runtime[n]) / float64(r.Runtime["GVE-Leiden"])
+		}
+		gm := pow(prod, 1/float64(len(results)))
+		parallelism := "Sequential"
+		if n == "NetworKit" {
+			parallelism = "Parallel"
+		}
+		if n == "cuGraph" {
+			parallelism = "Parallel (BSP)"
+		}
+		rows = append(rows, []string{n + " Leiden", parallelism, fmt.Sprintf("%.1fx", gm)})
+	}
+	return []Table{{
+		ID:     "table1",
+		Title:  "Table 1: speedup of GVE-Leiden (geometric mean over corpus)",
+		Header: []string{"implementation", "parallelism", "our speedup"},
+		Rows:   rows,
+	}}
+}
+
+func pow(x, e float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, e)
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"gveleiden/internal/core"
+	"gveleiden/internal/gen"
+)
+
+// ComplexityExperiment verifies the paper's O(KM) time bound
+// empirically: web-class graphs of doubling size, reporting runtime,
+// iterations-weighted edge count (K·M), and the runtime/(K·M) factor —
+// which should stay roughly constant if the bound is tight.
+func ComplexityExperiment(cfg Config) []Table {
+	rows := make([][]string, 0, 5)
+	base := 4000
+	for s := 0; s < 5; s++ {
+		n := base << s
+		g, _ := gen.WebGraph(int(float64(n)*cfg.Scale), 14, uint64(500+s))
+		opt := core.DefaultOptions()
+		opt.Threads = cfg.Threads
+		var best time.Duration
+		var iters int
+		for r := 0; r < cfg.Repeats; r++ {
+			start := time.Now()
+			res := core.Leiden(g, opt)
+			el := time.Since(start)
+			if best == 0 || el < best {
+				best = el
+				iters = res.Stats.TotalIterations()
+			}
+		}
+		m := float64(g.NumUndirectedEdges())
+		km := float64(iters) * m
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", g.NumVertices()),
+			fmt.Sprintf("%d", g.NumUndirectedEdges()),
+			fmt.Sprintf("%d", iters),
+			ms(best),
+			fmt.Sprintf("%.1f", float64(best.Nanoseconds())/km),
+		})
+	}
+	return []Table{{
+		ID:     "complexity",
+		Title:  "O(KM) time-bound check: web graphs of doubling size",
+		Header: []string{"|V|", "|E|", "K (iterations)", "runtime ms", "ns / (K·M)"},
+		Rows:   rows,
+	}}
+}

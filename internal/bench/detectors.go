@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"time"
+
+	"gveleiden/internal/baseline"
+	"gveleiden/internal/core"
+	"gveleiden/internal/graph"
+)
+
+// Detector is one community-detection implementation under comparison.
+type Detector struct {
+	// Name as shown in result tables.
+	Name string
+	// Parallel reports whether the implementation uses threads.
+	Parallel bool
+	// Run detects communities and returns the membership.
+	Run func(g *graph.CSR) []uint32
+}
+
+// Detectors returns the five implementations of Figure 6, in the
+// paper's order: Original Leiden, igraph Leiden, NetworKit Leiden,
+// cuGraph Leiden (BSP stand-in), and GVE-Leiden.
+func Detectors(threads int) []Detector {
+	bopt := baseline.DefaultOptions()
+	bopt.Threads = threads
+	gopt := core.DefaultOptions()
+	gopt.Threads = threads
+	return []Detector{
+		{Name: "Original", Parallel: false, Run: func(g *graph.CSR) []uint32 {
+			return baseline.SeqLeiden(g, bopt)
+		}},
+		{Name: "igraph", Parallel: false, Run: func(g *graph.CSR) []uint32 {
+			return baseline.SeqLeidenIgraph(g, bopt)
+		}},
+		{Name: "NetworKit", Parallel: true, Run: func(g *graph.CSR) []uint32 {
+			return baseline.ParLeidenQueue(g, bopt)
+		}},
+		{Name: "cuGraph", Parallel: true, Run: func(g *graph.CSR) []uint32 {
+			return baseline.ParLeidenBSP(g, bopt)
+		}},
+		{Name: "GVE-Leiden", Parallel: true, Run: func(g *graph.CSR) []uint32 {
+			return core.Leiden(g, gopt).Membership
+		}},
+	}
+}
+
+// LouvainDetectors returns the Louvain pair used for the disconnection
+// contrast: sequential Louvain and GVE-Louvain.
+func LouvainDetectors(threads int) []Detector {
+	bopt := baseline.DefaultOptions()
+	bopt.Threads = threads
+	gopt := core.DefaultOptions()
+	gopt.Threads = threads
+	return []Detector{
+		{Name: "SeqLouvain", Parallel: false, Run: func(g *graph.CSR) []uint32 {
+			return baseline.SeqLouvain(g, bopt)
+		}},
+		{Name: "GVE-Louvain", Parallel: true, Run: func(g *graph.CSR) []uint32 {
+			return core.Louvain(g, gopt).Membership
+		}},
+	}
+}
+
+// Measure runs fn `repeats` times and returns the mean wall time and the
+// last return value. The paper averages five runs; the harness default
+// is configurable to keep laptop runs short.
+func Measure(repeats int, fn func() []uint32) (time.Duration, []uint32) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	var total time.Duration
+	var out []uint32
+	for r := 0; r < repeats; r++ {
+		start := time.Now()
+		out = fn()
+		total += time.Since(start)
+	}
+	return total / time.Duration(repeats), out
+}

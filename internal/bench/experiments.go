@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"gveleiden/internal/core"
+	"gveleiden/internal/quality"
+)
+
+// Config controls the experiment runners.
+type Config struct {
+	// Scale multiplies dataset sizes (1.0 = laptop corpus).
+	Scale float64
+	// Repeats per measurement (paper: 5).
+	Repeats int
+	// Threads for parallel implementations (0 = GOMAXPROCS).
+	Threads int
+	// MaxThreads bounds the strong-scaling sweep (0 = GOMAXPROCS).
+	MaxThreads int
+}
+
+// DefaultConfig returns a configuration that completes the full suite
+// in minutes on one core.
+func DefaultConfig() Config {
+	return Config{Scale: 1, Repeats: 3, Threads: 0, MaxThreads: 0}
+}
+
+// refinementConfig is one of the six §4.1 configurations compared in
+// Figures 1-2.
+type refinementConfig struct {
+	name    string
+	refine  core.RefinementMode
+	variant core.Variant
+}
+
+func refinementConfigs() []refinementConfig {
+	return []refinementConfig{
+		{"greedy", core.RefineGreedy, core.VariantLight},
+		{"greedy-medium", core.RefineGreedy, core.VariantMedium},
+		{"greedy-heavy", core.RefineGreedy, core.VariantHeavy},
+		{"random", core.RefineRandom, core.VariantLight},
+		{"random-medium", core.RefineRandom, core.VariantMedium},
+		{"random-heavy", core.RefineRandom, core.VariantHeavy},
+	}
+}
+
+// Fig1And2 measures the greedy vs random refinement approaches with the
+// light/medium/heavy variants over the full corpus: average runtime
+// relative to plain greedy (Figure 1) and average modularity (Figure 2).
+func Fig1And2(cfg Config) []Table {
+	datasets := Registry(cfg.Scale)
+	configs := refinementConfigs()
+	relSum := make([]float64, len(configs))
+	qSum := make([]float64, len(configs))
+	for _, d := range datasets {
+		g, _ := Load(d)
+		times := make([]time.Duration, len(configs))
+		for ci, c := range configs {
+			opt := core.DefaultOptions()
+			opt.Threads = cfg.Threads
+			opt.Refinement = c.refine
+			opt.Variant = c.variant
+			t, memb := Measure(cfg.Repeats, func() []uint32 {
+				return core.Leiden(g, opt).Membership
+			})
+			times[ci] = t
+			qSum[ci] += quality.Modularity(g, memb)
+		}
+		base := float64(times[0])
+		for ci := range configs {
+			relSum[ci] += float64(times[ci]) / base
+		}
+	}
+	n := float64(len(datasets))
+	rows := make([][]string, len(configs))
+	for ci, c := range configs {
+		rows[ci] = []string{
+			c.name,
+			fmt.Sprintf("%.3f", relSum[ci]/n),
+			fmt.Sprintf("%.4f", qSum[ci]/n),
+		}
+	}
+	return []Table{{
+		ID:     "fig1-2",
+		Title:  "Figures 1-2: refinement approach (avg over corpus)",
+		Header: []string{"config", "rel runtime", "modularity"},
+		Rows:   rows,
+	}}
+}
+
+// Fig3And4 measures move-based vs refine-based super-vertex labels:
+// average relative runtime (Figure 3) and modularity (Figure 4).
+func Fig3And4(cfg Config) []Table {
+	datasets := Registry(cfg.Scale)
+	labels := []struct {
+		name string
+		mode core.LabelMode
+	}{
+		{"move-based", core.LabelMove},
+		{"refine-based", core.LabelRefine},
+	}
+	relSum := make([]float64, len(labels))
+	qSum := make([]float64, len(labels))
+	for _, d := range datasets {
+		g, _ := Load(d)
+		times := make([]time.Duration, len(labels))
+		for li, l := range labels {
+			opt := core.DefaultOptions()
+			opt.Threads = cfg.Threads
+			opt.Labels = l.mode
+			t, memb := Measure(cfg.Repeats, func() []uint32 {
+				return core.Leiden(g, opt).Membership
+			})
+			times[li] = t
+			qSum[li] += quality.Modularity(g, memb)
+		}
+		base := float64(times[0])
+		for li := range labels {
+			relSum[li] += float64(times[li]) / base
+		}
+	}
+	n := float64(len(datasets))
+	rows := make([][]string, len(labels))
+	for li, l := range labels {
+		rows[li] = []string{
+			l.name,
+			fmt.Sprintf("%.3f", relSum[li]/n),
+			fmt.Sprintf("%.4f", qSum[li]/n),
+		}
+	}
+	return []Table{{
+		ID:     "fig3-4",
+		Title:  "Figures 3-4: super-vertex labels (avg over corpus)",
+		Header: []string{"labels", "rel runtime", "modularity"},
+		Rows:   rows,
+	}}
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"gveleiden/internal/core"
+	"gveleiden/internal/graph"
+)
+
+// MemoryExperiment measures the allocation footprint of each
+// implementation on one representative graph per class — the practical
+// face of the paper's O(TN + M) space analysis (§4.2) and of the
+// "GC pressure on huge graphs" concern for a Go implementation: the
+// core algorithm preallocates all per-pass buffers, so its per-run
+// allocation volume should be a small multiple of the graph size,
+// while the map-based sequential baselines allocate continuously.
+func MemoryExperiment(cfg Config) []Table {
+	picks := map[string]bool{
+		"web-indochina": true, "soc-livejournal": true,
+		"road-asia": true, "kmer-A2a": true,
+	}
+	rows := make([][]string, 0, 8)
+	for _, d := range Registry(cfg.Scale) {
+		if !picks[d.Name] {
+			continue
+		}
+		g, _ := Load(d)
+		graphBytes := int64(len(g.Edges))*8 + int64(len(g.Offsets))*4
+
+		gveAlloc := measureAlloc(func() {
+			opt := core.DefaultOptions()
+			opt.Threads = cfg.Threads
+			core.Leiden(g, opt)
+		})
+		seqAlloc := measureAlloc(func() {
+			runSeqLeiden(g, cfg)
+		})
+		rows = append(rows, []string{
+			d.Name,
+			fmt.Sprintf("%.1f", float64(graphBytes)/1e6),
+			fmt.Sprintf("%.1f", float64(gveAlloc)/1e6),
+			fmt.Sprintf("%.1f", float64(seqAlloc)/1e6),
+			fmt.Sprintf("%.1fx", float64(gveAlloc)/float64(graphBytes)),
+		})
+	}
+	return []Table{{
+		ID:     "memory",
+		Title:  "Allocation footprint per run (MB; paper §4.2: O(TN+M) space)",
+		Header: []string{"graph", "graph MB", "GVE-Leiden alloc", "SeqLeiden alloc", "GVE alloc / graph"},
+		Rows:   rows,
+	}}
+}
+
+// measureAlloc returns the bytes allocated while fn runs (single run,
+// GC fenced on both sides).
+func measureAlloc(fn func()) int64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return int64(after.TotalAlloc - before.TotalAlloc)
+}
+
+// runSeqLeiden is split out so the closure above stays tidy.
+func runSeqLeiden(g *graph.CSR, cfg Config) {
+	det := Detectors(cfg.Threads)[0] // Original (SeqLeiden)
+	det.Run(g)
+}

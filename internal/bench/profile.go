@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+
+	"gveleiden/internal/core"
+	"gveleiden/internal/graph"
+	"gveleiden/internal/order"
+	"gveleiden/internal/quality"
+)
+
+// ProfileExperiment characterizes every corpus graph with the
+// structural measures that distinguish the paper's four dataset
+// classes: degree statistics, global clustering coefficient
+// (transitivity — high for web crawls, ≈0 for roads/k-mers), and an
+// approximate diameter (small for web/social, huge for roads/k-mers).
+// It is the evidence that the synthetic stand-ins carry their real
+// counterparts' signatures (DESIGN.md §3).
+func ProfileExperiment(cfg Config) []Table {
+	datasets := Registry(cfg.Scale)
+	rows := make([][]string, 0, len(datasets))
+	for _, d := range datasets {
+		g, _ := Load(d)
+		minD, maxD, avgD := g.DegreeStats()
+		cc := graph.GlobalClusteringCoefficient(g)
+		diam := graph.ApproxDiameter(g, 0)
+		rows = append(rows, []string{
+			d.Name,
+			d.Class,
+			fmt.Sprintf("%d", g.NumVertices()),
+			fmt.Sprintf("%d", g.NumUndirectedEdges()),
+			fmt.Sprintf("%d/%.1f/%d", minD, avgD, maxD),
+			fmt.Sprintf("%.3f", cc),
+			fmt.Sprintf("≥%d", diam),
+		})
+	}
+	return []Table{{
+		ID:     "profile",
+		Title:  "Dataset structural profile (class signatures, cf. DESIGN.md §3)",
+		Header: []string{"graph", "class", "|V|", "|E|", "deg min/avg/max", "transitivity", "diameter"},
+		Rows:   rows,
+	}}
+}
+
+// OrderingExperiment measures the effect of vertex orderings on
+// GVE-Leiden's runtime — the locality optimization family of the
+// paper's related work (§2, [1]). Quality must be unchanged; runtime
+// shifts with cache behaviour.
+func OrderingExperiment(cfg Config) []Table {
+	datasets := Registry(cfg.Scale)
+	orderings := []struct {
+		name string
+		mk   func(*graph.CSR) []uint32
+	}{
+		{"native", nil},
+		{"bfs", func(g *graph.CSR) []uint32 { return order.BFS(g, 0) }},
+		{"degree-desc", order.ByDegreeDesc},
+		{"degree-asc", order.ByDegreeAsc},
+	}
+	totals := make([]float64, len(orderings))
+	quals := make([]float64, len(orderings))
+	for _, d := range datasets {
+		g, _ := Load(d)
+		for oi, o := range orderings {
+			h := g
+			if o.mk != nil {
+				perm := o.mk(g)
+				var err error
+				h, err = graph.Relabel(g, perm)
+				if err != nil {
+					continue
+				}
+			}
+			opt := core.DefaultOptions()
+			opt.Threads = cfg.Threads
+			t, memb := Measure(cfg.Repeats, func() []uint32 {
+				return core.Leiden(h, opt).Membership
+			})
+			totals[oi] += float64(t)
+			quals[oi] += quality.Modularity(h, memb)
+		}
+	}
+	rows := make([][]string, len(orderings))
+	for oi, o := range orderings {
+		rows[oi] = []string{
+			o.name,
+			fmt.Sprintf("%.1f", totals[oi]/1e6),
+			fmt.Sprintf("%.3f", totals[oi]/totals[0]),
+			fmt.Sprintf("%.4f", quals[oi]/float64(len(datasets))),
+		}
+	}
+	return []Table{{
+		ID:     "ordering",
+		Title:  "Vertex-ordering ablation (corpus totals; locality knob from related work)",
+		Header: []string{"ordering", "total ms", "rel runtime", "avg modularity"},
+		Rows:   rows,
+	}}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; timing-shape assertions are skipped because instrumented
+// atomics distort the parallel/sequential balance.
+const raceEnabled = true

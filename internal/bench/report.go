@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// Table is one experiment result in structured form, renderable as an
+// aligned text table (for the console report) or CSV (for plotting).
+type Table struct {
+	// ID is a filesystem-friendly identifier, e.g. "fig6a".
+	ID string
+	// Title is the human-readable caption.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows hold the cells, all pre-formatted.
+	Rows [][]string
+}
+
+// Render returns the aligned text form, caption first.
+func (t Table) Render() string {
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteString("\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(t.Header, "\t"))
+	sep := make([]string, len(t.Header))
+	for i, h := range t.Header {
+		sep[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(w, strings.Join(sep, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// CSV returns the RFC-4180 form (header row first).
+func (t Table) CSV() (string, error) {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if err := w.Write(t.Header); err != nil {
+		return "", err
+	}
+	if err := w.WriteAll(t.Rows); err != nil {
+		return "", err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// RenderAll renders a sequence of tables separated by blank lines.
+func RenderAll(tables []Table) string {
+	parts := make([]string, len(tables))
+	for i, t := range tables {
+		parts[i] = t.Render()
+	}
+	return strings.Join(parts, "\n")
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000)
+}

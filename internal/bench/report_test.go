@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleTable() Table {
+	return Table{
+		ID:     "sample",
+		Title:  "Sample experiment",
+		Header: []string{"graph", "value"},
+		Rows: [][]string{
+			{"web-a", "1.5"},
+			{"road, b", "2.0"}, // comma exercises CSV quoting
+		},
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	out := sampleTable().Render()
+	if !strings.HasPrefix(out, "Sample experiment\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	for _, want := range []string{"graph", "value", "-----", "web-a", "1.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, separator, 2 rows → 5? title+header+sep+2 rows = 5
+		// title + header + separator + two rows
+		if len(lines) != 5 {
+			t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	out, err := sampleTable().CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "graph,value" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"road, b"`) {
+		t.Fatalf("CSV must quote embedded commas: %q", lines[2])
+	}
+}
+
+func TestRenderAll(t *testing.T) {
+	out := RenderAll([]Table{sampleTable(), sampleTable()})
+	if strings.Count(out, "Sample experiment") != 2 {
+		t.Fatal("RenderAll must include every table")
+	}
+	if RenderAll(nil) != "" {
+		t.Fatal("empty RenderAll must be empty")
+	}
+}
+
+func TestMsFormatting(t *testing.T) {
+	if got := ms(1500 * time.Microsecond); got != "1.5" {
+		t.Fatalf("ms = %q", got)
+	}
+	if got := ms(0); got != "0.0" {
+		t.Fatalf("ms(0) = %q", got)
+	}
+}

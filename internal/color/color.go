@@ -1,0 +1,203 @@
+// Package color provides parallel graph coloring — the substrate for
+// coloring-ordered community detection (the technique of Halappanavar
+// et al.'s Grappolo, cited as [11] in the paper: "ordering vertices via
+// graph coloring"). Processing one color class at a time guarantees no
+// two adjacent vertices move concurrently, which makes the parallel
+// local-moving phase deterministic.
+package color
+
+import (
+	"sync/atomic"
+
+	"gveleiden/internal/graph"
+	"gveleiden/internal/parallel"
+	"gveleiden/internal/prng"
+)
+
+// Coloring assigns each vertex a color such that adjacent vertices
+// differ, and groups vertices per color class.
+type Coloring struct {
+	// Colors[v] is v's color in [0, NumColors).
+	Colors []uint32
+	// NumColors is the number of color classes used.
+	NumColors int
+	// classOff/classVtx form a CSR over color classes.
+	classOff []uint32
+	classVtx []uint32
+}
+
+// Class returns the vertices of one color class.
+func (c *Coloring) Class(color int) []uint32 {
+	return c.classVtx[c.classOff[color]:c.classOff[color+1]]
+}
+
+// priority returns the fixed pseudo-random priority of vertex v:
+// a splitmix64 hash, so the Jones-Plassmann rounds terminate in
+// O(log n) expected rounds yet the result is a pure function of the
+// graph (no RNG state, no scheduling dependence).
+func priority(v uint32) uint64 {
+	s := uint64(v)
+	return prng.Splitmix64(&s)
+}
+
+// Greedy colors g with the Jones-Plassmann parallel algorithm: in each
+// round, every still-uncolored vertex whose hashed priority beats all
+// its uncolored neighbours' picks the smallest color unused by its
+// (already stable) colored neighbourhood. Eligible vertices are
+// pairwise non-adjacent, so rounds are race-free and the coloring is a
+// deterministic function of the graph — identical for any thread count.
+func Greedy(g *graph.CSR, threads int) *Coloring {
+	n := g.NumVertices()
+	if threads <= 0 {
+		threads = parallel.DefaultThreads()
+	}
+	const uncolored = ^uint32(0)
+	colors := make([]uint32, n)
+	for i := range colors {
+		colors[i] = uncolored
+	}
+	pending := make([]uint32, n)
+	for i := range pending {
+		pending[i] = uint32(i)
+	}
+	// Per-thread scratch for the "colors used by neighbours" marks.
+	type scratch struct {
+		stamp []uint32
+		gen   uint32
+	}
+	maxDeg := 0
+	for i := 0; i < n; i++ {
+		if d := int(g.Degree(uint32(i))); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	scratches := make([]*scratch, threads)
+	for t := range scratches {
+		scratches[t] = &scratch{stamp: make([]uint32, maxDeg+2)}
+	}
+
+	maxColor := uint32(0)
+	isPending := make([]uint32, n) // 1 while uncolored
+	for _, u := range pending {
+		isPending[u] = 1
+	}
+	for len(pending) > 0 {
+		eligCh := make([][]uint32, threads)
+		parallel.For(len(pending), threads, 256, func(lo, hi, tid int) {
+			for idx := lo; idx < hi; idx++ {
+				u := pending[idx]
+				pu := priority(u)
+				eligible := true
+				es, _ := g.Neighbors(u)
+				for _, e := range es {
+					if e == u || atomic.LoadUint32(&isPending[e]) == 0 {
+						continue
+					}
+					pe := priority(e)
+					if pe > pu || (pe == pu && e > u) {
+						eligible = false
+						break
+					}
+				}
+				if eligible {
+					eligCh[tid] = append(eligCh[tid], u)
+				}
+			}
+		})
+		var eligible []uint32
+		for _, ch := range eligCh {
+			eligible = append(eligible, ch...)
+		}
+		// Color the eligible set: pairwise non-adjacent, so each choice
+		// depends only on stable colors from previous rounds.
+		parallel.For(len(eligible), threads, 256, func(lo, hi, tid int) {
+			sc := scratches[tid]
+			for idx := lo; idx < hi; idx++ {
+				u := eligible[idx]
+				sc.gen++
+				if sc.gen == 0 {
+					for i := range sc.stamp {
+						sc.stamp[i] = 0
+					}
+					sc.gen = 1
+				}
+				es, _ := g.Neighbors(u)
+				for _, e := range es {
+					if e == u {
+						continue
+					}
+					c := atomic.LoadUint32(&colors[e])
+					if c != uncolored && int(c) < len(sc.stamp) {
+						sc.stamp[c] = sc.gen
+					}
+				}
+				pick := uint32(0)
+				for int(pick) < len(sc.stamp) && sc.stamp[pick] == sc.gen {
+					pick++
+				}
+				atomic.StoreUint32(&colors[u], pick)
+			}
+		})
+		for _, u := range eligible {
+			atomic.StoreUint32(&isPending[u], 0)
+			if colors[u] > maxColor {
+				maxColor = colors[u]
+			}
+		}
+		// Rebuild pending (sequentially; the set shrinks geometrically).
+		next := pending[:0]
+		for _, u := range pending {
+			if isPending[u] == 1 {
+				next = append(next, u)
+			}
+		}
+		if len(next) == len(pending) {
+			panic("color: no progress — graph invariants violated")
+		}
+		pending = next
+	}
+
+	k := int(maxColor) + 1
+	if n == 0 {
+		k = 0
+	}
+	c := &Coloring{Colors: colors, NumColors: k}
+	c.buildClasses(n, k)
+	return c
+}
+
+// buildClasses groups vertices per color with a counting sort.
+func (c *Coloring) buildClasses(n, k int) {
+	c.classOff = make([]uint32, k+1)
+	for _, col := range c.Colors {
+		c.classOff[col+1]++
+	}
+	for i := 0; i < k; i++ {
+		c.classOff[i+1] += c.classOff[i]
+	}
+	c.classVtx = make([]uint32, n)
+	cursor := append([]uint32(nil), c.classOff[:k]...)
+	for v := 0; v < n; v++ {
+		col := c.Colors[v]
+		c.classVtx[cursor[col]] = uint32(v)
+		cursor[col]++
+	}
+}
+
+// Validate checks that no edge connects two equal colors and every
+// vertex is colored.
+func (c *Coloring) Validate(g *graph.CSR) bool {
+	n := g.NumVertices()
+	for u := 0; u < n; u++ {
+		if c.Colors[u] == ^uint32(0) || int(c.Colors[u]) >= c.NumColors {
+			return false
+		}
+		es, _ := g.Neighbors(uint32(u))
+		for _, e := range es {
+			if e != uint32(u) && c.Colors[u] == c.Colors[e] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,96 @@
+package color
+
+import (
+	"testing"
+
+	"gveleiden/internal/gen"
+	"gveleiden/internal/graph"
+)
+
+func TestGreedyValidColorings(t *testing.T) {
+	cases := map[string]*graph.CSR{
+		"path":     gen.Path(50),
+		"cycle":    gen.Cycle(51),
+		"star":     gen.Star(20),
+		"complete": gen.Complete(12),
+		"grid":     gen.Grid(10, 10),
+		"er":       gen.ErdosRenyi(500, 2000, 3),
+		"ba":       gen.BarabasiAlbert(500, 4, 5),
+	}
+	web, _ := gen.WebGraph(1000, 10, 7)
+	cases["web"] = web
+	for name, g := range cases {
+		c := Greedy(g, 4)
+		if !c.Validate(g) {
+			t.Errorf("%s: invalid coloring", name)
+		}
+	}
+}
+
+func TestGreedyColorCounts(t *testing.T) {
+	// K_n needs exactly n colors.
+	k := gen.Complete(8)
+	if c := Greedy(k, 2); c.NumColors != 8 {
+		t.Fatalf("K8 colored with %d colors", c.NumColors)
+	}
+	// A path is 2-colorable; greedy JP may use a couple more but must
+	// stay far below the trivial bound.
+	p := gen.Path(1000)
+	if c := Greedy(p, 4); c.NumColors > 4 {
+		t.Fatalf("path colored with %d colors", c.NumColors)
+	}
+	// Empty and singleton graphs.
+	if c := Greedy(graph.FromAdjacency(nil), 2); c.NumColors != 0 {
+		t.Fatal("empty graph must use 0 colors")
+	}
+	if c := Greedy(graph.FromAdjacency([][]uint32{{}}), 2); c.NumColors != 1 {
+		t.Fatal("singleton must use 1 color")
+	}
+}
+
+func TestGreedyDeterministicAcrossThreads(t *testing.T) {
+	g, _ := gen.SocialNetwork(2000, 12, 10, 0.3, 11)
+	base := Greedy(g, 1)
+	for _, threads := range []int{2, 4, 8} {
+		c := Greedy(g, threads)
+		for v := range base.Colors {
+			if c.Colors[v] != base.Colors[v] {
+				t.Fatalf("threads=%d: coloring differs at vertex %d", threads, v)
+			}
+		}
+	}
+}
+
+func TestClassesPartitionVertices(t *testing.T) {
+	g, _ := gen.WebGraph(800, 8, 13)
+	c := Greedy(g, 4)
+	seen := make([]bool, g.NumVertices())
+	total := 0
+	for col := 0; col < c.NumColors; col++ {
+		for _, v := range c.Class(col) {
+			if seen[v] {
+				t.Fatalf("vertex %d in two classes", v)
+			}
+			if c.Colors[v] != uint32(col) {
+				t.Fatalf("vertex %d misfiled", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	if total != g.NumVertices() {
+		t.Fatalf("classes cover %d of %d vertices", total, g.NumVertices())
+	}
+}
+
+func TestGreedySelfLoops(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 0, 1) // self-loop must not wedge the eligibility rule
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	g := b.Build()
+	c := Greedy(g, 2)
+	if !c.Validate(g) {
+		t.Fatal("invalid coloring with self-loop")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"gveleiden/internal/graph"
+	"gveleiden/internal/parallel"
+)
+
+// aggregate is the aggregation phase of GVE-Leiden (Algorithm 4): it
+// collapses every (refined, renumbered) community of g into one
+// super-vertex and returns the super-vertex graph.
+//
+// It follows the paper's construction exactly:
+//
+//  1. Build the community-vertices CSR G'_C' — counts per community,
+//     parallel exclusive scan, then an atomic scatter of vertex ids.
+//  2. Overestimate each super-vertex's degree as the total degree of
+//     its community, exclusive-scan into a *holey* CSR's offsets.
+//  3. In parallel over communities (dynamic schedule — community sizes
+//     are heavily skewed), accumulate cross-community weights in the
+//     per-thread collision-free hashtable (self-loops included, so a
+//     community's internal weight folds into its super-vertex loop) and
+//     write the arcs into the community's reserved slot.
+//
+// The returned graph's storage lives in the next ping-pong arena; no
+// allocation happens beyond slicing preallocated arrays.
+func (ws *workspace) aggregate(g *graph.CSR, nComms int) *graph.CSR {
+	n := g.NumVertices()
+	threads, grain := ws.opt.Threads, ws.opt.Grain
+	comm := ws.comm[:n]
+	a := &ws.arenas[ws.cur]
+	ws.cur = 1 - ws.cur
+
+	// --- Community-vertices CSR (lines 3-6). ---
+	commOff := a.commOff[:nComms+1]
+	parallel.FillUint32(commOff, 0, threads)
+	parallel.For(n, threads, grain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddUint32(&commOff[comm[i]], 1)
+		}
+	})
+	parallel.ExclusiveScanUint32(commOff, threads)
+	cursor := ws.cursor[:nComms]
+	copy(cursor, commOff[:nComms])
+	commVtx := a.commVtx[:n]
+	parallel.For(n, threads, grain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			p := atomic.AddUint32(&cursor[comm[i]], 1) - 1
+			commVtx[p] = uint32(i)
+		}
+	})
+
+	// --- Super-vertex offsets from overestimated degrees (lines 8-9). ---
+	superOff := a.offsets[:nComms+1]
+	parallel.FillUint32(superOff, 0, threads)
+	parallel.For(n, threads, grain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddUint32(&superOff[comm[i]], g.Degree(uint32(i)))
+		}
+	})
+	capacity := parallel.ExclusiveScanUint32(superOff, threads)
+
+	// --- Super-vertex graph (lines 11-16). ---
+	counts := a.counts[:nComms]
+	edges := a.edges[:capacity]
+	weights := a.weights[:capacity]
+	aggGrain := grain / 16
+	if aggGrain < 1 {
+		aggGrain = 1
+	}
+	parallel.For(nComms, threads, aggGrain, func(lo, hi, tid int) {
+		h := ws.tables[tid]
+		for c := lo; c < hi; c++ {
+			h.Clear()
+			for _, i := range commVtx[commOff[c]:commOff[c+1]] {
+				scanCommunities(h, g, comm, i, true)
+			}
+			base := superOff[c]
+			for idx, d := range h.Keys() {
+				edges[base+uint32(idx)] = d
+				weights[base+uint32(idx)] = float32(h.Get(d))
+			}
+			counts[c] = uint32(h.Len())
+		}
+	})
+	return &graph.CSR{
+		Offsets: superOff,
+		Counts:  counts,
+		Edges:   edges,
+		Weights: weights,
+	}
+}

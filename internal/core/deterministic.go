@@ -1,0 +1,172 @@
+package core
+
+import (
+	"gveleiden/internal/color"
+	"gveleiden/internal/graph"
+	"gveleiden/internal/parallel"
+)
+
+// Deterministic mode (Options.Deterministic) trades a little speed for
+// reproducibility: the local-moving and refinement phases process one
+// graph-coloring class at a time (the Grappolo technique, related work
+// [11]), with a frozen decision kernel followed by an apply kernel per
+// class. No two adjacent vertices decide concurrently and every
+// decision reads a stable snapshot, so the final membership is a pure
+// function of the graph and options — identical for any thread count —
+// whenever edge weights are integers (exact float arithmetic; with
+// fractional weights, summation-order rounding may still differ).
+
+// mover is one accepted decision of a deterministic kernel.
+type mover struct {
+	u      uint32
+	target uint32
+}
+
+// movePhaseColored is the deterministic local-moving phase: iterations
+// sweep the color classes in order; each class runs a decision kernel
+// against frozen state, then an apply kernel.
+func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Coloring) int {
+	n := g.NumVertices()
+	threads, grain := ws.opt.Threads, ws.opt.Grain
+	comm := ws.comm[:n]
+	ws.flags.Resize(n)
+	if ws.frontier != nil {
+		ws.flags.SetAll(false, threads)
+		for _, v := range ws.frontier {
+			ws.flags.Set(int(v), true)
+		}
+		ws.frontier = nil
+	} else {
+		ws.flags.SetAll(true, threads)
+	}
+	moverCh := make([][]mover, threads)
+	iters := 0
+	for it := 0; it < ws.opt.MaxIterations; it++ {
+		ws.zeroDQ()
+		for cls := 0; cls < col.NumColors; cls++ {
+			class := col.Class(cls)
+			// Decision kernel: frozen comm/Σ (no same-class neighbour
+			// can change them — different colors — and applies happen
+			// only after the barrier below).
+			parallel.For(len(class), threads, grain/4+1, func(lo, hi, tid int) {
+				h := ws.tables[tid]
+				var local float64
+				for idx := lo; idx < hi; idx++ {
+					u := class[idx]
+					if !ws.opt.DisablePruning {
+						if !ws.flags.Get(int(u)) {
+							continue
+						}
+						ws.flags.Set(int(u), false)
+					}
+					d := comm[u]
+					h.Clear()
+					scanCommunities(h, g, comm, u, false)
+					ki := ws.k[u]
+					si := ws.vsize[u]
+					kid := h.Get(d)
+					sd := ws.sigma.Get(int(d))
+					nd := ws.csize.Get(int(d))
+					bestC := d
+					bestDQ := 0.0
+					for _, c := range h.Keys() {
+						if c == d {
+							continue
+						}
+						dq := ws.delta(h.Get(c), kid, ki, ws.sigma.Get(int(c)), sd, si, ws.csize.Get(int(c)), nd)
+						if dq > bestDQ || (dq == bestDQ && dq > 0 && c < bestC) {
+							bestDQ = dq
+							bestC = c
+						}
+					}
+					if bestDQ <= 0 || bestC == d {
+						continue
+					}
+					moverCh[tid] = append(moverCh[tid], mover{u, bestC})
+					local += bestDQ
+				}
+				ws.dq[tid].v += local
+			})
+			// Apply kernel: commit all accepted moves of this class.
+			for tid := range moverCh {
+				movers := moverCh[tid]
+				parallel.For(len(movers), threads, 64, func(lo, hi, _ int) {
+					for idx := lo; idx < hi; idx++ {
+						m := movers[idx]
+						d := comm[m.u]
+						ki := ws.k[m.u]
+						si := ws.vsize[m.u]
+						ws.sigma.Add(int(d), -ki)
+						ws.sigma.Add(int(m.target), ki)
+						ws.csize.Add(int(d), -si)
+						ws.csize.Add(int(m.target), si)
+						commStore(comm, m.u, m.target)
+						es, _ := g.Neighbors(m.u)
+						for _, e := range es {
+							ws.flags.Set(int(e), true)
+						}
+					}
+				})
+				moverCh[tid] = movers[:0]
+			}
+		}
+		iters++
+		if ws.sumDQ() <= tau {
+			break
+		}
+	}
+	return iters
+}
+
+// refinePhaseColored is the deterministic refinement phase: one sweep
+// over the color classes, isolated vertices deciding on frozen state.
+// Within a class no two movers can claim the same singleton (targets
+// are neighbours' communities, and same-class vertices are never
+// neighbours), so the claims always succeed and the result is unique.
+func (ws *workspace) refinePhaseColored(g *graph.CSR, col *color.Coloring) int64 {
+	n := g.NumVertices()
+	threads := ws.opt.Threads
+	comm := ws.comm[:n]
+	bounds := ws.bounds[:n]
+	ws.zeroMoved()
+	moverCh := make([][]mover, threads)
+	for cls := 0; cls < col.NumColors; cls++ {
+		class := col.Class(cls)
+		parallel.For(len(class), threads, 64, func(lo, hi, tid int) {
+			h := ws.tables[tid]
+			for idx := lo; idx < hi; idx++ {
+				u := class[idx]
+				c := comm[u]
+				ki := ws.k[u]
+				if ws.sigma.Get(int(c)) != ki {
+					continue
+				}
+				h.Clear()
+				scanBounded(h, g, bounds, comm, u)
+				target, ok := ws.bestBounded(h, c, u, ki)
+				if !ok || target == c {
+					continue
+				}
+				moverCh[tid] = append(moverCh[tid], mover{u, target})
+			}
+		})
+		for tid := range moverCh {
+			movers := moverCh[tid]
+			for _, m := range movers {
+				c := comm[m.u]
+				ki := ws.k[m.u]
+				if !ws.sigma.CAS(int(c), ki, 0) {
+					continue // another class's move intervened
+				}
+				si := ws.vsize[m.u]
+				ws.sigma.Add(int(m.target), ki)
+				ws.csize.Add(int(c), -si)
+				ws.csize.Add(int(m.target), si)
+				commStore(comm, m.u, m.target)
+				ws.moved[tid].v++
+			}
+			moverCh[tid] = movers[:0]
+		}
+	}
+	return ws.sumMoved()
+}

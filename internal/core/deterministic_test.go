@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"gveleiden/internal/gen"
+	"gveleiden/internal/quality"
+)
+
+func detOpts(threads int) Options {
+	o := DefaultOptions()
+	o.Threads = threads
+	o.Deterministic = true
+	return o
+}
+
+// TestDeterministicAcrossThreadCounts is the headline property of
+// deterministic mode: on unit-weight graphs the membership is
+// bit-identical for any thread count.
+func TestDeterministicAcrossThreadCounts(t *testing.T) {
+	for name, g := range corpusGraphs() {
+		base := Leiden(g, detOpts(1))
+		for _, threads := range []int{2, 4, 8} {
+			res := Leiden(g, detOpts(threads))
+			if res.NumCommunities != base.NumCommunities {
+				t.Fatalf("%s threads=%d: |Γ| %d vs %d",
+					name, threads, res.NumCommunities, base.NumCommunities)
+			}
+			for v := range base.Membership {
+				if res.Membership[v] != base.Membership[v] {
+					t.Fatalf("%s threads=%d: membership differs at vertex %d",
+						name, threads, v)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministicRepeatedRuns(t *testing.T) {
+	g, _ := gen.SocialNetwork(2500, 14, 12, 0.35, 51)
+	a := Leiden(g, detOpts(4))
+	b := Leiden(g, detOpts(4))
+	for v := range a.Membership {
+		if a.Membership[v] != b.Membership[v] {
+			t.Fatal("repeated deterministic runs differ")
+		}
+	}
+}
+
+func TestDeterministicQualityParity(t *testing.T) {
+	// Determinism must not cost meaningful quality vs the asynchronous
+	// default.
+	for name, g := range corpusGraphs() {
+		async := Leiden(g, testOpts(4))
+		det := Leiden(g, detOpts(4))
+		if det.Modularity < async.Modularity-0.02 {
+			t.Errorf("%s: deterministic Q %.4f vs async %.4f",
+				name, det.Modularity, async.Modularity)
+		}
+		if ds := quality.CountDisconnected(g, det.Membership, 2); ds.Disconnected != 0 {
+			t.Errorf("%s: %d disconnected in deterministic mode", name, ds.Disconnected)
+		}
+	}
+}
+
+func TestDeterministicLouvain(t *testing.T) {
+	g, _ := gen.WebGraph(2000, 12, 57)
+	base := Louvain(g, detOpts(1))
+	for _, threads := range []int{2, 4} {
+		res := Louvain(g, detOpts(threads))
+		for v := range base.Membership {
+			if res.Membership[v] != base.Membership[v] {
+				t.Fatalf("louvain threads=%d: differs at vertex %d", threads, v)
+			}
+		}
+	}
+}
+
+func TestDeterministicForcesGreedy(t *testing.T) {
+	o := DefaultOptions()
+	o.Deterministic = true
+	o.Refinement = RefineRandom
+	n := o.normalize()
+	if n.Refinement != RefineGreedy {
+		t.Fatal("deterministic mode must force greedy refinement")
+	}
+}
+
+func TestDeterministicDynamic(t *testing.T) {
+	// Deterministic + dynamic compose: warm start with frontier under
+	// colored phases.
+	gOld, gNew, delta := evolvedPair(61, 30, 20)
+	prev := Leiden(gOld, detOpts(2))
+	a := LeidenDynamic(gNew, prev.Membership, delta, DynamicFrontier, detOpts(1))
+	b := LeidenDynamic(gNew, prev.Membership, delta, DynamicFrontier, detOpts(4))
+	for v := range a.Membership {
+		if a.Membership[v] != b.Membership[v] {
+			t.Fatal("deterministic dynamic runs differ across thread counts")
+		}
+	}
+	if err := quality.ValidatePartition(gNew, a.Membership); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicWithCPM(t *testing.T) {
+	g, _ := gen.WebGraph(1500, 10, 63)
+	o := detOpts(3)
+	o.Objective = ObjectiveCPM
+	o.Resolution = 0.05
+	a := Leiden(g, o)
+	o.Threads = 1
+	b := Leiden(g, o)
+	for v := range a.Membership {
+		if a.Membership[v] != b.Membership[v] {
+			t.Fatal("deterministic CPM runs differ across thread counts")
+		}
+	}
+}

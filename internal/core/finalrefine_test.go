@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"gveleiden/internal/gen"
+	"gveleiden/internal/quality"
+)
+
+func TestFinalRefineNeverLosesQuality(t *testing.T) {
+	for name, g := range corpusGraphs() {
+		base := Leiden(g, testOpts(2))
+		opt := testOpts(2)
+		opt.FinalRefine = true
+		refined := Leiden(g, opt)
+		if refined.Modularity < base.Modularity-1e-9 {
+			t.Errorf("%s: final refine lost quality: %.6f → %.6f",
+				name, base.Modularity, refined.Modularity)
+		}
+		if err := quality.ValidatePartition(g, refined.Membership); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFinalRefineImprovesCoarsePartitions(t *testing.T) {
+	// Cap at one pass so the flat partition is visibly suboptimal; the
+	// final sweep must then make strict progress.
+	g, _ := gen.SocialNetwork(2500, 14, 12, 0.35, 91)
+	coarse := testOpts(2)
+	coarse.MaxPasses = 1
+	base := Leiden(g, coarse)
+	withRef := coarse
+	withRef.FinalRefine = true
+	refined := Leiden(g, withRef)
+	if refined.Modularity <= base.Modularity {
+		t.Fatalf("final refine made no progress on a 1-pass partition: %.4f vs %.4f",
+			refined.Modularity, base.Modularity)
+	}
+}
+
+func TestFinalRefineRecordsExtraPass(t *testing.T) {
+	g, _ := gen.WebGraph(1500, 10, 93)
+	opt := testOpts(2)
+	opt.FinalRefine = true
+	res := Leiden(g, opt)
+	last := res.Stats.Passes[len(res.Stats.Passes)-1]
+	if last.Vertices != g.NumVertices() {
+		t.Fatal("final refinement pass must cover the original graph")
+	}
+	if last.Refine != 0 || last.Aggregate != 0 {
+		t.Fatal("final refinement pass must be local-moving only")
+	}
+}
+
+func TestFinalRefineDeterministic(t *testing.T) {
+	g, _ := gen.WebGraph(1800, 10, 97)
+	opt := detOpts(1)
+	opt.FinalRefine = true
+	a := Leiden(g, opt)
+	opt.Threads = 4
+	b := Leiden(g, opt)
+	for v := range a.Membership {
+		if a.Membership[v] != b.Membership[v] {
+			t.Fatal("deterministic final refine differs across thread counts")
+		}
+	}
+}
+
+func TestFinalRefineOnTrivialInputs(t *testing.T) {
+	opt := testOpts(2)
+	opt.FinalRefine = true
+	if res := Leiden(gen.Path(0), opt); res.NumCommunities != 0 {
+		t.Fatal("empty graph")
+	}
+	if res := Leiden(gen.Path(1), opt); res.NumCommunities != 1 {
+		t.Fatal("singleton")
+	}
+	edgeless := gen.Star(1) // one vertex, no edges
+	if res := Leiden(edgeless, opt); res.NumCommunities != 1 {
+		t.Fatal("edgeless")
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gveleiden/internal/graph"
+)
+
+// Level is one layer of the community dendrogram: the membership of
+// each vertex of the *previous* level's graph (level 0 maps input
+// vertices) in the refined communities that became the next level's
+// super-vertices.
+type Level struct {
+	// Membership[i] is the community of vertex i at this level; labels
+	// are dense in [0, Communities).
+	Membership []uint32
+	// Communities is the number of communities at this level.
+	Communities int
+	// Vertices is the number of vertices of the graph this level
+	// partitioned (== len(Membership)).
+	Vertices int
+}
+
+// Hierarchy is the full dendrogram of a run: Levels[0] partitions the
+// input graph's vertices; Levels[l] partitions the super-vertices of
+// level l-1. Flatten composes a prefix of levels back onto the input
+// vertices.
+type Hierarchy struct {
+	Levels []Level
+}
+
+// Depth returns the number of levels.
+func (h *Hierarchy) Depth() int { return len(h.Levels) }
+
+// Flatten returns the membership of every input vertex after composing
+// levels 0..depth-1. depth == Depth() reproduces the final (pre-label-
+// densification) partition; smaller depths give coarser snapshots of
+// the agglomeration.
+func (h *Hierarchy) Flatten(depth int) ([]uint32, error) {
+	if depth < 1 || depth > len(h.Levels) {
+		return nil, fmt.Errorf("core: depth %d out of range [1,%d]", depth, len(h.Levels))
+	}
+	out := append([]uint32(nil), h.Levels[0].Membership...)
+	for l := 1; l < depth; l++ {
+		lvl := h.Levels[l].Membership
+		for v := range out {
+			out[v] = lvl[out[v]]
+		}
+	}
+	return out, nil
+}
+
+// LeidenHierarchy runs GVE-Leiden and additionally records the full
+// dendrogram: one Level per pass with the renumbered refined
+// communities that became the next level's super-vertices. The final
+// Result is identical to Leiden's.
+func LeidenHierarchy(g *graph.CSR, opt Options) (*Result, *Hierarchy) {
+	opt = opt.normalize()
+	ws := newWorkspace(g, opt)
+	ws.hierarchy = &Hierarchy{}
+	start := time.Now()
+	runLeiden(g, ws)
+	return finishResult(g, ws, time.Since(start)), ws.hierarchy
+}
+
+// recordLevel appends one dendrogram level when hierarchy tracking is
+// on. Labels recorded mid-run (the renumbered refined communities) are
+// already dense and must be kept verbatim — the next level indexes
+// super-vertices by exactly those ids; final-break labels (community
+// bounds, pending move labels) are arbitrary and get densified.
+func (ws *workspace) recordLevel(labels []uint32, alreadyDense bool) {
+	if ws.hierarchy == nil {
+		return
+	}
+	memb := make([]uint32, len(labels))
+	var k int
+	if alreadyDense {
+		copy(memb, labels)
+		max := uint32(0)
+		for _, c := range labels {
+			if c > max {
+				max = c
+			}
+		}
+		if len(labels) > 0 {
+			k = int(max) + 1
+		}
+	} else {
+		dense := make(map[uint32]uint32, 256)
+		for i, c := range labels {
+			d, ok := dense[c]
+			if !ok {
+				d = uint32(len(dense))
+				dense[c] = d
+			}
+			memb[i] = d
+		}
+		k = len(dense)
+	}
+	ws.hierarchy.Levels = append(ws.hierarchy.Levels, Level{
+		Membership:  memb,
+		Communities: k,
+		Vertices:    len(labels),
+	})
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"gveleiden/internal/gen"
+	"gveleiden/internal/quality"
+)
+
+func TestLeidenHierarchyStructure(t *testing.T) {
+	g, _ := gen.WebGraph(3000, 12, 61)
+	res, h := LeidenHierarchy(g, testOpts(2))
+	if h.Depth() < 1 {
+		t.Fatal("no levels recorded")
+	}
+	if h.Depth() != res.Passes {
+		t.Fatalf("depth %d != passes %d", h.Depth(), res.Passes)
+	}
+	// Level 0 partitions the input vertices; each next level partitions
+	// the previous level's communities.
+	if h.Levels[0].Vertices != g.NumVertices() {
+		t.Fatalf("level 0 covers %d vertices", h.Levels[0].Vertices)
+	}
+	for l := 1; l < h.Depth(); l++ {
+		if h.Levels[l].Vertices != h.Levels[l-1].Communities {
+			t.Fatalf("level %d covers %d vertices, previous level had %d communities",
+				l, h.Levels[l].Vertices, h.Levels[l-1].Communities)
+		}
+	}
+	// Communities shrink monotonically along the dendrogram.
+	for l := 1; l < h.Depth(); l++ {
+		if h.Levels[l].Communities > h.Levels[l-1].Communities {
+			t.Fatalf("level %d grew: %d → %d communities",
+				l, h.Levels[l-1].Communities, h.Levels[l].Communities)
+		}
+	}
+}
+
+func TestLeidenHierarchyFlattenMatchesResult(t *testing.T) {
+	g, _ := gen.SocialNetwork(2500, 14, 16, 0.3, 67)
+	res, h := LeidenHierarchy(g, testOpts(2))
+	flat, err := h.Flatten(h.Depth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fully flattened dendrogram is the final partition, up to
+	// label names.
+	if !quality.SamePartition(flat, res.Membership) {
+		t.Fatal("flattened dendrogram differs from the result partition")
+	}
+}
+
+func TestLeidenHierarchyIntermediateDepthsAreRefinements(t *testing.T) {
+	g, _ := gen.WebGraph(2500, 12, 71)
+	_, h := LeidenHierarchy(g, testOpts(2))
+	if h.Depth() < 2 {
+		t.Skip("run converged in one pass; nothing intermediate to check")
+	}
+	for depth := 1; depth < h.Depth(); depth++ {
+		fine, err := h.Flatten(depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coarse, err := h.Flatten(depth + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Earlier (finer) levels must be refinements of later ones:
+		// agglomeration only merges.
+		if !quality.IsRefinementOf(fine, coarse) {
+			t.Fatalf("depth %d is not a refinement of depth %d", depth, depth+1)
+		}
+	}
+}
+
+func TestHierarchyFlattenBounds(t *testing.T) {
+	g, _ := gen.WebGraph(800, 10, 73)
+	_, h := LeidenHierarchy(g, testOpts(1))
+	if _, err := h.Flatten(0); err == nil {
+		t.Fatal("depth 0 accepted")
+	}
+	if _, err := h.Flatten(h.Depth() + 1); err == nil {
+		t.Fatal("overdeep flatten accepted")
+	}
+}
+
+func TestHierarchyResultUnchanged(t *testing.T) {
+	g, _ := gen.WebGraph(1500, 12, 79)
+	plain := Leiden(g, testOpts(1))
+	res, _ := LeidenHierarchy(g, testOpts(1))
+	if plain.NumCommunities != res.NumCommunities {
+		t.Fatalf("hierarchy tracking changed the result: %d vs %d communities",
+			plain.NumCommunities, res.NumCommunities)
+	}
+	for i := range plain.Membership {
+		if plain.Membership[i] != res.Membership[i] {
+			t.Fatal("hierarchy tracking changed the membership")
+		}
+	}
+}
+
+// TestHierarchyModularityMonotone checks the agglomeration invariant
+// listed in DESIGN.md: flattening deeper prefixes of the dendrogram
+// yields non-decreasing modularity (each pass's local moving only
+// accepts positive-gain moves over the previous level's partition).
+func TestHierarchyModularityMonotone(t *testing.T) {
+	for name, g := range corpusGraphs() {
+		_, h := LeidenHierarchy(g, testOpts(2))
+		prevQ := -1.0
+		for depth := 1; depth <= h.Depth(); depth++ {
+			flat, err := h.Flatten(depth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := quality.Modularity(g, flat)
+			if q < prevQ-0.01 { // refinement slack
+				t.Errorf("%s: Q dropped at depth %d: %.4f → %.4f", name, depth, prevQ, q)
+			}
+			prevQ = q
+		}
+	}
+}

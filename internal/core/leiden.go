@@ -1,0 +1,180 @@
+package core
+
+import (
+	"time"
+
+	"gveleiden/internal/color"
+	"gveleiden/internal/graph"
+	"gveleiden/internal/parallel"
+	"gveleiden/internal/quality"
+)
+
+// Leiden runs GVE-Leiden (Algorithm 1) on g and returns the detected
+// communities with per-phase statistics. The input graph must be
+// undirected (symmetric arcs); see graph.Builder, which guarantees it.
+//
+// Each pass runs the local-moving phase to a tolerance τ, the
+// constrained refinement phase, and — unless converged or shrinking too
+// little — renumbers the refined communities, updates the top-level
+// dendrogram, aggregates communities into super-vertices, and scales the
+// threshold (τ /= ToleranceDrop). With move-based labels (the default),
+// super-vertices start the next pass grouped by the communities the
+// local-moving phase found, as recommended by Traag et al.; with
+// refine-based labels they start as singletons.
+func Leiden(g *graph.CSR, opt Options) *Result {
+	opt = opt.normalize()
+	ws := newWorkspace(g, opt)
+	start := time.Now()
+	runLeiden(g, ws)
+	if opt.FinalRefine {
+		ws.finalRefine(g)
+	}
+	res := finishResult(g, ws, time.Since(start))
+	return res
+}
+
+func runLeiden(g *graph.CSR, ws *workspace) {
+	opt := ws.opt
+	cur := g
+	tau := opt.Tolerance
+	haveInit := false
+	if ws.warm != nil {
+		copy(ws.initC[:ws.n0], ws.warm)
+		haveInit = true
+		ws.warm = nil
+	}
+	parallel.Iota(ws.top[:ws.n0], opt.Threads)
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		var ps PassStats
+		n := cur.NumVertices()
+		ps.Vertices = n
+		ps.Arcs = cur.NumArcs()
+
+		t0 := time.Now()
+		k := ws.k[:n]
+		ws.vertexWeights(cur, k)
+		if pass == 0 {
+			ws.m = parallel.SumFloat64(k, opt.Threads) / 2
+			if ws.m == 0 {
+				// Edgeless graph: every vertex is its own community.
+				ws.stats.Passes = append(ws.stats.Passes, ps)
+				return
+			}
+			parallel.FillFloat64(ws.vsize[:n], 1, opt.Threads)
+		}
+		ws.initialCommunities(n, haveInit)
+		var coloring *color.Coloring
+		if opt.Deterministic {
+			coloring = color.Greedy(cur, opt.Threads)
+		}
+		ps.Other += time.Since(t0)
+
+		t0 = time.Now()
+		var li int
+		if coloring != nil {
+			li = ws.movePhaseColored(cur, tau, coloring)
+		} else {
+			li = ws.movePhase(cur, tau)
+		}
+		ps.MoveIterations = li
+		ps.Move = time.Since(t0)
+
+		// Community bounds for refinement: the move-phase communities;
+		// then reset memberships and community weights to singletons.
+		t0 = time.Now()
+		comm := ws.comm[:n]
+		copy(ws.bounds[:n], comm)
+		parallel.Iota(comm, opt.Threads)
+		ws.sigma.CopyFrom(k, opt.Threads)
+		ws.csize.CopyFrom(ws.vsize[:n], opt.Threads)
+		ps.Other += time.Since(t0)
+
+		t0 = time.Now()
+		var moves int64
+		if coloring != nil {
+			moves = ws.refinePhaseColored(cur, coloring)
+		} else {
+			moves = ws.refinePhase(cur)
+		}
+		ps.RefineMoves = moves
+		ps.Refine = time.Since(t0)
+
+		if li <= 1 && moves == 0 {
+			// Globally converged (Algorithm 1 line 8): the flat result is
+			// the local-moving partition of this pass.
+			t0 = time.Now()
+			ws.recordLevel(ws.bounds[:n], false)
+			ws.lookupDendrogram(ws.bounds[:n])
+			ps.Other += time.Since(t0)
+			ws.stats.Passes = append(ws.stats.Passes, ps)
+			return
+		}
+
+		t0 = time.Now()
+		nComms := ws.renumber(comm, n)
+		ps.Communities = nComms
+		if float64(nComms)/float64(n) > opt.AggregationTolerance {
+			// Low shrink (line 10): aggregating buys almost nothing;
+			// stop with the move partition, which subsumes the refined one.
+			ws.recordLevel(ws.bounds[:n], false)
+			ws.lookupDendrogram(ws.bounds[:n])
+			ps.Other += time.Since(t0)
+			ws.stats.Passes = append(ws.stats.Passes, ps)
+			return
+		}
+		ws.recordLevel(comm, true)
+		ws.lookupDendrogram(comm) // line 12: C ← C'[C]
+		ps.Other += time.Since(t0)
+
+		t0 = time.Now()
+		next := ws.aggregate(cur, nComms)
+		ws.aggregateSizes(n, nComms)
+		ps.Aggregate = time.Since(t0)
+
+		t0 = time.Now()
+		if opt.Labels == LabelMove {
+			ws.moveLabels(n) // line 14: map super-vertices to move labels
+			haveInit = true
+		} else {
+			haveInit = false
+		}
+		cur = next
+		tau /= opt.ToleranceDrop // line 15: threshold scaling
+		ps.Other += time.Since(t0)
+		ws.stats.Passes = append(ws.stats.Passes, ps)
+	}
+	// MaxPasses exhausted after an aggregation: apply the pending
+	// move-based grouping of the last level (Algorithm 1 line 16 uses
+	// the mapped C').
+	if haveInit {
+		ws.recordLevel(ws.initC[:cur.NumVertices()], false)
+		ws.lookupDendrogram(ws.initC[:cur.NumVertices()])
+	}
+}
+
+// finishResult densifies the top-level labels and computes the final
+// modularity.
+func finishResult(g *graph.CSR, ws *workspace, elapsed time.Duration) *Result {
+	// Record the per-pass stats collected in ws, then renumber the
+	// top-level membership to dense community ids.
+	nComms := ws.renumber(ws.top, ws.n0)
+	ws.stats.Total = elapsed
+	res := &Result{
+		Membership:     ws.top,
+		NumCommunities: nComms,
+		Modularity:     quality.Modularity(g, ws.top),
+		Passes:         len(ws.stats.Passes),
+		Stats:          ws.stats,
+	}
+	switch ws.opt.Objective {
+	case ObjectiveCPM:
+		res.Quality = quality.CPM(g, ws.top, ws.opt.Resolution)
+	default:
+		if ws.opt.Resolution == 1 {
+			res.Quality = res.Modularity
+		} else {
+			res.Quality = quality.ModularityResolution(g, ws.top, ws.opt.Resolution)
+		}
+	}
+	return res
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"gveleiden/internal/graph"
+	"gveleiden/internal/hashtable"
+	"gveleiden/internal/parallel"
+)
+
+// movePhase is the local-moving phase of GVE-Leiden (Algorithm 2). It
+// iteratively and asynchronously moves vertices to the neighbouring
+// community with maximum delta-modularity, using flag-based vertex
+// pruning: only vertices whose neighbourhood changed since they were
+// last examined are reprocessed. Returns l_i, the number of iterations
+// performed.
+func (ws *workspace) movePhase(g *graph.CSR, tau float64) int {
+	n := g.NumVertices()
+	threads, grain := ws.opt.Threads, ws.opt.Grain
+	comm := ws.comm[:n]
+	ws.flags.Resize(n)
+	if ws.frontier != nil {
+		// Dynamic-frontier mode: only the vertices touched by the batch
+		// start unprocessed; the flags propagate outward as they move.
+		ws.flags.SetAll(false, threads)
+		for _, v := range ws.frontier {
+			ws.flags.Set(int(v), true)
+		}
+		ws.frontier = nil
+	} else {
+		ws.flags.SetAll(true, threads) // mark all vertices unprocessed
+	}
+	iters := 0
+	for it := 0; it < ws.opt.MaxIterations; it++ {
+		ws.zeroDQ()
+		parallel.For(n, threads, grain, func(lo, hi, tid int) {
+			h := ws.tables[tid]
+			var local float64
+			for i := lo; i < hi; i++ {
+				u := uint32(i)
+				if !ws.opt.DisablePruning {
+					if !ws.flags.Get(i) {
+						continue
+					}
+					ws.flags.Set(i, false) // prune: mark processed
+				}
+				dq := ws.moveVertex(g, h, comm, u)
+				local += dq
+			}
+			ws.dq[tid].v += local
+		})
+		iters++
+		if ws.sumDQ() <= tau { // locally converged?
+			break
+		}
+	}
+	return iters
+}
+
+// moveVertex examines one vertex: scans the communities connected to it
+// (excluding the self-loop), picks the best move, and applies it
+// atomically. Returns the delta-modularity gained (0 when the vertex
+// stays).
+func (ws *workspace) moveVertex(g *graph.CSR, h *hashtable.Accumulator, comm []uint32, u uint32) float64 {
+	d := commLoad(comm, u)
+	h.Clear()
+	scanCommunities(h, g, comm, u, false)
+	ki := ws.k[u]
+	si := ws.vsize[u]
+	kid := h.Get(d)
+	sd := ws.sigma.Get(int(d))
+	nd := ws.csize.Get(int(d))
+	bestC := d
+	bestDQ := 0.0
+	for _, c := range h.Keys() {
+		if c == d {
+			continue
+		}
+		dq := ws.delta(h.Get(c), kid, ki, ws.sigma.Get(int(c)), sd, si, ws.csize.Get(int(c)), nd)
+		if dq > bestDQ || (dq == bestDQ && dq > 0 && c < bestC) {
+			bestDQ = dq
+			bestC = c
+		}
+	}
+	if bestDQ <= 0 || bestC == d {
+		return 0
+	}
+	ws.sigma.Add(int(d), -ki) // Σ'[C'[i]] -= K'[i]
+	ws.sigma.Add(int(bestC), ki)
+	ws.csize.Add(int(d), -si)
+	ws.csize.Add(int(bestC), si)
+	commStore(comm, u, bestC)
+	// Mark neighbours as unprocessed: their best community may change.
+	es, _ := g.Neighbors(u)
+	for _, e := range es {
+		ws.flags.Set(int(e), true)
+	}
+	return bestDQ
+}
+
+// scanCommunities accumulates, into h, the total edge weight between
+// vertex u and each community adjacent to it (Algorithm 2, lines 17-21).
+// With self=false the self-loop is skipped (local moving / refinement);
+// with self=true it is included (aggregation).
+func scanCommunities(h *hashtable.Accumulator, g *graph.CSR, comm []uint32, u uint32, self bool) {
+	es, wts := g.Neighbors(u)
+	for k, e := range es {
+		if !self && e == u {
+			continue
+		}
+		h.Add(commLoad(comm, e), float64(wts[k]))
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultOptionsMatchPaper(t *testing.T) {
+	o := DefaultOptions()
+	if o.MaxPasses != 10 {
+		t.Errorf("MaxPasses = %d, paper uses 10", o.MaxPasses)
+	}
+	if o.MaxIterations != 20 {
+		t.Errorf("MaxIterations = %d, paper caps at 20", o.MaxIterations)
+	}
+	if o.Tolerance != 0.01 {
+		t.Errorf("Tolerance = %v, paper starts at 0.01", o.Tolerance)
+	}
+	if o.ToleranceDrop != 10 {
+		t.Errorf("ToleranceDrop = %v, paper uses 10", o.ToleranceDrop)
+	}
+	if o.AggregationTolerance != 0.8 {
+		t.Errorf("AggregationTolerance = %v, paper uses 0.8", o.AggregationTolerance)
+	}
+	if o.Refinement != RefineGreedy || o.Labels != LabelMove || o.Variant != VariantLight {
+		t.Error("defaults must be greedy / move-based / light")
+	}
+}
+
+func TestNormalizeFillsZeros(t *testing.T) {
+	o := Options{}.normalize()
+	if o.Threads < 1 || o.MaxPasses < 1 || o.MaxIterations < 1 {
+		t.Fatal("normalize left zero fields")
+	}
+	if o.Tolerance <= 0 || o.ToleranceDrop < 1 || o.Resolution <= 0 || o.Grain <= 0 {
+		t.Fatal("normalize left invalid numeric fields")
+	}
+	if o.AggregationTolerance <= 0 || o.AggregationTolerance > 1 {
+		t.Fatal("bad aggregation tolerance")
+	}
+}
+
+func TestNormalizeVariants(t *testing.T) {
+	base := DefaultOptions()
+	light := base
+	light.Variant = VariantLight
+	l := light.normalize()
+	if l.ToleranceDrop != 10 {
+		t.Fatal("light variant must keep threshold scaling")
+	}
+	med := base
+	med.Variant = VariantMedium
+	m := med.normalize()
+	if m.ToleranceDrop != 1 {
+		t.Fatal("medium variant must disable threshold scaling")
+	}
+	if m.Tolerance >= l.Tolerance {
+		t.Fatal("medium variant must run at a tighter tolerance")
+	}
+	if m.AggregationTolerance != 0.8 {
+		t.Fatal("medium variant must keep the aggregation tolerance")
+	}
+	heavy := base
+	heavy.Variant = VariantHeavy
+	h := heavy.normalize()
+	if h.AggregationTolerance != 1 {
+		t.Fatal("heavy variant must disable the aggregation tolerance")
+	}
+	if h.ToleranceDrop != 1 {
+		t.Fatal("heavy variant must disable threshold scaling")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	cases := map[string]string{
+		RefineGreedy.String():       "greedy",
+		RefineRandom.String():       "random",
+		LabelMove.String():          "move-based",
+		LabelRefine.String():        "refine-based",
+		VariantLight.String():       "light",
+		VariantMedium.String():      "medium",
+		VariantHeavy.String():       "heavy",
+		RefinementMode(99).String(): "unknown",
+		LabelMode(99).String():      "unknown",
+		Variant(99).String():        "unknown",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestPassStatsDuration(t *testing.T) {
+	p := PassStats{Move: time.Second, Refine: 2 * time.Second, Aggregate: 3 * time.Second, Other: 4 * time.Second}
+	if p.Duration() != 10*time.Second {
+		t.Fatalf("duration = %v", p.Duration())
+	}
+}
+
+func TestStatsZeroSafe(t *testing.T) {
+	var s Stats
+	mv, rf, ag, ot := s.PhaseSplit()
+	if mv != 0 || rf != 0 || ag != 0 || ot != 0 {
+		t.Fatal("empty stats must split to zeros")
+	}
+	if s.FirstPassFraction() != 0 {
+		t.Fatal("empty stats first-pass fraction must be 0")
+	}
+	if s.TotalIterations() != 0 {
+		t.Fatal("empty stats iterations must be 0")
+	}
+	s.Passes = append(s.Passes, PassStats{}) // zero-duration pass
+	if s.FirstPassFraction() != 0 {
+		t.Fatal("zero-duration pass must not divide by zero")
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"gveleiden/internal/graph"
+	"gveleiden/internal/hashtable"
+	"gveleiden/internal/parallel"
+	"gveleiden/internal/prng"
+)
+
+// refinePhase is the refinement phase of GVE-Leiden (Algorithm 3): the
+// constrained merge procedure. Every vertex starts in its own singleton
+// community; only vertices that are still *isolated* (their community
+// holds nothing but them, detected by Σ'[c] == K'[i]) may merge into a
+// neighbouring sub-community within their community bound C'_B. A
+// compare-and-swap on Σ'[c] claims the vertex, so two neighbours cannot
+// both leave and join each other. This splits internally-disconnected
+// communities from the local-moving phase and never creates new ones.
+//
+// Returns the number of vertices that changed sub-community.
+func (ws *workspace) refinePhase(g *graph.CSR) int64 {
+	n := g.NumVertices()
+	threads, grain := ws.opt.Threads, ws.opt.Grain
+	comm := ws.comm[:n]
+	bounds := ws.bounds[:n]
+	greedy := ws.opt.Refinement == RefineGreedy
+	ws.zeroMoved()
+	parallel.For(n, threads, grain, func(lo, hi, tid int) {
+		h := ws.tables[tid]
+		rng := ws.rngs[tid]
+		var local int64
+		for i := lo; i < hi; i++ {
+			u := uint32(i)
+			c := commLoad(comm, u)
+			ki := ws.k[u]
+			if ws.sigma.Get(int(c)) != ki {
+				continue // not isolated: anchors its sub-community
+			}
+			h.Clear()
+			scanBounded(h, g, bounds, comm, u)
+			var target uint32
+			var ok bool
+			if greedy {
+				target, ok = ws.bestBounded(h, c, u, ki)
+			} else {
+				target, ok = ws.randomBounded(h, c, u, ki, rng)
+			}
+			if !ok || target == c {
+				continue
+			}
+			// Claim the vertex: succeed only if still alone in c.
+			if ws.sigma.CAS(int(c), ki, 0) {
+				ws.sigma.Add(int(target), ki)
+				si := ws.vsize[u]
+				ws.csize.Add(int(c), -si)
+				ws.csize.Add(int(target), si)
+				commStore(comm, u, target)
+				local++
+			}
+		}
+		ws.moved[tid].v += local
+	})
+	return ws.sumMoved()
+}
+
+// scanBounded accumulates the edge weights from u towards each
+// sub-community, restricted to neighbours within the same community
+// bound (Algorithm 3, lines 12-17).
+func scanBounded(h *hashtable.Accumulator, g *graph.CSR, bounds, comm []uint32, u uint32) {
+	es, wts := g.Neighbors(u)
+	bu := bounds[u]
+	for k, e := range es {
+		if e == u {
+			continue
+		}
+		if bounds[e] != bu {
+			continue
+		}
+		h.Add(commLoad(comm, e), float64(wts[k]))
+	}
+}
+
+// bestBounded returns the sub-community with maximum positive
+// delta-modularity for the greedy refinement variant.
+func (ws *workspace) bestBounded(h *hashtable.Accumulator, c, u uint32, ki float64) (uint32, bool) {
+	kid := h.Get(c)
+	sd := ws.sigma.Get(int(c))
+	si := ws.vsize[u]
+	nd := ws.csize.Get(int(c))
+	bestC := c
+	bestDQ := 0.0
+	for _, cand := range h.Keys() {
+		if cand == c {
+			continue
+		}
+		dq := ws.delta(h.Get(cand), kid, ki, ws.sigma.Get(int(cand)), sd, si, ws.csize.Get(int(cand)), nd)
+		if dq > bestDQ || (dq == bestDQ && dq > 0 && cand < bestC) {
+			bestDQ = dq
+			bestC = cand
+		}
+	}
+	return bestC, bestDQ > 0
+}
+
+// randomBounded selects a sub-community with probability proportional
+// to its (positive) delta-modularity — the randomized refinement of the
+// original Leiden algorithm, driven by a per-thread xorshift32 stream.
+func (ws *workspace) randomBounded(h *hashtable.Accumulator, c, u uint32, ki float64, rng *prng.Xorshift32) (uint32, bool) {
+	kid := h.Get(c)
+	sd := ws.sigma.Get(int(c))
+	si := ws.vsize[u]
+	nd := ws.csize.Get(int(c))
+	cand := func(cc uint32) float64 {
+		return ws.delta(h.Get(cc), kid, ki, ws.sigma.Get(int(cc)), sd, si, ws.csize.Get(int(cc)), nd)
+	}
+	var total float64
+	for _, cc := range h.Keys() {
+		if cc == c {
+			continue
+		}
+		if dq := cand(cc); dq > 0 {
+			total += dq
+		}
+	}
+	if total <= 0 {
+		return c, false
+	}
+	r := rng.Float64() * total
+	var run float64
+	for _, cc := range h.Keys() {
+		if cc == c {
+			continue
+		}
+		dq := cand(cc)
+		if dq <= 0 {
+			continue
+		}
+		run += dq
+		if run >= r {
+			return cc, true
+		}
+	}
+	// Floating-point slack: fall back to the last positive candidate.
+	for i := len(h.Keys()) - 1; i >= 0; i-- {
+		cc := h.Keys()[i]
+		if cc == c {
+			continue
+		}
+		if cand(cc) > 0 {
+			return cc, true
+		}
+	}
+	return c, false
+}

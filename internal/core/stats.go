@@ -1,0 +1,94 @@
+package core
+
+import (
+	"time"
+)
+
+// PassStats records what one pass of the algorithm did — the raw data
+// behind the paper's phase-split and pass-split analysis (Figure 7).
+type PassStats struct {
+	Vertices       int           // |V'| of the graph this pass ran on
+	Arcs           int64         // stored arcs of that graph
+	MoveIterations int           // l_i of Algorithm 2
+	RefineMoves    int64         // vertices moved during refinement
+	Communities    int           // |Γ| after refinement (pre-aggregation)
+	Move           time.Duration // local-moving phase time
+	Refine         time.Duration // refinement phase time
+	Aggregate      time.Duration // aggregation phase time
+	Other          time.Duration // init, renumber, dendrogram lookup, resets
+}
+
+// Duration returns the total wall time of the pass.
+func (p PassStats) Duration() time.Duration {
+	return p.Move + p.Refine + p.Aggregate + p.Other
+}
+
+// Stats aggregates per-pass statistics for a whole run.
+type Stats struct {
+	Passes []PassStats
+	Total  time.Duration
+}
+
+// PhaseSplit returns the fraction of total runtime spent in the
+// local-moving, refinement, aggregation and other phases (Figure 7a).
+func (s Stats) PhaseSplit() (move, refine, aggregate, other float64) {
+	var tm, tr, ta, to time.Duration
+	for _, p := range s.Passes {
+		tm += p.Move
+		tr += p.Refine
+		ta += p.Aggregate
+		to += p.Other
+	}
+	tot := tm + tr + ta + to
+	if tot == 0 {
+		return 0, 0, 0, 0
+	}
+	f := func(d time.Duration) float64 { return float64(d) / float64(tot) }
+	return f(tm), f(tr), f(ta), f(to)
+}
+
+// FirstPassFraction returns the share of runtime consumed by the first
+// pass (Figure 7b: the paper reports ≈63% on average).
+func (s Stats) FirstPassFraction() float64 {
+	if len(s.Passes) == 0 {
+		return 0
+	}
+	var tot time.Duration
+	for _, p := range s.Passes {
+		tot += p.Duration()
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.Passes[0].Duration()) / float64(tot)
+}
+
+// TotalIterations returns the summed local-moving iteration count K
+// across passes (the paper's O(KM) time bound).
+func (s Stats) TotalIterations() int {
+	n := 0
+	for _, p := range s.Passes {
+		n += p.MoveIterations
+	}
+	return n
+}
+
+// Result is the output of a Leiden or Louvain run.
+type Result struct {
+	// Membership maps each input vertex to its community id. Ids are
+	// dense in [0, NumCommunities).
+	Membership []uint32
+	// NumCommunities is the number of distinct communities.
+	NumCommunities int
+	// Modularity of Membership on the input graph at γ=1 (classic
+	// modularity), regardless of the objective optimized.
+	Modularity float64
+	// Quality is the value of the configured objective at the run's
+	// resolution: generalized modularity, or normalized CPM for
+	// ObjectiveCPM runs.
+	Quality float64
+	// Passes actually performed.
+	Passes int
+	// Stats holds per-pass phase timings and counters.
+	Stats Stats
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"gveleiden/internal/gen"
+	"gveleiden/internal/graph"
+	"gveleiden/internal/prng"
+	"gveleiden/internal/quality"
+)
+
+// TestStressRandomGraphsAndOptions fuzzes the full pipeline: random
+// graph families × random option combinations, asserting on every run
+// the invariants the algorithm promises regardless of configuration:
+// valid dense partition, no internally-disconnected communities, and a
+// modularity no worse than the singleton partition's.
+func TestStressRandomGraphsAndOptions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	rng := prng.NewXorshift32(0xABCD)
+	graphs := func(trial int) *graph.CSR {
+		seed := uint64(trial)*31 + 7
+		switch trial % 6 {
+		case 0:
+			g, _ := gen.WebGraph(400+trial*10, 8, seed)
+			return g
+		case 1:
+			g, _ := gen.SocialNetwork(400+trial*10, 10, 6, 0.4, seed)
+			return g
+		case 2:
+			g, _ := gen.RoadNetwork(400+trial*10, seed)
+			return g
+		case 3:
+			g, _ := gen.KmerGraph(400+trial*10, seed)
+			return g
+		case 4:
+			return gen.ErdosRenyi(300+trial*10, (300+trial*10)*3, seed)
+		default:
+			return gen.BarabasiAlbert(300+trial*10, 3, seed)
+		}
+	}
+	for trial := 0; trial < 36; trial++ {
+		g := graphs(trial)
+		opt := DefaultOptions()
+		opt.Threads = 1 + int(rng.Uintn(8))
+		opt.Seed = uint64(rng.Next())
+		if rng.Uintn(2) == 0 {
+			opt.Refinement = RefineRandom
+		}
+		if rng.Uintn(2) == 0 {
+			opt.Labels = LabelRefine
+		}
+		opt.Variant = Variant(rng.Uintn(3))
+		if rng.Uintn(4) == 0 {
+			opt.DisablePruning = true
+		}
+		if rng.Uintn(4) == 0 {
+			opt.Objective = ObjectiveCPM
+			opt.Resolution = 0.01 + float64(rng.Uintn(10))/100
+		}
+		opt.Grain = 1 << rng.Uintn(12)
+		opt.MaxPasses = 1 + int(rng.Uintn(10))
+
+		res := Leiden(g, opt)
+		if err := quality.ValidatePartition(g, res.Membership); err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, opt, err)
+		}
+		for _, c := range res.Membership {
+			if int(c) >= res.NumCommunities {
+				t.Fatalf("trial %d: non-dense label %d / %d", trial, c, res.NumCommunities)
+			}
+		}
+		if ds := quality.CountDisconnected(g, res.Membership, 2); ds.Disconnected != 0 {
+			t.Fatalf("trial %d (%+v): %d disconnected communities",
+				trial, opt, ds.Disconnected)
+		}
+		singletons := make([]uint32, g.NumVertices())
+		for i := range singletons {
+			singletons[i] = uint32(i)
+		}
+		if res.Modularity < quality.Modularity(g, singletons)-1e-9 {
+			t.Fatalf("trial %d: Q %.4f below the singleton partition", trial, res.Modularity)
+		}
+	}
+}
+
+// TestStressLouvainRandom is the Louvain counterpart (no disconnection
+// guarantee to check — only validity and sane quality).
+func TestStressLouvainRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	for trial := 0; trial < 12; trial++ {
+		seed := uint64(trial)*17 + 3
+		g, _ := gen.SocialNetwork(500+trial*20, 10, 8, 0.35, seed)
+		opt := DefaultOptions()
+		opt.Threads = 1 + trial%4
+		res := Louvain(g, opt)
+		if err := quality.ValidatePartition(g, res.Membership); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Modularity <= 0 {
+			t.Fatalf("trial %d: Q = %.4f", trial, res.Modularity)
+		}
+	}
+}
+
+// TestStressDynamicChain applies a long chain of update batches,
+// checking the dynamic path never degrades below a fresh static run.
+func TestStressDynamicChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	g, _ := gen.SocialNetwork(1500, 12, 12, 0.3, 77)
+	opt := DefaultOptions()
+	opt.Threads = 2
+	res := Leiden(g, opt)
+	for batch := 0; batch < 8; batch++ {
+		ins, del := graph.RandomDelta(g, 25, 15, uint64(batch)+100)
+		delta := Delta{Insertions: ins, Deletions: del}
+		g = graph.ApplyDelta(g, ins, del)
+		mode := DynamicNaive
+		if batch%2 == 1 {
+			mode = DynamicFrontier
+		}
+		res = LeidenDynamic(g, res.Membership, delta, mode, opt)
+		if err := quality.ValidatePartition(g, res.Membership); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if ds := quality.CountDisconnected(g, res.Membership, 2); ds.Disconnected != 0 {
+			t.Fatalf("batch %d: %d disconnected", batch, ds.Disconnected)
+		}
+	}
+	static := Leiden(g, opt)
+	if res.Modularity < static.Modularity-0.03 {
+		t.Fatalf("after 8 batches dynamic Q %.4f trails static %.4f",
+			res.Modularity, static.Modularity)
+	}
+}
+
+// TestSoakModerateScale runs the full corpus invariants at a moderate
+// size: zero disconnected communities everywhere, and deterministic
+// mode bit-stable across thread counts on every class.
+func TestSoakModerateScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	builders := map[string]func() *graph.CSR{
+		"web":    func() *graph.CSR { g, _ := gen.WebGraph(8000, 14, 113); return g },
+		"social": func() *graph.CSR { g, _ := gen.SocialNetwork(6000, 16, 24, 0.35, 114); return g },
+		"road":   func() *graph.CSR { g, _ := gen.RoadNetwork(8000, 115); return g },
+		"kmer":   func() *graph.CSR { g, _ := gen.KmerGraph(8000, 116); return g },
+	}
+	for name, build := range builders {
+		g := build()
+		res := Leiden(g, testOpts(4))
+		if ds := quality.CountDisconnected(g, res.Membership, 4); ds.Disconnected != 0 {
+			t.Errorf("%s: %d disconnected", name, ds.Disconnected)
+		}
+		det1 := Leiden(g, detOpts(1))
+		det4 := Leiden(g, detOpts(4))
+		for v := range det1.Membership {
+			if det1.Membership[v] != det4.Membership[v] {
+				t.Errorf("%s: deterministic mismatch at vertex %d", name, v)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"gveleiden/internal/graph"
+	"gveleiden/internal/hashtable"
+	"gveleiden/internal/parallel"
+	"gveleiden/internal/prng"
+)
+
+// pad64 is a cache-line-padded float64 used for per-thread accumulators
+// (delta-modularity sums, move counters) so threads never share a line.
+type pad64 struct {
+	v float64
+	_ [7]uint64
+}
+
+// padI64 is a cache-line-padded int64 counter.
+type padI64 struct {
+	v int64
+	_ [7]uint64
+}
+
+// arena holds the preallocated storage for one aggregated graph. Two
+// arenas ping-pong across passes: pass p reads the graph in one arena
+// and writes the super-vertex graph into the other. Everything is sized
+// once for the input graph (the largest level), so no per-pass
+// allocation happens — the paper's preallocated-CSR optimization, which
+// also keeps Go GC pressure flat on big graphs.
+type arena struct {
+	offsets []uint32  // super-vertex CSR offsets (holey capacity bounds)
+	counts  []uint32  // per-super-vertex arc counts
+	edges   []uint32  // arc targets
+	weights []float32 // arc weights
+	commOff []uint32  // community-vertices CSR offsets (G'_C')
+	commVtx []uint32  // community-vertices CSR data
+}
+
+func newArena(n int, arcs int64) arena {
+	return arena{
+		offsets: make([]uint32, n+1),
+		counts:  make([]uint32, n+1),
+		edges:   make([]uint32, arcs),
+		weights: make([]float32, arcs),
+		commOff: make([]uint32, n+2),
+		commVtx: make([]uint32, n),
+	}
+}
+
+// workspace carries every buffer a run needs, allocated once up front.
+type workspace struct {
+	opt     Options
+	n0      int     // input vertex count
+	m       float64 // half the total edge weight (constant across passes)
+	tables  []*hashtable.Accumulator
+	rngs    []*prng.Xorshift32
+	top     []uint32 // C: top-level membership over input vertices
+	k       []float64
+	sigma   *parallel.Float64s
+	vsize   []float64          // vertices folded into each super-vertex (CPM's n_c term)
+	vsizeNx []float64          // next pass's vsize, filled after aggregation
+	csize   *parallel.Float64s // per-community vertex count
+	comm    []uint32           // C'
+	bounds  []uint32           // C'_B
+	initC   []uint32           // initial communities of the next pass's vertices
+	lbl     []uint32           // move-community representative labels
+	scratch []uint32           // renumbering / existence buffer
+	cursor  []uint32           // aggregation placement cursors
+	flags   *parallel.Flags
+	dq      []pad64  // per-thread ΔQ partial sums
+	moved   []padI64 // per-thread refinement move counters
+	arenas  [2]arena
+	cur     int   // arena index holding the *next* write target
+	stats   Stats // per-pass statistics collected by the driver
+
+	// Dynamic (warm-start) state, consumed by pass 0 only.
+	warm     []uint32 // previous membership as representative labels; nil = cold start
+	frontier []uint32 // vertices to seed the pruning flags with; nil = all
+
+	// hierarchy, when non-nil, records one Level per pass.
+	hierarchy *Hierarchy
+}
+
+func newWorkspace(g *graph.CSR, opt Options) *workspace {
+	n := g.NumVertices()
+	arcs := g.NumArcs()
+	t := opt.Threads
+	ws := &workspace{
+		opt:     opt,
+		n0:      n,
+		tables:  hashtable.PerThread(n, t),
+		rngs:    prng.Streams(opt.Seed, t),
+		top:     make([]uint32, n),
+		k:       make([]float64, n),
+		sigma:   parallel.NewFloat64s(n),
+		vsize:   make([]float64, n),
+		vsizeNx: make([]float64, n),
+		csize:   parallel.NewFloat64s(n),
+		comm:    make([]uint32, n),
+		bounds:  make([]uint32, n),
+		initC:   make([]uint32, n),
+		lbl:     make([]uint32, n),
+		scratch: make([]uint32, n+1),
+		cursor:  make([]uint32, n+1),
+		flags:   parallel.NewFlags(n),
+		dq:      make([]pad64, t),
+		moved:   make([]padI64, t),
+	}
+	ws.arenas[0] = newArena(n, arcs)
+	ws.arenas[1] = newArena(n, arcs)
+	return ws
+}
+
+// commLoad / commStore access the membership array atomically: the
+// asynchronous local-moving and refinement phases read neighbours'
+// memberships while owners rewrite them.
+func commLoad(comm []uint32, i uint32) uint32 {
+	return atomic.LoadUint32(&comm[i])
+}
+
+func commStore(comm []uint32, i uint32, v uint32) {
+	atomic.StoreUint32(&comm[i], v)
+}
+
+// vertexWeights fills k[i] = K'_i for the current graph, in parallel.
+func (ws *workspace) vertexWeights(g *graph.CSR, k []float64) {
+	parallel.For(g.NumVertices(), ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			k[i] = g.VertexWeight(uint32(i))
+		}
+	})
+}
+
+// initialCommunities sets comm, sigma and csize for the start of a
+// pass: either the move-based labels carried over from the previous
+// aggregation (haveInit) or fresh singletons.
+func (ws *workspace) initialCommunities(n int, haveInit bool) {
+	comm := ws.comm[:n]
+	k := ws.k[:n]
+	ws.sigma.Resize(n)
+	ws.csize.Resize(n)
+	if !haveInit {
+		parallel.Iota(comm, ws.opt.Threads)
+		ws.sigma.CopyFrom(k, ws.opt.Threads)
+		ws.csize.CopyFrom(ws.vsize[:n], ws.opt.Threads)
+		return
+	}
+	copy(comm, ws.initC[:n])
+	ws.sigma.Zero(ws.opt.Threads)
+	ws.csize.Zero(ws.opt.Threads)
+	parallel.For(n, ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			ws.sigma.Add(int(comm[i]), k[i])
+			ws.csize.Add(int(comm[i]), ws.vsize[i])
+		}
+	})
+}
+
+// delta evaluates the gain of moving a vertex (weighted degree ki, size
+// si) from community d (weight sd, size nd, edge weight kid towards it)
+// to community c (sc, nc, kic) under the configured objective:
+//
+//	modularity: ΔQ = (kic−kid)/m − γ·ki(ki+Σc−Σd)/(2m²)   (Equation 2)
+//	CPM:        ΔH = [(kic−kid) − γ·si(nc+si−nd)]/m
+//
+// Both are normalized by m so the iteration tolerance τ means the same
+// thing for either objective (and ΔH/m matches quality.CPM's scale).
+func (ws *workspace) delta(kic, kid, ki, sc, sd, si, nc, nd float64) float64 {
+	if ws.opt.Objective == ObjectiveCPM {
+		return ((kic - kid) - ws.opt.Resolution*si*(nc+si-nd)) / ws.m
+	}
+	return (kic-kid)/ws.m - ws.opt.Resolution*ki*(ki+sc-sd)/(2*ws.m*ws.m)
+}
+
+// aggregateSizes rolls the per-vertex sizes up into the next level's
+// super-vertices (vsize'[c] = Σ_{i∈c} vsize[i]) and swaps the buffers.
+func (ws *workspace) aggregateSizes(n, nComms int) {
+	comm := ws.comm[:n]
+	next := ws.vsizeNx[:nComms]
+	for i := range next {
+		next[i] = 0
+	}
+	agg := parallel.NewFloat64s(nComms)
+	parallel.For(n, ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			agg.Add(int(comm[i]), ws.vsize[i])
+		}
+	})
+	for i := range next {
+		next[i] = agg.Get(i)
+	}
+	copy(ws.vsize[:nComms], next)
+}
+
+// renumber densifies the labels of comm (values < n) in place and
+// returns the number of distinct labels, using the existence-flag +
+// exclusive-scan technique (Algorithm 1 line 11).
+func (ws *workspace) renumber(comm []uint32, n int) int {
+	ex := ws.scratch[:n]
+	parallel.FillUint32(ex, 0, ws.opt.Threads)
+	parallel.For(len(comm), ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			atomic.StoreUint32(&ex[comm[i]], 1)
+		}
+	})
+	total := parallel.ExclusiveScanUint32(ex, ws.opt.Threads)
+	parallel.For(len(comm), ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			comm[i] = ex[comm[i]]
+		}
+	})
+	return int(total)
+}
+
+// lookupDendrogram applies one level of the dendrogram: top[v] becomes
+// level[top[v]] (Algorithm 1 lines 12 and 16).
+func (ws *workspace) lookupDendrogram(level []uint32) {
+	parallel.For(ws.n0, ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
+		for v := lo; v < hi; v++ {
+			ws.top[v] = level[ws.top[v]]
+		}
+	})
+}
+
+// moveLabels prepares the next pass's initial community of each
+// super-vertex from the move-phase partition (move-based labels,
+// Algorithm 1 line 14): all members of a refined community share one
+// community bound, whose representative is the minimum refined id it
+// contains.
+func (ws *workspace) moveLabels(n int) {
+	comm := ws.comm[:n]     // refined, renumbered
+	bounds := ws.bounds[:n] // move-phase labels (raw vertex ids)
+	lbl := ws.lbl[:n]
+	parallel.FillUint32(lbl, ^uint32(0), ws.opt.Threads)
+	parallel.For(n, ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			atomicMinUint32(&lbl[bounds[i]], comm[i])
+		}
+	})
+	parallel.For(n, ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			// All members of a refined community share one bound, so the
+			// stores agree; they are atomic to stay race-detector clean.
+			atomic.StoreUint32(&ws.initC[comm[i]], lbl[bounds[i]])
+		}
+	})
+}
+
+func atomicMinUint32(addr *uint32, v uint32) {
+	for {
+		old := atomic.LoadUint32(addr)
+		if old <= v {
+			return
+		}
+		if atomic.CompareAndSwapUint32(addr, old, v) {
+			return
+		}
+	}
+}
+
+func (ws *workspace) sumDQ() float64 {
+	var s float64
+	for i := range ws.dq {
+		s += ws.dq[i].v
+	}
+	return s
+}
+
+func (ws *workspace) zeroDQ() {
+	for i := range ws.dq {
+		ws.dq[i].v = 0
+	}
+}
+
+func (ws *workspace) sumMoved() int64 {
+	var s int64
+	for i := range ws.moved {
+		s += ws.moved[i].v
+	}
+	return s
+}
+
+func (ws *workspace) zeroMoved() {
+	for i := range ws.moved {
+		ws.moved[i].v = 0
+	}
+}

@@ -1,0 +1,145 @@
+// Package export renders graphs with community annotations in the
+// interchange formats visualization tools consume: Graphviz DOT and
+// GraphML (Gephi, yEd, Cytoscape). Communities map to color/attribute
+// groups so detected structure is visible immediately.
+package export
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"gveleiden/internal/graph"
+)
+
+// palette cycles distinct Graphviz X11 color names per community.
+var palette = []string{
+	"tomato", "steelblue", "mediumseagreen", "gold", "orchid",
+	"darkorange", "turquoise", "salmon", "yellowgreen", "slateblue",
+	"hotpink", "khaki", "cadetblue", "sandybrown", "palegreen",
+	"plum", "lightcoral", "skyblue", "tan", "thistle",
+}
+
+// WriteDOT writes g as an undirected Graphviz graph; when membership is
+// non-nil, vertices are filled with a per-community color and grouped
+// label. Intended for small graphs (hundreds of vertices) — Graphviz
+// layout does not scale beyond that anyway.
+func WriteDOT(w io.Writer, g *graph.CSR, membership []uint32) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "graph communities {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(bw, "  node [style=filled];")
+	n := g.NumVertices()
+	for i := 0; i < n; i++ {
+		if membership != nil {
+			c := membership[i]
+			fmt.Fprintf(bw, "  %d [fillcolor=%q, label=\"%d\\nc%d\"];\n",
+				i, palette[int(c)%len(palette)], i, c)
+		} else {
+			fmt.Fprintf(bw, "  %d;\n", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		es, ws := g.Neighbors(uint32(i))
+		for k, e := range es {
+			if e < uint32(i) {
+				continue // one line per undirected edge; loops included
+			}
+			if ws[k] == 1 {
+				fmt.Fprintf(bw, "  %d -- %d;\n", i, e)
+			} else {
+				fmt.Fprintf(bw, "  %d -- %d [weight=%g, label=%g];\n", i, e, ws[k], ws[k])
+			}
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// graphML mirrors the GraphML schema subset Gephi reads.
+type graphML struct {
+	XMLName xml.Name     `xml:"graphml"`
+	Xmlns   string       `xml:"xmlns,attr"`
+	Keys    []graphMLKey `xml:"key"`
+	Graph   graphMLGraph `xml:"graph"`
+}
+
+type graphMLKey struct {
+	ID   string `xml:"id,attr"`
+	For  string `xml:"for,attr"`
+	Name string `xml:"attr.name,attr"`
+	Type string `xml:"attr.type,attr"`
+}
+
+type graphMLGraph struct {
+	EdgeDefault string        `xml:"edgedefault,attr"`
+	Nodes       []graphMLNode `xml:"node"`
+	Edges       []graphMLEdge `xml:"edge"`
+}
+
+type graphMLNode struct {
+	ID   string        `xml:"id,attr"`
+	Data []graphMLData `xml:"data"`
+}
+
+type graphMLEdge struct {
+	Source string        `xml:"source,attr"`
+	Target string        `xml:"target,attr"`
+	Data   []graphMLData `xml:"data"`
+}
+
+type graphMLData struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+// WriteGraphML writes g (with optional community attribute) as GraphML.
+func WriteGraphML(w io.Writer, g *graph.CSR, membership []uint32) error {
+	doc := graphML{
+		Xmlns: "http://graphml.graphdrawing.org/xmlns",
+		Keys: []graphMLKey{
+			{ID: "community", For: "node", Name: "community", Type: "int"},
+			{ID: "weight", For: "edge", Name: "weight", Type: "double"},
+		},
+		Graph: graphMLGraph{EdgeDefault: "undirected"},
+	}
+	n := g.NumVertices()
+	for i := 0; i < n; i++ {
+		node := graphMLNode{ID: fmt.Sprintf("n%d", i)}
+		if membership != nil {
+			node.Data = append(node.Data, graphMLData{
+				Key: "community", Value: fmt.Sprintf("%d", membership[i]),
+			})
+		}
+		doc.Graph.Nodes = append(doc.Graph.Nodes, node)
+	}
+	for i := 0; i < n; i++ {
+		es, ws := g.Neighbors(uint32(i))
+		for k, e := range es {
+			if e < uint32(i) {
+				continue
+			}
+			doc.Graph.Edges = append(doc.Graph.Edges, graphMLEdge{
+				Source: fmt.Sprintf("n%d", i),
+				Target: fmt.Sprintf("n%d", e),
+				Data: []graphMLData{{
+					Key: "weight", Value: fmt.Sprintf("%g", ws[k]),
+				}},
+			})
+		}
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

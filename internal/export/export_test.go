@@ -1,0 +1,102 @@
+package export
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"gveleiden/internal/graph"
+)
+
+func testGraph() *graph.CSR {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2.5)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(3, 3, 4) // self-loop
+	return b.Build()
+}
+
+func TestWriteDOT(t *testing.T) {
+	var buf bytes.Buffer
+	memb := []uint32{0, 0, 1, 1}
+	if err := WriteDOT(&buf, testGraph(), memb); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"graph communities {",
+		"0 -- 1;",
+		"1 -- 2 [weight=2.5",
+		"3 -- 3",
+		"fillcolor=",
+		"c0", "c1",
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Each undirected edge exactly once.
+	if strings.Count(out, "--") != 4 {
+		t.Errorf("expected 4 edge lines, got %d", strings.Count(out, "--"))
+	}
+}
+
+func TestWriteDOTWithoutMembership(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, testGraph(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "fillcolor") {
+		t.Fatal("nil membership must not emit colors")
+	}
+}
+
+func TestWriteGraphMLWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	memb := []uint32{0, 0, 1, 1}
+	if err := WriteGraphML(&buf, testGraph(), memb); err != nil {
+		t.Fatal(err)
+	}
+	// Must be well-formed XML with the expected structure.
+	var doc graphML
+	if err := xml.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not well-formed XML: %v", err)
+	}
+	if len(doc.Graph.Nodes) != 4 {
+		t.Fatalf("nodes = %d", len(doc.Graph.Nodes))
+	}
+	if len(doc.Graph.Edges) != 4 {
+		t.Fatalf("edges = %d", len(doc.Graph.Edges))
+	}
+	if doc.Graph.EdgeDefault != "undirected" {
+		t.Fatal("edgedefault wrong")
+	}
+	foundCommunity := false
+	for _, n := range doc.Graph.Nodes {
+		for _, d := range n.Data {
+			if d.Key == "community" {
+				foundCommunity = true
+			}
+		}
+	}
+	if !foundCommunity {
+		t.Fatal("community attributes missing")
+	}
+}
+
+func TestWriteGraphMLEmptyGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGraphML(&buf, graph.FromAdjacency(nil), nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc graphML
+	if err := xml.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Graph.Nodes) != 0 || len(doc.Graph.Edges) != 0 {
+		t.Fatal("empty graph must stay empty")
+	}
+}

@@ -1,0 +1,178 @@
+package gen
+
+import (
+	"gveleiden/internal/graph"
+)
+
+// The four generators below reproduce, at laptop scale, the structural
+// signatures of the paper's four dataset classes (Table 2). Sizes are
+// parameters so the benchmark harness can sweep them.
+
+// WebGraph mimics the LAW web crawls (indochina-2004, uk-2002, …):
+// high average degree (≈16-41), very strong community structure (page
+// neighbourhoods), power-law community sizes, and a skewed intra-
+// community degree distribution. Construction: planted partition with
+// heavy-tailed community sizes, dense preferential-attachment wiring
+// inside communities, and a thin inter-community layer.
+func WebGraph(n int, avgDeg float64, seed uint64) (*graph.CSR, Membership) {
+	r := newRNG(seed)
+	k := n / 600 // few, large communities, like web hosts
+	if k < 4 {
+		k = 4
+	}
+	sizes := powerLawSizes(r, n, k, 40, n/2, 1.8)
+	member := make(Membership, n)
+	es := newEdgeSet(int(float64(n) * avgDeg / 2))
+	base := 0
+	for c, s := range sizes {
+		for v := base; v < base+s; v++ {
+			member[v] = uint32(c)
+		}
+		// Preferential attachment inside the community: vertex v links
+		// to `intra` earlier members, biased towards low ids (hubs).
+		intra := int(avgDeg*0.95) / 2
+		if intra < 1 {
+			intra = 1
+		}
+		for v := base + 1; v < base+s; v++ {
+			links := intra
+			if links > v-base {
+				links = v - base
+			}
+			for e := 0; e < links; e++ {
+				// Quadratic bias towards earlier (hub) vertices.
+				f := r.float64()
+				u := base + int(f*f*float64(v-base))
+				es.add(uint32(v), uint32(u))
+			}
+		}
+		base += s
+	}
+	// Thin inter-community layer (~5% of edges).
+	inter := int(float64(n) * avgDeg / 2 * 0.05)
+	for attempts := 0; inter > 0 && attempts < 64*inter; attempts++ {
+		u := r.uint32n(uint32(n))
+		v := r.uint32n(uint32(n))
+		if member[u] != member[v] && es.add(u, v) {
+			inter--
+		}
+	}
+	return es.toBuilder(n).Build(), member
+}
+
+// SocialNetwork mimics the SNAP social graphs (com-LiveJournal,
+// com-Orkut): dense, with weak community structure — com-Orkut resolves
+// to only 36 communities under modularity. Construction: planted
+// partition with few communities, high mixing, and power-law degrees.
+func SocialNetwork(n int, avgDeg float64, communities int, mixing float64, seed uint64) (*graph.CSR, Membership) {
+	g, member := PlantedPartition(PlantedConfig{
+		N:            n,
+		Communities:  communities,
+		MinSize:      n / (4 * communities),
+		MaxSize:      n,
+		SizeExponent: 1.6,
+		AvgDegree:    avgDeg,
+		Mixing:       mixing,
+		Seed:         seed,
+	})
+	return g, member
+}
+
+// RoadNetwork mimics the DIMACS10 road graphs (asia_osm, europe_osm):
+// average degree ≈ 2.1, near-planar, locally connected, enormous
+// diameter. Construction: a 2D lattice thinned to a spanning backbone
+// plus a few shortcut edges — exactly the degree histogram of OSM road
+// graphs (mostly degree-2 polyline vertices, occasional intersections).
+func RoadNetwork(n int, seed uint64) (*graph.CSR, Membership) {
+	r := newRNG(seed)
+	cols := isqrt(n)
+	if cols < 2 {
+		cols = 2
+	}
+	rows := (n + cols - 1) / cols
+	total := rows * cols
+	id := func(rr, cc int) uint32 { return uint32(rr*cols + cc) }
+	es := newEdgeSet(total * 2)
+	// Horizontal "roads": connect every cell to its right neighbour —
+	// these are the polyline chains giving degree ≈ 2.
+	for rr := 0; rr < rows; rr++ {
+		for cc := 0; cc+1 < cols; cc++ {
+			es.add(id(rr, cc), id(rr, cc+1))
+		}
+	}
+	// Sparse vertical connectors (intersections): ~5% of cells.
+	for rr := 0; rr+1 < rows; rr++ {
+		for cc := 0; cc < cols; cc++ {
+			if r.float64() < 0.05 {
+				es.add(id(rr, cc), id(rr+1, cc))
+			}
+		}
+	}
+	// Guarantee overall connectivity with one connector per row pair.
+	for rr := 0; rr+1 < rows; rr++ {
+		cc := int(r.uint32n(uint32(cols)))
+		es.add(id(rr, cc), id(rr+1, cc))
+	}
+	g := es.toBuilder(total).Build()
+	// Ground truth: communities are contiguous row bands (roads cluster
+	// geographically); used only as a sanity reference, not for NMI.
+	member := make(Membership, total)
+	band := rows/64 + 1
+	for rr := 0; rr < rows; rr++ {
+		for cc := 0; cc < cols; cc++ {
+			member[id(rr, cc)] = uint32(rr / band)
+		}
+	}
+	return g, member
+}
+
+// KmerGraph mimics the GenBank protein k-mer graphs (kmer_A2a,
+// kmer_V1r): degree ≈ 2.1, built of long chains (reads) that share
+// occasional branch vertices, many tiny natural clusters. Construction:
+// many disjoint paths whose endpoints occasionally splice into earlier
+// chains.
+func KmerGraph(n int, seed uint64) (*graph.CSR, Membership) {
+	r := newRNG(seed)
+	es := newEdgeSet(n + n/8)
+	member := make(Membership, n)
+	chainLen := 64
+	chains := 0
+	for base := 0; base < n; base += chainLen {
+		end := base + chainLen
+		if end > n {
+			end = n
+		}
+		for v := base; v+1 < end; v++ {
+			es.add(uint32(v), uint32(v+1))
+		}
+		for v := base; v < end; v++ {
+			member[v] = uint32(chains)
+		}
+		// Splice: connect the chain head to a random earlier vertex,
+		// creating branch points (degree-3 vertices) like overlapping
+		// k-mer runs; keeps the graph mostly connected.
+		if base > 0 {
+			es.add(uint32(base), r.uint32n(uint32(base)))
+		}
+		// Occasional mid-chain branch.
+		if r.float64() < 0.5 && base > 0 {
+			mid := base + int(r.uint32n(uint32(end-base)))
+			es.add(uint32(mid), r.uint32n(uint32(base)))
+		}
+		chains++
+	}
+	return es.toBuilder(n).Build(), member
+}
+
+func isqrt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	x := n
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + n/x) / 2
+	}
+	return x
+}

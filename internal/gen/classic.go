@@ -1,0 +1,221 @@
+package gen
+
+import (
+	"gveleiden/internal/graph"
+)
+
+// Path returns the n-vertex path graph 0-1-2-…-(n-1).
+func Path(n int) *graph.CSR {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(uint32(i), uint32(i+1), 1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the n-vertex cycle graph.
+func Cycle(n int) *graph.CSR {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(uint32(i), uint32((i+1)%n), 1)
+	}
+	return b.Build()
+}
+
+// Star returns the n-vertex star with vertex 0 at the center.
+func Star(n int) *graph.CSR {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, uint32(i), 1)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.CSR {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(uint32(i), uint32(j), 1)
+		}
+	}
+	return b.Build()
+}
+
+// Grid returns the rows×cols 2D lattice.
+func Grid(rows, cols int) *graph.CSR {
+	id := func(r, c int) uint32 { return uint32(r*cols + c) }
+	b := graph.NewBuilder(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1), 1)
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c), 1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ErdosRenyi returns a G(n, m) uniform random graph with exactly m
+// distinct non-loop edges (m is capped at n(n-1)/2).
+func ErdosRenyi(n, m int, seed uint64) *graph.CSR {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	r := newRNG(seed)
+	es := newEdgeSet(m)
+	for es.len() < m {
+		u := r.uint32n(uint32(n))
+		v := r.uint32n(uint32(n))
+		es.add(u, v)
+	}
+	return es.toBuilder(n).Build()
+}
+
+// BarabasiAlbert returns an n-vertex preferential-attachment graph where
+// each new vertex attaches to k existing vertices chosen proportionally
+// to degree. It produces the power-law degree distributions
+// characteristic of web and social graphs.
+func BarabasiAlbert(n, k int, seed uint64) *graph.CSR {
+	if k < 1 {
+		k = 1
+	}
+	if n <= k {
+		return Complete(n)
+	}
+	r := newRNG(seed)
+	// repeated-targets list: each endpoint appears once per incident
+	// edge, so uniform sampling from it is degree-proportional.
+	targets := make([]uint32, 0, 2*n*k)
+	es := newEdgeSet(n * k)
+	// Seed with a (k+1)-clique.
+	for i := 0; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			if es.add(uint32(i), uint32(j)) {
+				targets = append(targets, uint32(i), uint32(j))
+			}
+		}
+	}
+	for v := k + 1; v < n; v++ {
+		added := 0
+		for attempts := 0; added < k && attempts < 16*k; attempts++ {
+			u := targets[r.uint32n(uint32(len(targets)))]
+			if es.add(uint32(v), u) {
+				targets = append(targets, uint32(v), u)
+				added++
+			}
+		}
+		// Fallback for pathological collision streaks.
+		for added < k {
+			u := r.uint32n(uint32(v))
+			if es.add(uint32(v), u) {
+				targets = append(targets, uint32(v), u)
+				added++
+			}
+		}
+	}
+	return es.toBuilder(n).Build()
+}
+
+// RMAT returns a recursive-matrix (Kronecker-like) graph with 2^scale
+// vertices and about m distinct edges, using the canonical Graph500
+// parameters (a, b, c) = (0.57, 0.19, 0.19) unless overridden. RMAT
+// reproduces the skewed joint degree structure of crawled web graphs.
+func RMAT(scale int, m int, a, b, c float64, seed uint64) *graph.CSR {
+	if a == 0 && b == 0 && c == 0 {
+		a, b, c = 0.57, 0.19, 0.19
+	}
+	n := 1 << scale
+	r := newRNG(seed)
+	es := newEdgeSet(m)
+	for attempts := 0; es.len() < m && attempts < 64*m; attempts++ {
+		var u, v uint32
+		for level := 0; level < scale; level++ {
+			p := r.float64()
+			switch {
+			case p < a:
+				// upper-left: no bits set
+			case p < a+b:
+				v |= 1 << level
+			case p < a+b+c:
+				u |= 1 << level
+			default:
+				u |= 1 << level
+				v |= 1 << level
+			}
+		}
+		es.add(u, v)
+	}
+	return es.toBuilder(n).Build()
+}
+
+// RandomGeometric places n points on a unit torus and connects pairs
+// within the given radius using a cell grid, yielding the near-planar
+// local structure of road-like networks.
+func RandomGeometric(n int, radius float64, seed uint64) *graph.CSR {
+	r := newRNG(seed)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = r.float64()
+		ys[i] = r.float64()
+	}
+	cells := int(1 / radius)
+	if cells < 1 {
+		cells = 1
+	}
+	grid := make(map[int][]uint32)
+	cellOf := func(x, y float64) (int, int) {
+		cx := int(x * float64(cells))
+		cy := int(y * float64(cells))
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return cx, cy
+	}
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(xs[i], ys[i])
+		key := cx*cells + cy
+		grid[key] = append(grid[key], uint32(i))
+	}
+	b := graph.NewBuilder(n)
+	r2 := radius * radius
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(xs[i], ys[i])
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				kx := ((cx+dx)%cells + cells) % cells
+				ky := ((cy+dy)%cells + cells) % cells
+				for _, j := range grid[kx*cells+ky] {
+					if j <= uint32(i) {
+						continue
+					}
+					ddx := torusDist(xs[i], xs[j])
+					ddy := torusDist(ys[i], ys[j])
+					if ddx*ddx+ddy*ddy <= r2 {
+						b.AddEdge(uint32(i), j, 1)
+					}
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+func torusDist(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if d > 0.5 {
+		d = 1 - d
+	}
+	return d
+}

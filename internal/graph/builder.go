@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is one weighted arc or undirected edge in a pre-CSR edge list.
+type Edge struct {
+	U, V uint32
+	W    float32
+}
+
+// Builder accumulates edges and produces a CSR graph. It is the
+// ingestion path for generators and file loaders; the hot per-pass
+// aggregation path in internal/core builds CSRs directly with
+// preallocated arrays instead.
+type Builder struct {
+	edges []Edge
+	n     uint32
+}
+
+// NewBuilder returns a builder expecting at least n vertices; vertices
+// are added implicitly as edges mention them.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: uint32(n), edges: make([]Edge, 0, 2*n)}
+}
+
+// AddEdge records an undirected edge {u, v} with weight w. Self-loops
+// are allowed and kept as single arcs.
+func (b *Builder) AddEdge(u, v uint32, w float32) {
+	if u >= b.n {
+		b.n = u + 1
+	}
+	if v >= b.n {
+		b.n = v + 1
+	}
+	b.edges = append(b.edges, Edge{u, v, w})
+}
+
+// AddArc records a directed arc (u, v) with weight w. Build symmetrizes,
+// so arcs behave like undirected edges whose duplicates merge.
+func (b *Builder) AddArc(u, v uint32, w float32) { b.AddEdge(u, v, w) }
+
+// NumEdges returns the number of edges recorded so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build produces a compact, symmetric, duplicate-merged CSR:
+// each recorded {u,v}, u≠v, yields arcs (u,v) and (v,u); parallel
+// edges between the same pair are merged by summing weights (the
+// paper's loaders make directed inputs undirected the same way).
+// Adjacency lists come out sorted by target id.
+func (b *Builder) Build() *CSR {
+	n := int(b.n)
+	deg := make([]uint32, n+1)
+	for _, e := range b.edges {
+		deg[e.U+1]++
+		if e.U != e.V {
+			deg[e.V+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	m := deg[n]
+	edges := make([]uint32, m)
+	weights := make([]float32, m)
+	cursor := make([]uint32, n)
+	copy(cursor, deg[:n])
+	place := func(u, v uint32, w float32) {
+		p := cursor[u]
+		cursor[u]++
+		edges[p] = v
+		weights[p] = w
+	}
+	for _, e := range b.edges {
+		place(e.U, e.V, e.W)
+		if e.U != e.V {
+			place(e.V, e.U, e.W)
+		}
+	}
+	g := &CSR{Offsets: deg, Edges: edges, Weights: weights}
+	g.sortAndMerge()
+	return g
+}
+
+// sortAndMerge sorts each adjacency list by target and merges duplicate
+// targets by summing their weights, compacting the arrays in place.
+func (g *CSR) sortAndMerge() {
+	n := g.NumVertices()
+	newOff := make([]uint32, n+1)
+	var wp uint32 // write position
+	for i := 0; i < n; i++ {
+		lo, hi := g.Offsets[i], g.Offsets[i+1]
+		seg := arcSorter{g.Edges[lo:hi], g.Weights[lo:hi]}
+		sort.Sort(seg)
+		newOff[i] = wp
+		rp := lo
+		for rp < hi {
+			t := g.Edges[rp]
+			w := float64(g.Weights[rp])
+			rp++
+			for rp < hi && g.Edges[rp] == t {
+				w += float64(g.Weights[rp])
+				rp++
+			}
+			g.Edges[wp] = t
+			g.Weights[wp] = float32(w)
+			wp++
+		}
+	}
+	newOff[n] = wp
+	g.Offsets = newOff
+	g.Edges = g.Edges[:wp]
+	g.Weights = g.Weights[:wp]
+}
+
+type arcSorter struct {
+	e []uint32
+	w []float32
+}
+
+func (s arcSorter) Len() int           { return len(s.e) }
+func (s arcSorter) Less(i, j int) bool { return s.e[i] < s.e[j] }
+func (s arcSorter) Swap(i, j int) {
+	s.e[i], s.e[j] = s.e[j], s.e[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}
+
+// FromEdges builds a symmetric CSR from an edge list over n vertices.
+func FromEdges(n int, edges []Edge) *CSR {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V, e.W)
+	}
+	return b.Build()
+}
+
+// FromAdjacency builds a CSR from an adjacency-list description with
+// unit weights, symmetrizing and merging duplicates. Convenient in
+// tests: FromAdjacency([][]uint32{{1,2},{0},{0}}).
+func FromAdjacency(adj [][]uint32) *CSR {
+	b := NewBuilder(len(adj))
+	for u, targets := range adj {
+		for _, v := range targets {
+			if uint32(u) <= v { // count each undirected edge once
+				b.AddEdge(uint32(u), v, 1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Relabel returns a copy of g with vertex i renamed to perm[i]. perm
+// must be a permutation of [0, n). Useful for cache-locality studies
+// and for randomizing generator output.
+func Relabel(g *CSR, perm []uint32) (*CSR, error) {
+	n := g.NumVertices()
+	if len(perm) != n {
+		return nil, fmt.Errorf("graph: permutation length %d != vertex count %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if int(p) >= n || seen[p] {
+			return nil, fmt.Errorf("graph: perm is not a permutation (value %d)", p)
+		}
+		seen[p] = true
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		es, ws := g.Neighbors(uint32(i))
+		for k, e := range es {
+			if uint32(i) <= e {
+				b.AddEdge(perm[i], perm[e], ws[k])
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// InducedSubgraph extracts the subgraph induced by the given vertex set
+// (order defines the new ids) and returns it with a mapping from new id
+// to original id.
+func InducedSubgraph(g *CSR, vertices []uint32) (*CSR, []uint32) {
+	newID := make(map[uint32]uint32, len(vertices))
+	for i, v := range vertices {
+		newID[v] = uint32(i)
+	}
+	b := NewBuilder(len(vertices))
+	for i, v := range vertices {
+		es, ws := g.Neighbors(v)
+		for k, e := range es {
+			j, ok := newID[e]
+			if !ok {
+				continue
+			}
+			if uint32(i) <= j {
+				b.AddEdge(uint32(i), j, ws[k])
+			}
+		}
+	}
+	return b.Build(), append([]uint32(nil), vertices...)
+}

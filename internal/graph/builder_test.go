@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderSymmetrizes(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1, 2)
+	g := b.Build()
+	if !g.HasArc(0, 1) || !g.HasArc(1, 0) {
+		t.Fatal("edge not symmetrized")
+	}
+	if g.ArcWeight(0, 1) != 2 || g.ArcWeight(1, 0) != 2 {
+		t.Fatal("weights not mirrored")
+	}
+}
+
+func TestBuilderMergesDuplicates(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 0, 2) // duplicate in the other direction
+	b.AddEdge(0, 1, 3)
+	g := b.Build()
+	if g.NumArcs() != 2 {
+		t.Fatalf("arcs = %d, want 2 (merged)", g.NumArcs())
+	}
+	if g.ArcWeight(0, 1) != 6 {
+		t.Fatalf("merged weight = %v, want 6", g.ArcWeight(0, 1))
+	}
+}
+
+func TestBuilderImplicitVertices(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(5, 9, 1)
+	g := b.Build()
+	if g.NumVertices() != 10 {
+		t.Fatalf("n = %d, want 10", g.NumVertices())
+	}
+}
+
+func TestBuilderSelfLoopsMerge(t *testing.T) {
+	b := NewBuilder(1)
+	b.AddEdge(0, 0, 1)
+	b.AddEdge(0, 0, 2)
+	g := b.Build()
+	if g.NumArcs() != 1 {
+		t.Fatalf("arcs = %d, want 1", g.NumArcs())
+	}
+	if g.ArcWeight(0, 0) != 3 {
+		t.Fatalf("loop weight = %v", g.ArcWeight(0, 0))
+	}
+}
+
+func TestBuilderAdjacencySorted(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 4, 1)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(0, 3, 1)
+	g := b.Build()
+	es, _ := g.Neighbors(0)
+	for i := 1; i < len(es); i++ {
+		if es[i-1] >= es[i] {
+			t.Fatalf("adjacency not sorted: %v", es)
+		}
+	}
+}
+
+func TestBuildIsOrderInvariant(t *testing.T) {
+	// The same edge set inserted in different orders must produce an
+	// identical CSR (generators rely on this for determinism even when
+	// edges come out of a map).
+	edges := []Edge{{0, 3, 1}, {1, 2, 2}, {0, 1, 1}, {2, 3, 4}, {1, 3, 1}}
+	g1 := FromEdges(4, edges)
+	rev := make([]Edge, len(edges))
+	for i, e := range edges {
+		rev[len(edges)-1-i] = e
+	}
+	g2 := FromEdges(4, rev)
+	if g1.NumArcs() != g2.NumArcs() {
+		t.Fatal("arc counts differ")
+	}
+	for i := range g1.Edges {
+		if g1.Edges[i] != g2.Edges[i] || g1.Weights[i] != g2.Weights[i] {
+			t.Fatal("CSR differs under insertion order")
+		}
+	}
+}
+
+func TestFromAdjacency(t *testing.T) {
+	g := FromAdjacency([][]uint32{{1}, {0, 2}, {1}})
+	if g.NumVertices() != 3 || g.NumUndirectedEdges() != 2 {
+		t.Fatalf("n=%d e=%d", g.NumVertices(), g.NumUndirectedEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	g := FromAdjacency([][]uint32{{1, 2}, {0}, {0}}) // star center 0
+	perm := []uint32{2, 0, 1}
+	r, err := Relabel(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Degree(2) != 2 {
+		t.Fatalf("relabeled center degree = %d", r.Degree(2))
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Total weight is invariant under relabeling.
+	if g.TotalWeight() != r.TotalWeight() {
+		t.Fatal("relabel changed total weight")
+	}
+}
+
+func TestRelabelRejectsBadPerm(t *testing.T) {
+	g := FromAdjacency([][]uint32{{1}, {0}})
+	if _, err := Relabel(g, []uint32{0}); err == nil {
+		t.Fatal("short perm accepted")
+	}
+	if _, err := Relabel(g, []uint32{0, 0}); err == nil {
+		t.Fatal("non-bijective perm accepted")
+	}
+	if _, err := Relabel(g, []uint32{0, 7}); err == nil {
+		t.Fatal("out-of-range perm accepted")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := FromAdjacency([][]uint32{
+		{1, 2}, {0, 2}, {0, 1, 3}, {2, 4, 5}, {3, 5}, {3, 4},
+	})
+	sub, ids := InducedSubgraph(g, []uint32{0, 1, 2})
+	if sub.NumVertices() != 3 || sub.NumUndirectedEdges() != 3 {
+		t.Fatalf("triangle subgraph wrong: n=%d e=%d", sub.NumVertices(), sub.NumUndirectedEdges())
+	}
+	if len(ids) != 3 || ids[0] != 0 {
+		t.Fatalf("ids = %v", ids)
+	}
+	// Edge 2-3 crosses the cut and must not appear.
+	if sub.NumArcs() != 6 {
+		t.Fatalf("arcs = %d", sub.NumArcs())
+	}
+}
+
+// TestBuilderPropertyValidGraphs: any random edge list yields a CSR that
+// passes validation and preserves the total inserted weight.
+func TestBuilderPropertyValidGraphs(t *testing.T) {
+	type rawEdge struct {
+		U, V uint16
+		W    uint8
+	}
+	err := quick.Check(func(raw []rawEdge) bool {
+		b := NewBuilder(0)
+		var want float64
+		for _, e := range raw {
+			u := uint32(e.U % 512)
+			v := uint32(e.V % 512)
+			w := float32(e.W%8) + 1
+			b.AddEdge(u, v, w)
+			if u == v {
+				want += float64(w)
+			} else {
+				want += 2 * float64(w)
+			}
+		}
+		g := b.Build()
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		got := g.TotalWeight()
+		return got > want-1e-3 && got < want+1e-3
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package graph
+
+// ConnectedComponents labels every vertex with a component id in
+// [0, count) using breadth-first search, and returns the labels and the
+// component count.
+func ConnectedComponents(g *CSR) ([]uint32, int) {
+	n := g.NumVertices()
+	const unset = ^uint32(0)
+	comp := make([]uint32, n)
+	for i := range comp {
+		comp[i] = unset
+	}
+	var queue []uint32
+	var count uint32
+	for s := 0; s < n; s++ {
+		if comp[s] != unset {
+			continue
+		}
+		comp[s] = count
+		queue = append(queue[:0], uint32(s))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			es, _ := g.Neighbors(u)
+			for _, v := range es {
+				if comp[v] == unset {
+					comp[v] = count
+					queue = append(queue, v)
+				}
+			}
+		}
+		count++
+	}
+	return comp, int(count)
+}
+
+// IsConnected reports whether g has exactly one connected component
+// (the empty graph is considered connected).
+func IsConnected(g *CSR) bool {
+	if g.NumVertices() == 0 {
+		return true
+	}
+	_, c := ConnectedComponents(g)
+	return c == 1
+}
+
+// SubsetScratch holds the reusable state for SubsetConnected so the
+// per-community disconnection check allocates nothing per call. Size it
+// with NewSubsetScratch(n) for an n-vertex graph.
+type SubsetScratch struct {
+	mark  []uint32 // generation stamps: in current subset?
+	seen  []uint32 // generation stamps: visited by current BFS?
+	queue []uint32
+	gen   uint32
+}
+
+// NewSubsetScratch returns scratch space for subset-connectivity checks
+// over graphs with up to n vertices.
+func NewSubsetScratch(n int) *SubsetScratch {
+	return &SubsetScratch{
+		mark: make([]uint32, n),
+		seen: make([]uint32, n),
+		gen:  1,
+	}
+}
+
+// SubsetConnected reports whether the subgraph of g induced by the given
+// vertex subset is connected. An empty or singleton subset is connected.
+// This is the primitive behind the paper's disconnected-community
+// counter (extended report [22]).
+func (s *SubsetScratch) SubsetConnected(g *CSR, subset []uint32) bool {
+	if len(subset) <= 1 {
+		return true
+	}
+	s.gen++
+	if s.gen == 0 {
+		for i := range s.mark {
+			s.mark[i] = 0
+			s.seen[i] = 0
+		}
+		s.gen = 1
+	}
+	for _, v := range subset {
+		s.mark[v] = s.gen
+	}
+	s.queue = append(s.queue[:0], subset[0])
+	s.seen[subset[0]] = s.gen
+	visited := 1
+	for len(s.queue) > 0 {
+		u := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		es, _ := g.Neighbors(u)
+		for _, v := range es {
+			if s.mark[v] == s.gen && s.seen[v] != s.gen {
+				s.seen[v] = s.gen
+				visited++
+				s.queue = append(s.queue, v)
+			}
+		}
+	}
+	return visited == len(subset)
+}

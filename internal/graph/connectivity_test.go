@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestConnectedComponents(t *testing.T) {
+	// Two components: a path 0-1-2 and an edge 3-4; isolated vertex 5.
+	b := NewBuilder(6)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(3, 4, 1)
+	g := b.Build()
+	comp, count := ConnectedComponents(g)
+	if count != 3 {
+		t.Fatalf("components = %d, want 3", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatal("path split across components")
+	}
+	if comp[3] != comp[4] {
+		t.Fatal("edge split across components")
+	}
+	if comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Fatal("isolated vertex merged")
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !IsConnected(FromAdjacency([][]uint32{{1}, {0, 2}, {1}})) {
+		t.Fatal("path not connected?")
+	}
+	if IsConnected(FromAdjacency([][]uint32{{1}, {0}, {3}, {2}})) {
+		t.Fatal("two components reported connected")
+	}
+	if !IsConnected(FromAdjacency(nil)) {
+		t.Fatal("empty graph must count as connected")
+	}
+	if !IsConnected(FromAdjacency([][]uint32{{}})) {
+		t.Fatal("singleton must count as connected")
+	}
+}
+
+func TestSubsetConnected(t *testing.T) {
+	// 0-1-2-3 path plus isolated-ish 4 connected only to 0.
+	b := NewBuilder(5)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(0, 4, 1)
+	g := b.Build()
+	s := NewSubsetScratch(g.NumVertices())
+
+	if !s.SubsetConnected(g, []uint32{0, 1, 2}) {
+		t.Fatal("contiguous path subset must be connected")
+	}
+	if s.SubsetConnected(g, []uint32{0, 2}) {
+		t.Fatal("{0,2} is disconnected within the subset (1 missing)")
+	}
+	if !s.SubsetConnected(g, []uint32{1, 2, 3}) {
+		t.Fatal("suffix path must be connected")
+	}
+	if s.SubsetConnected(g, []uint32{4, 3}) {
+		t.Fatal("{3,4} are far apart")
+	}
+	if !s.SubsetConnected(g, nil) || !s.SubsetConnected(g, []uint32{2}) {
+		t.Fatal("empty/singleton subsets are connected by definition")
+	}
+}
+
+func TestSubsetScratchReuse(t *testing.T) {
+	g := FromAdjacency([][]uint32{{1}, {0, 2}, {1, 3}, {2}})
+	s := NewSubsetScratch(4)
+	// Alternate connected/disconnected queries to ensure generations
+	// fully isolate the calls.
+	for i := 0; i < 100; i++ {
+		if !s.SubsetConnected(g, []uint32{0, 1}) {
+			t.Fatalf("iter %d: {0,1} must be connected", i)
+		}
+		if s.SubsetConnected(g, []uint32{0, 3}) {
+			t.Fatalf("iter %d: {0,3} must be disconnected", i)
+		}
+	}
+}
+
+func TestSubsetScratchGenerationWrap(t *testing.T) {
+	g := FromAdjacency([][]uint32{{1}, {0}, {}})
+	s := NewSubsetScratch(3)
+	s.gen = ^uint32(0) - 1 // force a wrap within two calls
+	if !s.SubsetConnected(g, []uint32{0, 1}) {
+		t.Fatal("pre-wrap query wrong")
+	}
+	if s.SubsetConnected(g, []uint32{0, 2}) {
+		t.Fatal("post-wrap query must see clean stamps")
+	}
+	if !s.SubsetConnected(g, []uint32{0, 1}) {
+		t.Fatal("post-wrap connected query wrong")
+	}
+}

@@ -1,0 +1,91 @@
+package graph
+
+// ApplyDelta returns a new graph with the given batch of edge updates
+// applied to g: deletions remove the undirected edge {U,V} entirely
+// (the weight field of a deletion is ignored); insertions add new
+// undirected edges, merging with existing ones by summing weights. The
+// vertex set grows to cover any new endpoints mentioned by insertions.
+//
+// This is the snapshot-update primitive behind the dynamic Leiden
+// variants (core.LeidenDynamic): batch updates between runs, warm-start
+// from the previous membership.
+func ApplyDelta(g *CSR, insertions, deletions []Edge) *CSR {
+	deleted := make(map[uint64]struct{}, len(deletions))
+	key := func(u, v uint32) uint64 {
+		if u > v {
+			u, v = v, u
+		}
+		return uint64(u)<<32 | uint64(v)
+	}
+	for _, e := range deletions {
+		deleted[key(e.U, e.V)] = struct{}{}
+	}
+	n := g.NumVertices()
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		es, ws := g.Neighbors(uint32(i))
+		for k, e := range es {
+			if uint32(i) > e {
+				continue // emit each undirected edge once
+			}
+			if _, gone := deleted[key(uint32(i), e)]; gone {
+				continue
+			}
+			b.AddEdge(uint32(i), e, ws[k])
+		}
+	}
+	for _, e := range insertions {
+		b.AddEdge(e.U, e.V, e.W)
+	}
+	return b.Build()
+}
+
+// RandomDelta derives a reproducible random batch of updates from g for
+// benchmarking dynamic algorithms: nIns random new edges between
+// existing vertices and nDel random existing edges. The xorshift step
+// is inlined to keep the graph package dependency-free.
+func RandomDelta(g *CSR, nIns, nDel int, seed uint64) (insertions, deletions []Edge) {
+	state := uint32(seed*2654435761 + 1)
+	next := func() uint32 {
+		state ^= state << 13
+		state ^= state >> 17
+		state ^= state << 5
+		return state
+	}
+	n := uint32(g.NumVertices())
+	if n < 2 {
+		return nil, nil
+	}
+	for len(insertions) < nIns {
+		u := next() % n
+		v := next() % n
+		if u == v || g.HasArc(u, v) {
+			continue
+		}
+		insertions = append(insertions, Edge{U: u, V: v, W: 1})
+	}
+	seen := make(map[uint64]struct{}, nDel)
+	for attempts := 0; len(deletions) < nDel && attempts < 64*(nDel+1); attempts++ {
+		u := next() % n
+		deg := g.Degree(u)
+		if deg == 0 {
+			continue
+		}
+		es, _ := g.Neighbors(u)
+		v := es[next()%deg]
+		if u == v {
+			continue
+		}
+		a, b := u, v
+		if a > b {
+			a, b = b, a
+		}
+		k := uint64(a)<<32 | uint64(b)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		deletions = append(deletions, Edge{U: u, V: v, W: 1})
+	}
+	return insertions, deletions
+}

@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the parsers: arbitrary input must never panic, and
+// anything accepted must be a structurally valid graph.
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2 2.5\n# comment\n")
+	f.Add("")
+	f.Add("0 0 1\n")
+	f.Add("9999999 1\n")
+	f.Add("a b c\n0 1\n")
+	f.Add("0 1 -3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v\ninput: %q", err, input)
+		}
+	})
+}
+
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 1.5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n1 2\n2 3\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n0 0 0\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 9\n1 2 1\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadMatrixMarket(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v\ninput: %q", err, input)
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	var good bytes.Buffer
+	_ = WriteBinary(&good, FromAdjacency([][]uint32{{1}, {0}}))
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x43, 0x45, 0x56, 0x47, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		g, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted binary graph fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func graphsEqual(a, b *CSR) bool {
+	a, b = a.Compact(), b.Compact()
+	if a.NumVertices() != b.NumVertices() || len(a.Edges) != len(b.Edges) {
+		return false
+	}
+	for i := range a.Offsets {
+		if a.Offsets[i] != b.Offsets[i] {
+			return false
+		}
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] || a.Weights[i] != b.Weights[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	g := FromAdjacency([][]uint32{
+		{1, 2}, {0, 2}, {0, 1, 3}, {2},
+	})
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric storage writes each edge once; the round trip is exact.
+	if !graphsEqual(g, r) {
+		t.Fatal("MatrixMarket round trip changed the graph")
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+% a comment
+3 3 2
+1 2
+2 3
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumUndirectedEdges() != 2 {
+		t.Fatalf("n=%d e=%d", g.NumVertices(), g.NumUndirectedEdges())
+	}
+	if g.ArcWeight(0, 1) != 1 {
+		t.Fatal("pattern weights must default to 1")
+	}
+}
+
+func TestMatrixMarketWeighted(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+2 2 1
+1 2 2.5
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ArcWeight(0, 1) != 2.5 || g.ArcWeight(1, 0) != 2.5 {
+		t.Fatal("weighted entry lost")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n",
+		"%%MatrixMarket matrix coordinate real general\nnot a size line\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 5\n1 2 1\n", // truncated
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\nx y z\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: bad input accepted", i)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := FromAdjacency([][]uint32{{1, 2}, {0}, {0, 3}, {2}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, r) {
+		t.Fatal("edge-list round trip changed the graph")
+	}
+}
+
+func TestEdgeListCommentsAndErrors(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# comment\n% other comment\n\n0 1\n1 2 2.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumUndirectedEdges() != 2 || g.ArcWeight(1, 2) != 2.5 {
+		t.Fatal("edge list parse wrong")
+	}
+	for i, in := range []string{"0\n", "a b\n", "0 b\n", "0 1 w\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: bad edge list accepted", i)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := FromAdjacency([][]uint32{{1, 2}, {0, 2}, {0, 1}})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, r) {
+		t.Fatal("binary round trip changed the graph")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("nonsense")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBinaryCompactsHoley(t *testing.T) {
+	holey := &CSR{
+		Offsets: []uint32{0, 3, 5},
+		Counts:  []uint32{1, 1},
+		Edges:   []uint32{1, 9, 9, 0, 9},
+		Weights: []float32{1, 0, 0, 1, 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, holey); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumArcs() != 2 {
+		t.Fatalf("arcs = %d, want 2 (gaps dropped)", r.NumArcs())
+	}
+}
+
+func TestLoadFileDispatch(t *testing.T) {
+	dir := t.TempDir()
+	g := FromAdjacency([][]uint32{{1}, {0, 2}, {1}})
+
+	mtx := filepath.Join(dir, "g.mtx")
+	f, err := os.Create(mtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMatrixMarket(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := LoadFile(mtx); err != nil {
+		t.Fatalf("mtx load: %v", err)
+	}
+
+	bin := filepath.Join(dir, "g.bin")
+	f, err = os.Create(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := LoadFile(bin)
+	if err != nil {
+		t.Fatalf("bin load: %v", err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("binary LoadFile mismatch")
+	}
+
+	txt := filepath.Join(dir, "g.txt")
+	f, err = os.Create(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := LoadFile(txt); err != nil {
+		t.Fatalf("edge list load: %v", err)
+	}
+
+	if _, err := LoadFile(filepath.Join(dir, "missing.mtx")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package graph
+
+// This file provides the structural statistics used to characterize
+// datasets (the |V|, |E|, D_avg columns of the paper's Table 2, plus
+// the clustering and diameter measures that distinguish the four graph
+// classes).
+
+// CountTriangles returns the number of triangles in g (each counted
+// once), using the sorted-adjacency merge algorithm: for every edge
+// (u,v) with u<v, intersect the higher-id portions of their adjacency
+// lists. Requires builder-produced graphs (sorted adjacency).
+func CountTriangles(g *CSR) int64 {
+	n := g.NumVertices()
+	var triangles int64
+	for u := 0; u < n; u++ {
+		us, _ := g.Neighbors(uint32(u))
+		for _, v := range us {
+			if v <= uint32(u) {
+				continue
+			}
+			// Count common neighbours w with w > v (so each triangle
+			// u<v<w is found exactly once, at its smallest vertex).
+			vs, _ := g.Neighbors(v)
+			triangles += countCommonAbove(us, vs, v)
+		}
+	}
+	return triangles
+}
+
+// countCommonAbove merges two sorted lists counting common entries
+// strictly greater than floor.
+func countCommonAbove(a, b []uint32, floor uint32) int64 {
+	i, j := 0, 0
+	var c int64
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			if a[i] > floor {
+				c++
+			}
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// GlobalClusteringCoefficient returns 3×triangles / open-wedges — the
+// transitivity of g, in [0,1]. Web graphs score high; road and k-mer
+// graphs near zero.
+func GlobalClusteringCoefficient(g *CSR) float64 {
+	n := g.NumVertices()
+	var wedges int64
+	for u := 0; u < n; u++ {
+		d := int64(g.nonLoopDegree(uint32(u)))
+		wedges += d * (d - 1) / 2
+	}
+	if wedges == 0 {
+		return 0
+	}
+	return 3 * float64(CountTriangles(g)) / float64(wedges)
+}
+
+func (g *CSR) nonLoopDegree(u uint32) uint32 {
+	es, _ := g.Neighbors(u)
+	d := uint32(0)
+	for _, e := range es {
+		if e != u {
+			d++
+		}
+	}
+	return d
+}
+
+// DegreeHistogram returns counts[d] = number of vertices with degree d.
+func DegreeHistogram(g *CSR) []int64 {
+	n := g.NumVertices()
+	var hist []int64
+	for i := 0; i < n; i++ {
+		d := int(g.Degree(uint32(i)))
+		for len(hist) <= d {
+			hist = append(hist, 0)
+		}
+		hist[d]++
+	}
+	return hist
+}
+
+// ApproxDiameter lower-bounds the diameter with the double-sweep
+// heuristic: BFS from source, then BFS again from the farthest vertex
+// found. Exact on trees; a tight lower bound in practice.
+func ApproxDiameter(g *CSR, source uint32) int {
+	if g.NumVertices() == 0 {
+		return 0
+	}
+	far, _ := bfsFarthest(g, source)
+	_, dist := bfsFarthest(g, far)
+	return dist
+}
+
+// bfsFarthest returns the vertex farthest from s (within s's component)
+// and its distance.
+func bfsFarthest(g *CSR, s uint32) (uint32, int) {
+	n := g.NumVertices()
+	const unset = -1
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = unset
+	}
+	dist[s] = 0
+	queue := []uint32{s}
+	best, bestD := s, int32(0)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		es, _ := g.Neighbors(u)
+		for _, v := range es {
+			if dist[v] == unset {
+				dist[v] = dist[u] + 1
+				if dist[v] > bestD {
+					best, bestD = v, dist[v]
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return best, int(bestD)
+}

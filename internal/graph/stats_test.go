@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCountTriangles(t *testing.T) {
+	// Triangle: exactly 1.
+	tri := FromAdjacency([][]uint32{{1, 2}, {0, 2}, {0, 1}})
+	if got := CountTriangles(tri); got != 1 {
+		t.Fatalf("triangle count = %d", got)
+	}
+	// K4: 4 triangles.
+	b := NewBuilder(4)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(uint32(i), uint32(j), 1)
+		}
+	}
+	if got := CountTriangles(b.Build()); got != 4 {
+		t.Fatalf("K4 triangles = %d, want 4", got)
+	}
+	// Path: none.
+	path := FromAdjacency([][]uint32{{1}, {0, 2}, {1, 3}, {2}})
+	if got := CountTriangles(path); got != 0 {
+		t.Fatalf("path triangles = %d", got)
+	}
+	// Two disjoint triangles: 2.
+	two := FromAdjacency([][]uint32{{1, 2}, {0, 2}, {0, 1}, {4, 5}, {3, 5}, {3, 4}})
+	if got := CountTriangles(two); got != 2 {
+		t.Fatalf("two triangles = %d", got)
+	}
+	// Empty graph.
+	if got := CountTriangles(FromAdjacency(nil)); got != 0 {
+		t.Fatalf("empty triangles = %d", got)
+	}
+}
+
+func TestGlobalClusteringCoefficient(t *testing.T) {
+	// Complete graph: transitivity 1.
+	b := NewBuilder(5)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(uint32(i), uint32(j), 1)
+		}
+	}
+	if got := GlobalClusteringCoefficient(b.Build()); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("K5 transitivity = %v", got)
+	}
+	// Star: no triangles, many wedges → 0.
+	star := FromAdjacency([][]uint32{{1, 2, 3}, {0}, {0}, {0}})
+	if got := GlobalClusteringCoefficient(star); got != 0 {
+		t.Fatalf("star transitivity = %v", got)
+	}
+	// Triangle with a pendant: 3 triangles-paths... check formula:
+	// vertices: tri {0,1,2} + pendant 3 on 0. Triangles=1.
+	// wedges: deg(0)=3→3, deg(1)=2→1, deg(2)=2→1, deg(3)=1→0 ⇒ 5.
+	// transitivity = 3/5.
+	g := FromAdjacency([][]uint32{{1, 2, 3}, {0, 2}, {0, 1}, {0}})
+	if got := GlobalClusteringCoefficient(g); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("transitivity = %v, want 0.6", got)
+	}
+	if got := GlobalClusteringCoefficient(FromAdjacency(nil)); got != 0 {
+		t.Fatal("empty transitivity must be 0")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	star := FromAdjacency([][]uint32{{1, 2, 3}, {0}, {0}, {0}})
+	h := DegreeHistogram(star)
+	if h[1] != 3 || h[3] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestApproxDiameter(t *testing.T) {
+	// Path of 10: diameter 9, double sweep is exact on trees.
+	path := NewBuilder(10)
+	for i := 0; i+1 < 10; i++ {
+		path.AddEdge(uint32(i), uint32(i+1), 1)
+	}
+	if got := ApproxDiameter(path.Build(), 5); got != 9 {
+		t.Fatalf("path diameter = %d, want 9", got)
+	}
+	// Complete graph: 1.
+	b := NewBuilder(4)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(uint32(i), uint32(j), 1)
+		}
+	}
+	if got := ApproxDiameter(b.Build(), 0); got != 1 {
+		t.Fatalf("K4 diameter = %d", got)
+	}
+	if got := ApproxDiameter(FromAdjacency(nil), 0); got != 0 {
+		t.Fatal("empty diameter must be 0")
+	}
+}

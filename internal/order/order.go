@@ -1,0 +1,114 @@
+// Package order provides vertex-ordering strategies that improve the
+// cache behaviour of CSR graph traversals — the "ordering of vertices
+// based on importance" family of optimizations the paper surveys in its
+// related work (§2, [1]). Each strategy returns a permutation usable
+// with graph.Relabel; the ablation benchmarks measure their effect on
+// GVE-Leiden's runtime.
+package order
+
+import (
+	"sort"
+
+	"gveleiden/internal/graph"
+)
+
+// ByDegreeDesc returns the permutation that renames the highest-degree
+// vertex to 0, the next to 1, and so on. Hub-first layouts concentrate
+// the hot adjacency lists at the front of the edge arrays.
+func ByDegreeDesc(g *graph.CSR) []uint32 {
+	n := g.NumVertices()
+	idx := make([]uint32, n)
+	for i := range idx {
+		idx[i] = uint32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return g.Degree(idx[a]) > g.Degree(idx[b])
+	})
+	perm := make([]uint32, n)
+	for rank, v := range idx {
+		perm[v] = uint32(rank)
+	}
+	return perm
+}
+
+// ByDegreeAsc is ByDegreeDesc reversed: leaf vertices first. Useful as
+// the adversarial counterpart in ordering ablations.
+func ByDegreeAsc(g *graph.CSR) []uint32 {
+	n := g.NumVertices()
+	idx := make([]uint32, n)
+	for i := range idx {
+		idx[i] = uint32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return g.Degree(idx[a]) < g.Degree(idx[b])
+	})
+	perm := make([]uint32, n)
+	for rank, v := range idx {
+		perm[v] = uint32(rank)
+	}
+	return perm
+}
+
+// BFS returns a breadth-first ordering from the given source (component
+// by component, unvisited sources in id order). BFS layouts give
+// neighbouring vertices nearby ids, the classic locality transform for
+// graph traversals.
+func BFS(g *graph.CSR, source uint32) []uint32 {
+	n := g.NumVertices()
+	const unset = ^uint32(0)
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = unset
+	}
+	var next uint32
+	queue := make([]uint32, 0, n)
+	visit := func(s uint32) {
+		if perm[s] != unset {
+			return
+		}
+		perm[s] = next
+		next++
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			es, _ := g.Neighbors(u)
+			for _, v := range es {
+				if perm[v] == unset {
+					perm[v] = next
+					next++
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	if n > 0 && int(source) < n {
+		visit(source)
+	}
+	for v := 0; v < n; v++ {
+		visit(uint32(v))
+	}
+	return perm
+}
+
+// Reverse returns the inverse of a permutation, mapping new ids back to
+// the original ids — needed to translate detected memberships back to
+// the caller's vertex numbering.
+func Reverse(perm []uint32) []uint32 {
+	inv := make([]uint32, len(perm))
+	for old, new_ := range perm {
+		inv[new_] = uint32(old)
+	}
+	return inv
+}
+
+// ApplyToMembership translates a membership computed on the relabeled
+// graph back to the original vertex numbering: out[v] =
+// relabeledMembership[perm[v]].
+func ApplyToMembership(perm, membership []uint32) []uint32 {
+	out := make([]uint32, len(perm))
+	for v, p := range perm {
+		out[v] = membership[p]
+	}
+	return out
+}

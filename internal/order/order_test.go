@@ -1,0 +1,125 @@
+package order
+
+import (
+	"testing"
+
+	"gveleiden/internal/core"
+	"gveleiden/internal/gen"
+	"gveleiden/internal/graph"
+	"gveleiden/internal/quality"
+)
+
+func isPermutation(perm []uint32) bool {
+	seen := make([]bool, len(perm))
+	for _, p := range perm {
+		if int(p) >= len(perm) || seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	return true
+}
+
+func TestByDegreeDesc(t *testing.T) {
+	g := gen.Star(10) // vertex 0 has degree 9
+	perm := ByDegreeDesc(g)
+	if !isPermutation(perm) {
+		t.Fatal("not a permutation")
+	}
+	if perm[0] != 0 {
+		t.Fatalf("hub must rank first, got rank %d", perm[0])
+	}
+	r, err := graph.Relabel(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Degree(0) != 9 {
+		t.Fatal("relabeled hub lost its degree")
+	}
+}
+
+func TestByDegreeAsc(t *testing.T) {
+	g := gen.Star(10)
+	perm := ByDegreeAsc(g)
+	if !isPermutation(perm) {
+		t.Fatal("not a permutation")
+	}
+	if perm[0] != 9 {
+		t.Fatalf("hub must rank last, got rank %d", perm[0])
+	}
+}
+
+func TestBFSOrdering(t *testing.T) {
+	g := gen.Path(10)
+	perm := BFS(g, 0)
+	if !isPermutation(perm) {
+		t.Fatal("not a permutation")
+	}
+	// On a path from its endpoint, BFS order is the identity.
+	for i, p := range perm {
+		if p != uint32(i) {
+			t.Fatalf("path BFS from 0 must be identity; perm[%d]=%d", i, p)
+		}
+	}
+	// Disconnected graphs are fully covered.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	perm = BFS(b.Build(), 2)
+	if !isPermutation(perm) {
+		t.Fatal("disconnected BFS not a permutation")
+	}
+	if perm[2] != 0 {
+		t.Fatal("BFS must start at the requested source")
+	}
+}
+
+func TestReverseAndApply(t *testing.T) {
+	perm := []uint32{2, 0, 1}
+	inv := Reverse(perm)
+	for old, p := range perm {
+		if inv[p] != uint32(old) {
+			t.Fatal("Reverse is not the inverse")
+		}
+	}
+	memb := []uint32{7, 8, 9} // membership on relabeled ids 0,1,2
+	back := ApplyToMembership(perm, memb)
+	// original vertex 0 → new id 2 → community 9.
+	if back[0] != 9 || back[1] != 7 || back[2] != 8 {
+		t.Fatalf("ApplyToMembership = %v", back)
+	}
+}
+
+// TestOrderingPreservesCommunities: detection on a relabeled graph,
+// mapped back, finds the same partition — orderings are purely a
+// performance knob.
+func TestOrderingPreservesCommunities(t *testing.T) {
+	g, _ := gen.WebGraph(2000, 12, 83)
+	opt := core.DefaultOptions()
+	opt.Threads = 1
+	base := core.Leiden(g, opt)
+	for name, mk := range map[string]func(*graph.CSR) []uint32{
+		"degree-desc": ByDegreeDesc,
+		"degree-asc":  ByDegreeAsc,
+		"bfs":         func(g *graph.CSR) []uint32 { return BFS(g, 0) },
+	} {
+		perm := mk(g)
+		r, err := graph.Relabel(g, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := core.Leiden(r, opt)
+		back := ApplyToMembership(perm, res.Membership)
+		// Greedy tie-breaks depend on ids, so partitions can differ in
+		// detail — but quality must match closely.
+		if res.Modularity < base.Modularity-0.02 {
+			t.Errorf("%s: Q %.4f vs base %.4f", name, res.Modularity, base.Modularity)
+		}
+		if err := quality.ValidatePartition(g, back); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if nmi := quality.NMI(back, base.Membership); nmi < 0.9 {
+			t.Errorf("%s: communities diverged badly: NMI %.3f", name, nmi)
+		}
+	}
+}

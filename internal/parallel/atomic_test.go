@@ -1,0 +1,178 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFloat64sBasics(t *testing.T) {
+	f := NewFloat64s(4)
+	if f.Len() != 4 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	f.Set(2, 3.5)
+	if got := f.Get(2); got != 3.5 {
+		t.Fatalf("get = %v", got)
+	}
+	if got := f.Add(2, 1.5); got != 5 {
+		t.Fatalf("add returned %v, want 5", got)
+	}
+	if got := f.Get(2); got != 5 {
+		t.Fatalf("after add: %v", got)
+	}
+}
+
+func TestFloat64sCAS(t *testing.T) {
+	f := NewFloat64s(1)
+	f.Set(0, 2.0)
+	if f.CAS(0, 3.0, 9.0) {
+		t.Fatal("CAS with wrong old value must fail")
+	}
+	if !f.CAS(0, 2.0, 9.0) {
+		t.Fatal("CAS with right old value must succeed")
+	}
+	if f.Get(0) != 9.0 {
+		t.Fatalf("after CAS: %v", f.Get(0))
+	}
+	// Only one of many concurrent CAS claims may win — the refinement
+	// phase's isolation guard depends on this.
+	f.Set(0, 7.0)
+	var wins int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if f.CAS(0, 7.0, 0) {
+				mu.Lock()
+				wins++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if wins != 1 {
+		t.Fatalf("CAS wins = %d, want exactly 1", wins)
+	}
+}
+
+func TestFloat64sConcurrentAdd(t *testing.T) {
+	f := NewFloat64s(8)
+	const workers = 8
+	const per = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.Add(i%8, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	var total float64
+	for i := 0; i < 8; i++ {
+		total += f.Get(i)
+	}
+	if total != workers*per {
+		t.Fatalf("concurrent adds lost updates: total %v, want %d", total, workers*per)
+	}
+}
+
+func TestFloat64sCopyFromZeroResize(t *testing.T) {
+	f := NewFloat64s(5)
+	src := []float64{1, 2, 3, 4, 5}
+	f.CopyFrom(src, 2)
+	for i, want := range src {
+		if f.Get(i) != want {
+			t.Fatalf("copy: idx %d = %v", i, f.Get(i))
+		}
+	}
+	f.Zero(2)
+	for i := range src {
+		if f.Get(i) != 0 {
+			t.Fatalf("zero: idx %d = %v", i, f.Get(i))
+		}
+	}
+	f.Resize(3)
+	if f.Len() != 3 {
+		t.Fatalf("resize down: len %d", f.Len())
+	}
+	f.Resize(100)
+	if f.Len() != 100 {
+		t.Fatalf("resize up: len %d", f.Len())
+	}
+}
+
+func TestFloat64sNegativeAndSpecialValues(t *testing.T) {
+	f := NewFloat64s(1)
+	f.Add(0, -2.5)
+	if f.Get(0) != -2.5 {
+		t.Fatalf("negative add: %v", f.Get(0))
+	}
+	// -0.0 and +0.0 have different bit patterns; CAS is bit-pattern
+	// exact, which callers must be aware of.
+	f.Set(0, 0.0)
+	if f.CAS(0, negZero(), 1.0) {
+		t.Fatal("CAS(+0 stored, -0 expected) must fail: bit-pattern semantics")
+	}
+	if !f.CAS(0, 0.0, 1.0) {
+		t.Fatal("CAS(+0, +0) must succeed")
+	}
+}
+
+func negZero() float64 {
+	z := 0.0
+	return -z
+}
+
+func TestFlags(t *testing.T) {
+	f := NewFlags(10)
+	if f.Len() != 10 {
+		t.Fatalf("len %d", f.Len())
+	}
+	if f.Get(3) {
+		t.Fatal("flags must start clear")
+	}
+	f.Set(3, true)
+	if !f.Get(3) {
+		t.Fatal("set failed")
+	}
+	f.Set(3, false)
+	if f.Get(3) {
+		t.Fatal("clear failed")
+	}
+	f.SetAll(true, 4)
+	for i := 0; i < 10; i++ {
+		if !f.Get(i) {
+			t.Fatalf("SetAll(true) missed %d", i)
+		}
+	}
+	f.SetAll(false, 4)
+	for i := 0; i < 10; i++ {
+		if f.Get(i) {
+			t.Fatalf("SetAll(false) missed %d", i)
+		}
+	}
+	f.Resize(5)
+	if f.Len() != 5 {
+		t.Fatalf("resize down: %d", f.Len())
+	}
+	f.Resize(50)
+	if f.Len() != 50 {
+		t.Fatalf("resize up: %d", f.Len())
+	}
+}
+
+func BenchmarkFloat64sAdd(b *testing.B) {
+	f := NewFloat64s(1024)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			f.Add(i&1023, 1)
+			i++
+		}
+	})
+}

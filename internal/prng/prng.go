@@ -1,0 +1,70 @@
+// Package prng provides the small, fast pseudo-random number generators
+// used by the randomized refinement phase of the Leiden algorithm.
+//
+// The paper (§4.1) uses xorshift32 generators for the randomized
+// refinement variant: one generator per thread, so that no synchronization
+// is needed on the random stream. Xorshift32 state must never be zero;
+// NewXorshift32 guards against that by mixing the seed through splitmix64
+// and forcing a non-zero state.
+package prng
+
+// Xorshift32 is the classic 32-bit xorshift generator of Marsaglia.
+// The zero value is invalid; use NewXorshift32.
+type Xorshift32 struct {
+	state uint32
+}
+
+// NewXorshift32 returns a generator seeded from seed. Any seed is
+// acceptable, including zero.
+func NewXorshift32(seed uint64) *Xorshift32 {
+	s := uint32(Splitmix64(&seed))
+	if s == 0 {
+		s = 0x9E3779B9
+	}
+	return &Xorshift32{state: s}
+}
+
+// Next returns the next 32-bit value in the sequence.
+func (x *Xorshift32) Next() uint32 {
+	s := x.state
+	s ^= s << 13
+	s ^= s >> 17
+	s ^= s << 5
+	x.state = s
+	return s
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (x *Xorshift32) Float64() float64 {
+	// 24 high bits give plenty of resolution for proportional selection
+	// while staying cheap; the denominator is 2^24.
+	return float64(x.Next()>>8) / (1 << 24)
+}
+
+// Uintn returns a uniform value in [0, n). n must be > 0.
+func (x *Xorshift32) Uintn(n uint32) uint32 {
+	// Lemire's multiply-shift range reduction (biased by at most 2^-32,
+	// irrelevant for stochastic refinement).
+	return uint32((uint64(x.Next()) * uint64(n)) >> 32)
+}
+
+// Splitmix64 advances *state and returns the next splitmix64 output.
+// It is used to derive well-mixed seeds for per-thread generators.
+func Splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Streams returns n independent xorshift32 generators derived from a
+// single master seed, one per worker thread.
+func Streams(seed uint64, n int) []*Xorshift32 {
+	s := seed
+	out := make([]*Xorshift32, n)
+	for i := range out {
+		out[i] = NewXorshift32(Splitmix64(&s))
+	}
+	return out
+}

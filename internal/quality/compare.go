@@ -1,0 +1,95 @@
+package quality
+
+import "math"
+
+// NMI returns the normalized mutual information between two partitions
+// of the same vertex set, in [0, 1]; 1 means identical up to label
+// permutation. Used to compare detected communities against planted
+// ground truth.
+func NMI(a, b []uint32) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	n := float64(len(a))
+	ca := CommunitySizes(a)
+	cb := CommunitySizes(b)
+	joint := make(map[uint64]int, len(ca))
+	for i := range a {
+		joint[uint64(a[i])<<32|uint64(b[i])]++
+	}
+	var mi float64
+	for key, nij := range joint {
+		pij := float64(nij) / n
+		pa := float64(ca[uint32(key>>32)]) / n
+		pb := float64(cb[uint32(key&0xFFFFFFFF)]) / n
+		mi += pij * math.Log(pij/(pa*pb))
+	}
+	var ha, hb float64
+	for _, s := range ca {
+		p := float64(s) / n
+		ha -= p * math.Log(p)
+	}
+	for _, s := range cb {
+		p := float64(s) / n
+		hb -= p * math.Log(p)
+	}
+	if ha == 0 && hb == 0 {
+		return 1 // both partitions trivial and identical
+	}
+	denom := math.Sqrt(ha * hb)
+	if denom == 0 {
+		return 0
+	}
+	nmi := mi / denom
+	if nmi > 1 {
+		nmi = 1 // guard fp noise
+	}
+	return nmi
+}
+
+// RandIndex returns the (unadjusted) Rand index between two partitions:
+// the fraction of vertex pairs on which the partitions agree. O(n²) —
+// test-sized inputs only.
+func RandIndex(a, b []uint32) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	var agree, total float64
+	for i := 0; i < len(a); i++ {
+		for j := i + 1; j < len(a); j++ {
+			sameA := a[i] == a[j]
+			sameB := b[i] == b[j]
+			if sameA == sameB {
+				agree++
+			}
+			total++
+		}
+	}
+	return agree / total
+}
+
+// SizeHistogram buckets community sizes into powers of two and returns
+// counts indexed by log2 bucket; useful for reporting the community-size
+// distributions of the dataset table.
+func SizeHistogram(membership []uint32) []int {
+	sizes := CommunitySizes(membership)
+	var hist []int
+	for _, s := range sizes {
+		b := 0
+		for v := s; v > 1; v >>= 1 {
+			b++
+		}
+		for len(hist) <= b {
+			hist = append(hist, 0)
+		}
+		hist[b]++
+	}
+	return hist
+}
+
+// SamePartition reports whether two labelings describe the same
+// partition (identical up to label renaming) — an exact check, unlike
+// comparing NMI against 1.0, which is floating-point fragile.
+func SamePartition(a, b []uint32) bool {
+	return IsRefinementOf(a, b) && IsRefinementOf(b, a)
+}

@@ -1,0 +1,101 @@
+package quality
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNMIIdenticalPartitions(t *testing.T) {
+	a := []uint32{0, 0, 1, 1, 2, 2}
+	if got := NMI(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NMI(a,a) = %v", got)
+	}
+}
+
+func TestNMILabelPermutationInvariant(t *testing.T) {
+	a := []uint32{0, 0, 1, 1, 2, 2}
+	b := []uint32{5, 5, 9, 9, 7, 7}
+	if got := NMI(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NMI under relabeling = %v, want 1", got)
+	}
+}
+
+func TestNMIIndependentPartitions(t *testing.T) {
+	// Orthogonal splits of a 4-element set share no information.
+	a := []uint32{0, 0, 1, 1}
+	b := []uint32{0, 1, 0, 1}
+	if got := NMI(a, b); math.Abs(got) > 1e-12 {
+		t.Fatalf("NMI of independent partitions = %v, want 0", got)
+	}
+}
+
+func TestNMIDegenerateInputs(t *testing.T) {
+	if NMI(nil, nil) != 0 {
+		t.Fatal("empty NMI must be 0")
+	}
+	if NMI([]uint32{0, 1}, []uint32{0}) != 0 {
+		t.Fatal("length mismatch must be 0")
+	}
+	// Both trivial single-community partitions: identical → 1.
+	if got := NMI([]uint32{3, 3, 3}, []uint32{1, 1, 1}); got != 1 {
+		t.Fatalf("trivial partitions NMI = %v, want 1", got)
+	}
+	// One trivial, one not: zero entropy on one side → 0.
+	if got := NMI([]uint32{1, 1, 1}, []uint32{0, 1, 2}); got != 0 {
+		t.Fatalf("trivial-vs-discrete NMI = %v, want 0", got)
+	}
+}
+
+func TestNMIPartialAgreement(t *testing.T) {
+	a := []uint32{0, 0, 0, 1, 1, 1}
+	b := []uint32{0, 0, 1, 1, 1, 1}
+	got := NMI(a, b)
+	if got <= 0 || got >= 1 {
+		t.Fatalf("partial agreement NMI = %v, want in (0,1)", got)
+	}
+}
+
+func TestRandIndex(t *testing.T) {
+	a := []uint32{0, 0, 1, 1}
+	if got := RandIndex(a, a); got != 1 {
+		t.Fatalf("RandIndex(a,a) = %v", got)
+	}
+	b := []uint32{0, 1, 0, 1}
+	// Pairs: (01):same/diff,(02):diff/same,(03):diff/diff agree,
+	// (12):diff/diff agree,(13):same/diff... count: agreements are the
+	// pairs where both partitions agree: (0,3)? a:diff b:diff yes;
+	// (1,2): diff/diff yes; total agreements 2 of 6.
+	if got := RandIndex(a, b); math.Abs(got-2.0/6.0) > 1e-12 {
+		t.Fatalf("RandIndex = %v, want %v", got, 2.0/6.0)
+	}
+	if RandIndex(nil, nil) != 0 || RandIndex(a, a[:2]) != 0 {
+		t.Fatal("degenerate RandIndex inputs")
+	}
+}
+
+func TestSizeHistogram(t *testing.T) {
+	// sizes: 1, 2, 4 → buckets log2: 0, 1, 2.
+	m := []uint32{0, 1, 1, 2, 2, 2, 2}
+	h := SizeHistogram(m)
+	if len(h) != 3 || h[0] != 1 || h[1] != 1 || h[2] != 1 {
+		t.Fatalf("hist = %v", h)
+	}
+}
+
+func TestSamePartition(t *testing.T) {
+	a := []uint32{0, 0, 1, 1, 2}
+	b := []uint32{7, 7, 3, 3, 9} // same partition, different labels
+	if !SamePartition(a, b) {
+		t.Fatal("relabeled partition not recognized")
+	}
+	c := []uint32{0, 0, 1, 2, 2}
+	if SamePartition(a, c) {
+		t.Fatal("different partitions reported equal")
+	}
+	if !SamePartition(nil, nil) {
+		t.Fatal("empty partitions are the same")
+	}
+	if SamePartition(a, a[:3]) {
+		t.Fatal("length mismatch accepted")
+	}
+}

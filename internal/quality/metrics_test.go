@@ -1,0 +1,128 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"gveleiden/internal/graph"
+)
+
+func TestAnalyzeCommunitiesTrianglePair(t *testing.T) {
+	g := trianglePair() // two triangles joined by edge 2-3
+	member := []uint32{0, 0, 0, 1, 1, 1}
+	ms := AnalyzeCommunities(g, member)
+	if len(ms) != 2 {
+		t.Fatalf("got %d communities", len(ms))
+	}
+	for _, m := range ms {
+		if m.Size != 3 {
+			t.Fatalf("size = %d", m.Size)
+		}
+		if m.Internal != 3 { // 3 undirected internal edges
+			t.Fatalf("internal = %v", m.Internal)
+		}
+		if m.Cut != 1 { // the single bridge
+			t.Fatalf("cut = %v", m.Cut)
+		}
+		if m.Volume != 7 { // 2·3 internal + 1 bridge arc
+			t.Fatalf("volume = %v", m.Volume)
+		}
+		if math.Abs(m.Density-1) > 1e-12 { // triangles are cliques
+			t.Fatalf("density = %v", m.Density)
+		}
+		// conductance = 1 / min(7, 14-7) = 1/7
+		if math.Abs(m.Conductance-1.0/7.0) > 1e-12 {
+			t.Fatalf("conductance = %v", m.Conductance)
+		}
+		if !m.Connected {
+			t.Fatal("triangle reported disconnected")
+		}
+	}
+}
+
+func TestAnalyzeCommunitiesDetectsDisconnection(t *testing.T) {
+	// Path 0-1-2; community {0,2} is internally disconnected.
+	g := graph.FromAdjacency([][]uint32{{1}, {0, 2}, {1}})
+	ms := AnalyzeCommunities(g, []uint32{0, 1, 0})
+	var found bool
+	for _, m := range ms {
+		if m.Size == 2 && !m.Connected {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("disconnected community not flagged")
+	}
+}
+
+func TestAnalyzePartitionTrianglePair(t *testing.T) {
+	g := trianglePair()
+	member := []uint32{0, 0, 0, 1, 1, 1}
+	pm := AnalyzePartition(g, member)
+	if pm.Communities != 2 {
+		t.Fatalf("communities = %d", pm.Communities)
+	}
+	if math.Abs(pm.Modularity-5.0/14.0) > 1e-12 {
+		t.Fatalf("modularity = %v", pm.Modularity)
+	}
+	// Coverage: 6 of 7 edges intra.
+	if math.Abs(pm.Coverage-6.0/7.0) > 1e-12 {
+		t.Fatalf("coverage = %v", pm.Coverage)
+	}
+	// Performance: 15 pairs total; intra pairs 6, all are edges; inter
+	// pairs 9, one (2-3) is an edge → (6 + 8)/15.
+	if math.Abs(pm.Performance-14.0/15.0) > 1e-12 {
+		t.Fatalf("performance = %v", pm.Performance)
+	}
+	if pm.MinSize != 3 || pm.MaxSize != 3 || pm.MedianSize != 3 {
+		t.Fatalf("sizes = %d/%d/%d", pm.MinSize, pm.MedianSize, pm.MaxSize)
+	}
+	if pm.Disconnected != 0 {
+		t.Fatalf("disconnected = %d", pm.Disconnected)
+	}
+	if math.Abs(pm.AvgConductance-1.0/7.0) > 1e-12 {
+		t.Fatalf("avg conductance = %v", pm.AvgConductance)
+	}
+}
+
+func TestAnalyzePartitionEmpty(t *testing.T) {
+	pm := AnalyzePartition(graph.FromAdjacency(nil), nil)
+	if pm.Communities != 0 {
+		t.Fatal("empty partition metrics wrong")
+	}
+}
+
+func TestConductance(t *testing.T) {
+	g := trianglePair()
+	// One triangle: cut 1, vol 7, 2m=14 → 1/7.
+	if got := Conductance(g, []uint32{0, 1, 2}); math.Abs(got-1.0/7.0) > 1e-12 {
+		t.Fatalf("conductance = %v", got)
+	}
+	// Whole graph: no cut.
+	if got := Conductance(g, []uint32{0, 1, 2, 3, 4, 5}); got != 0 {
+		t.Fatalf("full-set conductance = %v", got)
+	}
+	// Single vertex 0: cut 2, vol 2 → 1.
+	if got := Conductance(g, []uint32{0}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("singleton conductance = %v", got)
+	}
+	if got := Conductance(g, nil); got != 0 {
+		t.Fatal("empty set conductance must be 0")
+	}
+}
+
+func TestAnalyzeSingletons(t *testing.T) {
+	g := trianglePair()
+	member := []uint32{0, 1, 2, 3, 4, 5}
+	pm := AnalyzePartition(g, member)
+	if pm.Coverage != 0 {
+		t.Fatalf("singleton coverage = %v", pm.Coverage)
+	}
+	if pm.Communities != 6 || pm.MaxSize != 1 {
+		t.Fatal("singleton stats wrong")
+	}
+	// All pairs are inter; the 7 edges are misclassified: (0 + (15-7))/15.
+	if math.Abs(pm.Performance-8.0/15.0) > 1e-12 {
+		t.Fatalf("performance = %v", pm.Performance)
+	}
+}

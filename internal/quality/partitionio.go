@@ -1,0 +1,67 @@
+package quality
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Partition I/O: the on-disk format is one "vertex community" pair per
+// line (the format the paper's artifact saves for its disconnection
+// analysis), '#' comments allowed.
+
+// WritePartition writes membership as "vertex community" lines.
+func WritePartition(w io.Writer, membership []uint32) error {
+	bw := bufio.NewWriter(w)
+	for v, c := range membership {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", v, c); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPartition reads a membership for an n-vertex graph, requiring
+// every vertex to be assigned exactly the labels saved.
+func ReadPartition(r io.Reader, n int) ([]uint32, error) {
+	membership := make([]uint32, n)
+	assigned := make([]bool, n)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("quality: partition line %d: need 'vertex community'", line)
+		}
+		v, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("quality: partition line %d: %w", line, err)
+		}
+		c, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("quality: partition line %d: %w", line, err)
+		}
+		if int(v) >= n {
+			return nil, fmt.Errorf("quality: partition line %d: vertex %d out of range (n=%d)", line, v, n)
+		}
+		membership[v] = uint32(c)
+		assigned[v] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for v, ok := range assigned {
+		if !ok {
+			return nil, fmt.Errorf("quality: vertex %d has no community assignment", v)
+		}
+	}
+	return membership, nil
+}

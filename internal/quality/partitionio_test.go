@@ -1,0 +1,50 @@
+package quality
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPartitionRoundTrip(t *testing.T) {
+	memb := []uint32{3, 1, 4, 1, 5}
+	var buf bytes.Buffer
+	if err := WritePartition(&buf, memb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPartition(&buf, len(memb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range memb {
+		if got[i] != memb[i] {
+			t.Fatalf("round trip differs at %d", i)
+		}
+	}
+}
+
+func TestReadPartitionCommentsAndOrder(t *testing.T) {
+	in := "# header\n2 9\n0 7\n\n1 8\n"
+	got, err := ReadPartition(strings.NewReader(in), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 || got[1] != 8 || got[2] != 9 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReadPartitionErrors(t *testing.T) {
+	cases := []string{
+		"0\n",        // missing community
+		"a 1\n",      // bad vertex
+		"0 b\n",      // bad community
+		"9 1\n0 0\n", // vertex out of range (n=2)
+		"0 1\n",      // vertex 1 unassigned (n=2)
+	}
+	for i, in := range cases {
+		if _, err := ReadPartition(strings.NewReader(in), 2); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

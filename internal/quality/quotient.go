@@ -1,0 +1,45 @@
+package quality
+
+import (
+	"gveleiden/internal/graph"
+)
+
+// CommunityGraph builds the quotient (super-vertex) graph of a
+// membership: one vertex per community, edge weights summing the
+// inter-community edge weights, self-loops carrying internal weight
+// (σ_c, matching the aggregation convention of the core algorithm).
+// The returned slice maps quotient vertex id → original community
+// label.
+func CommunityGraph(g *graph.CSR, membership []uint32) (*graph.CSR, []uint32) {
+	n := g.NumVertices()
+	dense := make(map[uint32]uint32, 256)
+	var labels []uint32
+	idx := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		c := membership[i]
+		d, ok := dense[c]
+		if !ok {
+			d = uint32(len(dense))
+			dense[c] = d
+			labels = append(labels, c)
+		}
+		idx[i] = d
+	}
+	acc := make(map[uint64]float64, len(dense)*4)
+	for i := 0; i < n; i++ {
+		ci := idx[i]
+		es, ws := g.Neighbors(uint32(i))
+		for k, e := range es {
+			cj := idx[e]
+			if ci > cj {
+				continue // count each unordered pair from one side
+			}
+			acc[uint64(ci)<<32|uint64(cj)] += float64(ws[k])
+		}
+	}
+	b := graph.NewBuilder(len(dense))
+	for key, w := range acc {
+		b.AddEdge(uint32(key>>32), uint32(key), float32(w))
+	}
+	return b.Build(), labels
+}

@@ -1,0 +1,46 @@
+package quality
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCommunityGraph(t *testing.T) {
+	g := trianglePair()
+	member := []uint32{0, 0, 0, 1, 1, 1}
+	q, labels := CommunityGraph(g, member)
+	if q.NumVertices() != 2 {
+		t.Fatalf("quotient |V| = %d", q.NumVertices())
+	}
+	if len(labels) != 2 || labels[0] != 0 || labels[1] != 1 {
+		t.Fatalf("labels = %v", labels)
+	}
+	// Self-loops carry σ_c = 6 (arc weight inside each triangle);
+	// the bridge contributes 1.
+	if q.ArcWeight(0, 0) != 6 || q.ArcWeight(1, 1) != 6 {
+		t.Fatalf("loops = %v / %v", q.ArcWeight(0, 0), q.ArcWeight(1, 1))
+	}
+	if q.ArcWeight(0, 1) != 1 {
+		t.Fatalf("bridge = %v", q.ArcWeight(0, 1))
+	}
+	// Total weight preserved, so modularity of the quotient's singleton
+	// partition equals the original partition's.
+	if math.Abs(q.TotalWeight()-g.TotalWeight()) > 1e-9 {
+		t.Fatal("total weight changed")
+	}
+	if math.Abs(Modularity(q, []uint32{0, 1})-Modularity(g, member)) > 1e-12 {
+		t.Fatal("quotient modularity mismatch")
+	}
+}
+
+func TestCommunityGraphArbitraryLabels(t *testing.T) {
+	g := trianglePair()
+	member := []uint32{9, 9, 9, 4, 4, 4} // sparse labels
+	q, labels := CommunityGraph(g, member)
+	if q.NumVertices() != 2 {
+		t.Fatalf("quotient |V| = %d", q.NumVertices())
+	}
+	if labels[0] != 9 || labels[1] != 4 {
+		t.Fatalf("labels = %v (first-occurrence order expected)", labels)
+	}
+}

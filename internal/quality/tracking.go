@@ -1,0 +1,102 @@
+package quality
+
+import (
+	"sort"
+)
+
+// Community tracking: match the communities of two snapshots of an
+// evolving graph by Jaccard overlap of their member sets — the standard
+// way to follow a community through a dynamic run (companion to
+// core.LeidenDynamic).
+
+// Match pairs a community of the previous snapshot with its best
+// continuation in the current one.
+type Match struct {
+	// Prev and Cur are the matched community labels (Cur is the best
+	// Jaccard match; ^uint32(0) when the community vanished entirely).
+	Prev, Cur uint32
+	// Jaccard is |Prev ∩ Cur| / |Prev ∪ Cur| over the shared vertex
+	// range.
+	Jaccard float64
+	// PrevSize and CurSize are the community sizes.
+	PrevSize, CurSize int
+}
+
+// NoMatch marks a vanished community in Match.Cur.
+const NoMatch = ^uint32(0)
+
+// MatchCommunities matches every community of prev to its best-Jaccard
+// counterpart in cur. The two memberships may differ in length (grown
+// or shrunk vertex sets); overlaps are computed over the shared prefix.
+// Results are sorted by decreasing previous-community size.
+func MatchCommunities(prev, cur []uint32) []Match {
+	shared := len(prev)
+	if len(cur) < shared {
+		shared = len(cur)
+	}
+	prevSize := map[uint32]int{}
+	for _, c := range prev {
+		prevSize[c]++
+	}
+	curSize := map[uint32]int{}
+	for _, c := range cur {
+		curSize[c]++
+	}
+	// Joint counts over the shared vertices.
+	joint := map[uint64]int{}
+	for v := 0; v < shared; v++ {
+		joint[uint64(prev[v])<<32|uint64(cur[v])]++
+	}
+	type best struct {
+		cur     uint32
+		overlap int
+	}
+	bests := map[uint32]best{}
+	for key, n := range joint {
+		p := uint32(key >> 32)
+		c := uint32(key & 0xFFFFFFFF)
+		b, ok := bests[p]
+		if !ok || n > b.overlap || (n == b.overlap && c < b.cur) {
+			bests[p] = best{c, n}
+		}
+	}
+	out := make([]Match, 0, len(prevSize))
+	for p, size := range prevSize {
+		m := Match{Prev: p, Cur: NoMatch, PrevSize: size}
+		if b, ok := bests[p]; ok {
+			union := size + curSize[b.cur] - b.overlap
+			m.Cur = b.cur
+			m.CurSize = curSize[b.cur]
+			if union > 0 {
+				m.Jaccard = float64(b.overlap) / float64(union)
+			}
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].PrevSize != out[b].PrevSize {
+			return out[a].PrevSize > out[b].PrevSize
+		}
+		return out[a].Prev < out[b].Prev
+	})
+	return out
+}
+
+// StabilityIndex summarizes how much a partition changed between
+// snapshots: the size-weighted mean Jaccard of the best matches, in
+// [0, 1]; 1 means every community survived intact.
+func StabilityIndex(prev, cur []uint32) float64 {
+	matches := MatchCommunities(prev, cur)
+	if len(matches) == 0 {
+		return 0
+	}
+	var weighted, total float64
+	for _, m := range matches {
+		weighted += m.Jaccard * float64(m.PrevSize)
+		total += float64(m.PrevSize)
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / total
+}

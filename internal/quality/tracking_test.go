@@ -1,0 +1,93 @@
+package quality
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMatchCommunitiesIdentical(t *testing.T) {
+	a := []uint32{0, 0, 1, 1, 1, 2}
+	ms := MatchCommunities(a, a)
+	if len(ms) != 3 {
+		t.Fatalf("matches = %d", len(ms))
+	}
+	// Sorted by decreasing size: community 1 (3 members) first.
+	if ms[0].Prev != 1 || ms[0].Cur != 1 || ms[0].Jaccard != 1 {
+		t.Fatalf("best match = %+v", ms[0])
+	}
+	for _, m := range ms {
+		if m.Jaccard != 1 || m.Prev != m.Cur {
+			t.Fatalf("identical snapshots must match perfectly: %+v", m)
+		}
+	}
+	if s := StabilityIndex(a, a); s != 1 {
+		t.Fatalf("stability = %v", s)
+	}
+}
+
+func TestMatchCommunitiesRelabeled(t *testing.T) {
+	prev := []uint32{0, 0, 1, 1}
+	cur := []uint32{9, 9, 4, 4}
+	ms := MatchCommunities(prev, cur)
+	for _, m := range ms {
+		if m.Jaccard != 1 {
+			t.Fatalf("relabeling must not lower Jaccard: %+v", m)
+		}
+	}
+	if m := findMatch(ms, 0); m.Cur != 9 {
+		t.Fatalf("community 0 matched %d, want 9", m.Cur)
+	}
+}
+
+func TestMatchCommunitiesSplit(t *testing.T) {
+	prev := []uint32{0, 0, 0, 0}
+	cur := []uint32{1, 1, 2, 2} // community 0 split in half
+	ms := MatchCommunities(prev, cur)
+	if len(ms) != 1 {
+		t.Fatalf("matches = %d", len(ms))
+	}
+	m := ms[0]
+	// Best continuation is either half: overlap 2, union 4 → 0.5.
+	if m.Cur != 1 || math.Abs(m.Jaccard-0.5) > 1e-12 {
+		t.Fatalf("split match = %+v", m)
+	}
+	if s := StabilityIndex(prev, cur); math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("stability = %v", s)
+	}
+}
+
+func TestMatchCommunitiesGrownVertexSet(t *testing.T) {
+	prev := []uint32{0, 0, 1}
+	cur := []uint32{0, 0, 1, 1, 1} // two new vertices joined community 1
+	ms := MatchCommunities(prev, cur)
+	m := findMatch(ms, 1)
+	// overlap 1 (vertex 2), union = 1 + 3 − 1 = 3.
+	if math.Abs(m.Jaccard-1.0/3.0) > 1e-12 {
+		t.Fatalf("grown match = %+v", m)
+	}
+}
+
+func TestMatchCommunitiesVanished(t *testing.T) {
+	prev := []uint32{0, 1}
+	cur := []uint32{0} // vertex 1 disappeared with its community
+	ms := MatchCommunities(prev, cur)
+	m := findMatch(ms, 1)
+	if m.Cur != NoMatch || m.Jaccard != 0 {
+		t.Fatalf("vanished community must report NoMatch: %+v", m)
+	}
+}
+
+func TestStabilityDegenerate(t *testing.T) {
+	if StabilityIndex(nil, nil) != 0 {
+		t.Fatal("empty stability must be 0")
+	}
+}
+
+func findMatch(ms []Match, prev uint32) Match {
+	for _, m := range ms {
+		if m.Prev == prev {
+			return m
+		}
+	}
+	return Match{}
+}

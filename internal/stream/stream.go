@@ -1,0 +1,145 @@
+// Package stream provides a mutable graph for evolving-network
+// workloads: an adjacency-map overlay supporting edge insertion,
+// deletion and weight updates in O(1) expected time, with an efficient
+// Snapshot that materializes the current state as the immutable CSR the
+// detection algorithms consume. It is the substrate under the dynamic
+// Leiden workflow (core.LeidenDynamic): batch mutations accumulate
+// here; Snapshot + the batch go to the detector.
+package stream
+
+import (
+	"fmt"
+
+	"gveleiden/internal/graph"
+)
+
+// Graph is a mutable weighted undirected graph. Not safe for concurrent
+// mutation; snapshots are independent of later mutations.
+type Graph struct {
+	adj   []map[uint32]float32 // adj[u][v] = weight (symmetric; loops on u only)
+	edges int64                // undirected edge count (loops count once)
+}
+
+// New returns a mutable graph with n initial vertices.
+func New(n int) *Graph {
+	return &Graph{adj: make([]map[uint32]float32, n)}
+}
+
+// FromCSR returns a mutable copy of a CSR graph.
+func FromCSR(g *graph.CSR) *Graph {
+	s := New(g.NumVertices())
+	n := g.NumVertices()
+	for i := 0; i < n; i++ {
+		es, ws := g.Neighbors(uint32(i))
+		for k, e := range es {
+			if uint32(i) <= e {
+				s.AddEdge(uint32(i), e, ws[k])
+			}
+		}
+	}
+	return s
+}
+
+// NumVertices returns the current vertex count.
+func (s *Graph) NumVertices() int { return len(s.adj) }
+
+// NumEdges returns the current undirected edge count.
+func (s *Graph) NumEdges() int64 { return s.edges }
+
+// ensure grows the vertex set to cover id v.
+func (s *Graph) ensure(v uint32) {
+	for uint32(len(s.adj)) <= v {
+		s.adj = append(s.adj, nil)
+	}
+}
+
+// HasEdge reports whether the undirected edge {u,v} exists.
+func (s *Graph) HasEdge(u, v uint32) bool {
+	if int(u) >= len(s.adj) || s.adj[u] == nil {
+		return false
+	}
+	_, ok := s.adj[u][v]
+	return ok
+}
+
+// Weight returns the weight of edge {u,v}, 0 if absent.
+func (s *Graph) Weight(u, v uint32) float32 {
+	if int(u) >= len(s.adj) || s.adj[u] == nil {
+		return 0
+	}
+	return s.adj[u][v]
+}
+
+// AddEdge inserts {u,v} with weight w, adding w to an existing edge.
+// Self-loops are allowed. New endpoints grow the vertex set.
+func (s *Graph) AddEdge(u, v uint32, w float32) {
+	s.ensure(u)
+	s.ensure(v)
+	if s.adj[u] == nil {
+		s.adj[u] = make(map[uint32]float32, 4)
+	}
+	if _, exists := s.adj[u][v]; !exists {
+		s.edges++
+	}
+	s.adj[u][v] += w
+	if u != v {
+		if s.adj[v] == nil {
+			s.adj[v] = make(map[uint32]float32, 4)
+		}
+		s.adj[v][u] += w
+	}
+}
+
+// RemoveEdge deletes {u,v} entirely, reporting whether it existed.
+func (s *Graph) RemoveEdge(u, v uint32) bool {
+	if int(u) >= len(s.adj) || s.adj[u] == nil {
+		return false
+	}
+	if _, ok := s.adj[u][v]; !ok {
+		return false
+	}
+	delete(s.adj[u], v)
+	if u != v && int(v) < len(s.adj) && s.adj[v] != nil {
+		delete(s.adj[v], u)
+	}
+	s.edges--
+	return true
+}
+
+// Degree returns u's current neighbour count (loop counts once).
+func (s *Graph) Degree(u uint32) int {
+	if int(u) >= len(s.adj) {
+		return 0
+	}
+	return len(s.adj[u])
+}
+
+// Apply applies a batch: deletions first, then insertions (matching
+// graph.ApplyDelta's semantics). It returns an error when a deletion
+// names a missing edge, so callers notice desynchronized batches.
+func (s *Graph) Apply(insertions, deletions []graph.Edge) error {
+	for _, e := range deletions {
+		if !s.RemoveEdge(e.U, e.V) {
+			return fmt.Errorf("stream: deletion of missing edge {%d,%d}", e.U, e.V)
+		}
+	}
+	for _, e := range insertions {
+		s.AddEdge(e.U, e.V, e.W)
+	}
+	return nil
+}
+
+// Snapshot materializes the current state as a compact CSR with sorted
+// adjacency — the input format of the detection algorithms.
+func (s *Graph) Snapshot() *graph.CSR {
+	n := len(s.adj)
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v, w := range s.adj[u] {
+			if uint32(u) <= v {
+				b.AddEdge(uint32(u), v, w)
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,191 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gveleiden/internal/core"
+	"gveleiden/internal/gen"
+	"gveleiden/internal/graph"
+	"gveleiden/internal/quality"
+)
+
+func TestBasicMutation(t *testing.T) {
+	s := New(3)
+	s.AddEdge(0, 1, 1)
+	s.AddEdge(1, 2, 2)
+	if s.NumEdges() != 2 || s.NumVertices() != 3 {
+		t.Fatalf("edges=%d vertices=%d", s.NumEdges(), s.NumVertices())
+	}
+	if !s.HasEdge(0, 1) || !s.HasEdge(1, 0) {
+		t.Fatal("symmetry broken")
+	}
+	if s.Weight(1, 2) != 2 {
+		t.Fatalf("weight = %v", s.Weight(1, 2))
+	}
+	s.AddEdge(0, 1, 3) // reinforce
+	if s.Weight(0, 1) != 4 || s.NumEdges() != 2 {
+		t.Fatal("reinforcement broken")
+	}
+	if !s.RemoveEdge(0, 1) {
+		t.Fatal("remove failed")
+	}
+	if s.HasEdge(1, 0) || s.NumEdges() != 1 {
+		t.Fatal("remove left residue")
+	}
+	if s.RemoveEdge(0, 1) {
+		t.Fatal("double remove succeeded")
+	}
+	if s.Degree(1) != 1 {
+		t.Fatalf("degree = %d", s.Degree(1))
+	}
+}
+
+func TestVertexGrowthAndLoops(t *testing.T) {
+	s := New(0)
+	s.AddEdge(5, 5, 2) // loop on a new vertex
+	if s.NumVertices() != 6 || s.NumEdges() != 1 {
+		t.Fatalf("v=%d e=%d", s.NumVertices(), s.NumEdges())
+	}
+	g := s.Snapshot()
+	if g.ArcWeight(5, 5) != 2 {
+		t.Fatalf("loop weight = %v", g.ArcWeight(5, 5))
+	}
+	if g.VertexWeight(5) != 2 {
+		t.Fatalf("K_5 = %v", g.VertexWeight(5))
+	}
+}
+
+func TestFromCSRRoundTrip(t *testing.T) {
+	g, _ := gen.WebGraph(500, 8, 3)
+	s := FromCSR(g)
+	if s.NumEdges() != g.NumUndirectedEdges() {
+		t.Fatalf("edges %d vs %d", s.NumEdges(), g.NumUndirectedEdges())
+	}
+	snap := s.Snapshot()
+	if snap.NumArcs() != g.NumArcs() {
+		t.Fatalf("arcs %d vs %d", snap.NumArcs(), g.NumArcs())
+	}
+	if snap.TotalWeight() != g.TotalWeight() {
+		t.Fatal("round trip changed total weight")
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyMatchesApplyDelta(t *testing.T) {
+	g, _ := gen.SocialNetwork(600, 10, 6, 0.3, 5)
+	ins, del := graph.RandomDelta(g, 40, 30, 9)
+
+	viaRebuild := graph.ApplyDelta(g, ins, del)
+
+	s := FromCSR(g)
+	if err := s.Apply(ins, del); err != nil {
+		t.Fatal(err)
+	}
+	viaStream := s.Snapshot()
+
+	if viaStream.NumArcs() != viaRebuild.NumArcs() {
+		t.Fatalf("arc counts differ: %d vs %d", viaStream.NumArcs(), viaRebuild.NumArcs())
+	}
+	diff := viaStream.TotalWeight() - viaRebuild.TotalWeight()
+	if diff > 1e-3 || diff < -1e-3 {
+		t.Fatalf("weights differ: %v vs %v", viaStream.TotalWeight(), viaRebuild.TotalWeight())
+	}
+	// Structural equality: same sorted adjacency everywhere.
+	n := viaRebuild.NumVertices()
+	for i := 0; i < n; i++ {
+		e1, w1 := viaStream.Neighbors(uint32(i))
+		e2, w2 := viaRebuild.Neighbors(uint32(i))
+		if len(e1) != len(e2) {
+			t.Fatalf("vertex %d: degree %d vs %d", i, len(e1), len(e2))
+		}
+		for k := range e1 {
+			if e1[k] != e2[k] || w1[k] != w2[k] {
+				t.Fatalf("vertex %d arc %d differs", i, k)
+			}
+		}
+	}
+}
+
+func TestApplyRejectsMissingDeletion(t *testing.T) {
+	s := New(3)
+	s.AddEdge(0, 1, 1)
+	err := s.Apply(nil, []graph.Edge{{U: 1, V: 2}})
+	if err == nil {
+		t.Fatal("deleting a missing edge must error")
+	}
+}
+
+func TestStreamDrivesDynamicLeiden(t *testing.T) {
+	// End-to-end: stream mutations + dynamic Leiden across 4 batches.
+	g0, _ := gen.SocialNetwork(1200, 12, 10, 0.3, 21)
+	s := FromCSR(g0)
+	opt := core.DefaultOptions()
+	opt.Threads = 2
+	res := core.Leiden(g0, opt)
+	for batch := 0; batch < 4; batch++ {
+		snap := s.Snapshot()
+		ins, del := graph.RandomDelta(snap, 20, 10, uint64(batch)+40)
+		if err := s.Apply(ins, del); err != nil {
+			t.Fatal(err)
+		}
+		next := s.Snapshot()
+		res = core.LeidenDynamic(next, res.Membership,
+			core.Delta{Insertions: ins, Deletions: del}, core.DynamicFrontier, opt)
+		if err := quality.ValidatePartition(next, res.Membership); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if ds := quality.CountDisconnected(next, res.Membership, 2); ds.Disconnected != 0 {
+			t.Fatalf("batch %d: %d disconnected", batch, ds.Disconnected)
+		}
+	}
+}
+
+// TestStreamPropertyVsReference: any mutation sequence leaves the
+// stream graph equal to a naive map-of-edges reference.
+func TestStreamPropertyVsReference(t *testing.T) {
+	type op struct {
+		U, V   uint8
+		W      uint8
+		Remove bool
+	}
+	err := quick.Check(func(ops []op) bool {
+		s := New(0)
+		ref := map[[2]uint32]float32{}
+		key := func(u, v uint32) [2]uint32 {
+			if u > v {
+				u, v = v, u
+			}
+			return [2]uint32{u, v}
+		}
+		for _, o := range ops {
+			u, v := uint32(o.U%32), uint32(o.V%32)
+			if o.Remove {
+				existed := s.RemoveEdge(u, v)
+				_, want := ref[key(u, v)]
+				if existed != want {
+					return false
+				}
+				delete(ref, key(u, v))
+			} else {
+				w := float32(o.W%8) + 1
+				s.AddEdge(u, v, w)
+				ref[key(u, v)] += w
+			}
+		}
+		if s.NumEdges() != int64(len(ref)) {
+			return false
+		}
+		for k, w := range ref {
+			if s.Weight(k[0], k[1]) != w {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package gveleiden
+
+import (
+	"gveleiden/internal/quality"
+)
+
+// CommunityMetrics summarizes one community: size, internal weight,
+// cut, volume, density, conductance, and internal connectivity.
+type CommunityMetrics = quality.CommunityMetrics
+
+// PartitionMetrics summarizes a clustering: modularity, coverage,
+// performance, conductance statistics, size distribution, and the
+// count of internally-disconnected communities.
+type PartitionMetrics = quality.PartitionMetrics
+
+// AnalyzeCommunities computes per-community metrics for a membership.
+func AnalyzeCommunities(g *Graph, membership []uint32) []CommunityMetrics {
+	return quality.AnalyzeCommunities(g, membership)
+}
+
+// AnalyzePartition computes whole-partition quality metrics.
+func AnalyzePartition(g *Graph, membership []uint32) PartitionMetrics {
+	return quality.AnalyzePartition(g, membership)
+}
+
+// Conductance returns the conductance of an arbitrary vertex set.
+func Conductance(g *Graph, set []uint32) float64 {
+	return quality.Conductance(g, set)
+}
+
+// ModularityResolution evaluates generalized modularity at resolution γ.
+func ModularityResolution(g *Graph, membership []uint32, gamma float64) float64 {
+	return quality.ModularityResolution(g, membership, gamma)
+}
+
+// RandIndex returns the fraction of vertex pairs two partitions agree
+// on (O(n²); intended for small evaluations).
+func RandIndex(a, b []uint32) float64 { return quality.RandIndex(a, b) }
+
+// CommunityGraph builds the quotient graph of a membership: one vertex
+// per community, inter-community weights summed, self-loops carrying
+// each community's internal weight. The slice maps quotient vertex →
+// original community label.
+func CommunityGraph(g *Graph, membership []uint32) (*Graph, []uint32) {
+	return quality.CommunityGraph(g, membership)
+}
+
+// SamePartition reports whether two labelings describe the same
+// partition up to label renaming (exact, no floating point).
+func SamePartition(a, b []uint32) bool { return quality.SamePartition(a, b) }
+
+// Match pairs a community of a previous snapshot with its best-Jaccard
+// continuation in the current one.
+type Match = quality.Match
+
+// NoMatch marks a vanished community in Match.Cur.
+const NoMatch = quality.NoMatch
+
+// MatchCommunities tracks communities across two snapshots of an
+// evolving graph, pairing each previous community with its best-Jaccard
+// continuation — the companion to LeidenDynamic for studying community
+// evolution.
+func MatchCommunities(prev, cur []uint32) []Match {
+	return quality.MatchCommunities(prev, cur)
+}
+
+// StabilityIndex is the size-weighted mean Jaccard of the best matches
+// between two snapshots (1 = every community survived intact).
+func StabilityIndex(prev, cur []uint32) float64 {
+	return quality.StabilityIndex(prev, cur)
+}
