@@ -1,0 +1,47 @@
+// Command benchjson emits the machine-readable benchmark artifact
+// committed with a PR: pool-vs-spawn runtime microbenchmarks plus an
+// end-to-end Leiden timing per dataset class.
+//
+//	benchjson -o BENCH_PR1.json -scale 0.15 -repeat 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"gveleiden/internal/bench"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "BENCH_PR1.json", "output path")
+		scale   = flag.Float64("scale", 0.15, "dataset size multiplier")
+		repeat  = flag.Int("repeat", 3, "e2e repeats (best-of)")
+		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		note    = flag.String("note", "persistent work-stealing pool vs per-call goroutine spawning", "free-form note")
+	)
+	flag.Parse()
+
+	report := bench.BenchReport{
+		PR:         "PR1",
+		Note:       *note,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Micro:      bench.RuntimeMicro([]int{2, 4, 8}),
+		E2E:        bench.E2EBench(*scale, *repeat, *threads),
+	}
+	if err := report.WriteJSON(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	for _, m := range report.Micro {
+		fmt.Printf("micro %-16s t=%d  pool %8.0f ns/op  spawn %8.0f ns/op  %.1fx\n",
+			m.Name, m.Threads, m.PoolNsPerOp, m.SpawnNsOp, m.Speedup)
+	}
+	for _, e := range report.E2E {
+		fmt.Printf("e2e   %-16s t=%d  %8.1f ms  Q=%.4f  C=%d\n",
+			e.Dataset, e.Threads, e.BestMs, e.Modularity, e.Communities)
+	}
+	fmt.Println("wrote", *out)
+}

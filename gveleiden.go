@@ -19,6 +19,7 @@ package gveleiden
 import (
 	"gveleiden/internal/core"
 	"gveleiden/internal/graph"
+	"gveleiden/internal/parallel"
 	"gveleiden/internal/quality"
 )
 
@@ -60,6 +61,21 @@ const (
 	VariantMed   = core.VariantMedium
 	VariantHeavy = core.VariantHeavy
 )
+
+// Pool is a persistent work-stealing worker pool. Every parallel
+// region of a run executes on one; by default all runs share a single
+// process-wide pool whose workers spawn once and park between regions.
+// Construct a dedicated Pool (and set Options.Pool) to isolate
+// concurrent runs from each other.
+type Pool = parallel.Pool
+
+// NewPool returns a dedicated worker pool with the given number of
+// persistent workers (0 = GOMAXPROCS). Close it when done.
+func NewPool(threads int) *Pool { return parallel.NewPool(threads) }
+
+// DefaultPool returns the shared process-wide pool used when
+// Options.Pool is nil.
+func DefaultPool() *Pool { return parallel.Default() }
 
 // DefaultOptions returns the configuration evaluated in the paper.
 func DefaultOptions() Options { return core.DefaultOptions() }

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"gveleiden/internal/core"
+	"gveleiden/internal/parallel"
+)
+
+// MicroRecord is one pool-vs-spawn runtime microbenchmark result: the
+// same parallel-for region executed on the persistent pool and on the
+// legacy spawn-per-call runtime.
+type MicroRecord struct {
+	Name        string  `json:"name"`
+	Threads     int     `json:"threads"`
+	N           int     `json:"n"`
+	PoolNsPerOp float64 `json:"pool_ns_per_op"`
+	SpawnNsOp   float64 `json:"spawn_ns_per_op"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// E2ERecord is one end-to-end Leiden timing on a registry dataset.
+type E2ERecord struct {
+	Dataset     string  `json:"dataset"`
+	Class       string  `json:"class"`
+	Vertices    int     `json:"vertices"`
+	Arcs        int64   `json:"arcs"`
+	Threads     int     `json:"threads"`
+	BestMs      float64 `json:"best_ms"`
+	Modularity  float64 `json:"modularity"`
+	Communities int     `json:"communities"`
+}
+
+// BenchReport is the machine-readable benchmark artifact committed with
+// a PR (e.g. BENCH_PR1.json).
+type BenchReport struct {
+	PR         string        `json:"pr"`
+	Note       string        `json:"note"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Micro      []MicroRecord `json:"micro"`
+	E2E        []E2ERecord   `json:"e2e"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r BenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// timeIt measures ns/op of f with geometric iteration growth until the
+// sample takes at least minSample (the testing-package approach, kept
+// dependency-free so a plain binary can emit benchmark JSON).
+func timeIt(f func()) float64 {
+	const minSample = 40 * time.Millisecond
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		d := time.Since(start)
+		if d >= minSample || iters > 1<<24 {
+			return float64(d.Nanoseconds()) / float64(iters)
+		}
+		iters *= 2
+	}
+}
+
+// RuntimeMicro runs the pool-vs-spawn microbenchmarks at the given
+// thread counts: a small-body region of n indices at grain 1, the
+// region shape a Leiden pass issues hundreds of times, where scheduling
+// overhead dominates.
+func RuntimeMicro(threadCounts []int) []MicroRecord {
+	const n = 4096
+	p := parallel.NewPool(maxOf(threadCounts))
+	defer p.Close()
+	sink := make([]int64, 64)
+	body := func(lo, hi, tid int) {
+		local := int64(0)
+		for i := lo; i < hi; i++ {
+			local += int64(i)
+		}
+		sink[0] += local // benign: measurement only
+	}
+	var out []MicroRecord
+	for _, t := range threadCounts {
+		t := t
+		spawn := timeIt(func() { parallel.SpawnFor(n, t, 1, body) })
+		pool := timeIt(func() { p.For(n, t, 1, body) })
+		out = append(out, MicroRecord{
+			Name:        "small-body-for",
+			Threads:     t,
+			N:           n,
+			PoolNsPerOp: pool,
+			SpawnNsOp:   spawn,
+			Speedup:     spawn / pool,
+		})
+	}
+	return out
+}
+
+func maxOf(a []int) int {
+	m := 1
+	for _, v := range a {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// E2EBench times a full Leiden run (default options, persistent pool)
+// on one representative dataset per registry class, reporting the best
+// of `repeats` runs.
+func E2EBench(scale float64, repeats, threads int) []E2ERecord {
+	if repeats < 1 {
+		repeats = 1
+	}
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	picks := map[string]bool{
+		"web-indochina": true, "soc-livejournal": true,
+		"road-asia": true, "kmer-A2a": true,
+	}
+	var out []E2ERecord
+	for _, d := range Registry(scale) {
+		if !picks[d.Name] {
+			continue
+		}
+		g, _ := Load(d)
+		opt := core.DefaultOptions()
+		opt.Threads = threads
+		best := time.Duration(0)
+		var res *core.Result
+		for r := 0; r < repeats; r++ {
+			start := time.Now()
+			res = core.Leiden(g, opt)
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		out = append(out, E2ERecord{
+			Dataset:     d.Name,
+			Class:       d.Class,
+			Vertices:    g.NumVertices(),
+			Arcs:        g.NumArcs(),
+			Threads:     threads,
+			BestMs:      float64(best.Microseconds()) / 1000,
+			Modularity:  res.Modularity,
+			Communities: res.NumCommunities,
+		})
+	}
+	return out
+}

@@ -47,6 +47,17 @@ func priority(v uint32) uint64 {
 // pairwise non-adjacent, so rounds are race-free and the coloring is a
 // deterministic function of the graph — identical for any thread count.
 func Greedy(g *graph.CSR, threads int) *Coloring {
+	return GreedyOn(parallel.Default(), g, threads)
+}
+
+// GreedyOn is Greedy running its parallel rounds on the given pool, so
+// a caller that owns a persistent worker pool (core's Leiden runs in
+// deterministic mode) colors with the same workers it optimizes with.
+// p == nil uses the default pool.
+func GreedyOn(p *parallel.Pool, g *graph.CSR, threads int) *Coloring {
+	if p == nil {
+		p = parallel.Default()
+	}
 	n := g.NumVertices()
 	if threads <= 0 {
 		threads = parallel.DefaultThreads()
@@ -83,7 +94,7 @@ func Greedy(g *graph.CSR, threads int) *Coloring {
 	}
 	for len(pending) > 0 {
 		eligCh := make([][]uint32, threads)
-		parallel.For(len(pending), threads, 256, func(lo, hi, tid int) {
+		p.For(len(pending), threads, 256, func(lo, hi, tid int) {
 			for idx := lo; idx < hi; idx++ {
 				u := pending[idx]
 				pu := priority(u)
@@ -110,7 +121,7 @@ func Greedy(g *graph.CSR, threads int) *Coloring {
 		}
 		// Color the eligible set: pairwise non-adjacent, so each choice
 		// depends only on stable colors from previous rounds.
-		parallel.For(len(eligible), threads, 256, func(lo, hi, tid int) {
+		p.For(len(eligible), threads, 256, func(lo, hi, tid int) {
 			sc := scratches[tid]
 			for idx := lo; idx < hi; idx++ {
 				u := eligible[idx]

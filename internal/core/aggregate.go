@@ -4,7 +4,6 @@ import (
 	"sync/atomic"
 
 	"gveleiden/internal/graph"
-	"gveleiden/internal/parallel"
 )
 
 // aggregate is the aggregation phase of GVE-Leiden (Algorithm 4): it
@@ -27,24 +26,24 @@ import (
 // allocation happens beyond slicing preallocated arrays.
 func (ws *workspace) aggregate(g *graph.CSR, nComms int) *graph.CSR {
 	n := g.NumVertices()
-	threads, grain := ws.opt.Threads, ws.opt.Grain
+	pool, threads, grain := ws.opt.Pool, ws.opt.Threads, ws.opt.Grain
 	comm := ws.comm[:n]
 	a := &ws.arenas[ws.cur]
 	ws.cur = 1 - ws.cur
 
 	// --- Community-vertices CSR (lines 3-6). ---
 	commOff := a.commOff[:nComms+1]
-	parallel.FillUint32(commOff, 0, threads)
-	parallel.For(n, threads, grain, func(lo, hi, _ int) {
+	pool.FillUint32(commOff, 0, threads)
+	pool.For(n, threads, grain, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			atomic.AddUint32(&commOff[comm[i]], 1)
 		}
 	})
-	parallel.ExclusiveScanUint32(commOff, threads)
+	pool.ExclusiveScanUint32(commOff, threads)
 	cursor := ws.cursor[:nComms]
 	copy(cursor, commOff[:nComms])
 	commVtx := a.commVtx[:n]
-	parallel.For(n, threads, grain, func(lo, hi, _ int) {
+	pool.For(n, threads, grain, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			p := atomic.AddUint32(&cursor[comm[i]], 1) - 1
 			commVtx[p] = uint32(i)
@@ -53,13 +52,13 @@ func (ws *workspace) aggregate(g *graph.CSR, nComms int) *graph.CSR {
 
 	// --- Super-vertex offsets from overestimated degrees (lines 8-9). ---
 	superOff := a.offsets[:nComms+1]
-	parallel.FillUint32(superOff, 0, threads)
-	parallel.For(n, threads, grain, func(lo, hi, _ int) {
+	pool.FillUint32(superOff, 0, threads)
+	pool.For(n, threads, grain, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			atomic.AddUint32(&superOff[comm[i]], g.Degree(uint32(i)))
 		}
 	})
-	capacity := parallel.ExclusiveScanUint32(superOff, threads)
+	capacity := pool.ExclusiveScanUint32(superOff, threads)
 
 	// --- Super-vertex graph (lines 11-16). ---
 	counts := a.counts[:nComms]
@@ -69,7 +68,7 @@ func (ws *workspace) aggregate(g *graph.CSR, nComms int) *graph.CSR {
 	if aggGrain < 1 {
 		aggGrain = 1
 	}
-	parallel.For(nComms, threads, aggGrain, func(lo, hi, tid int) {
+	pool.For(nComms, threads, aggGrain, func(lo, hi, tid int) {
 		h := ws.tables[tid]
 		for c := lo; c < hi; c++ {
 			h.Clear()

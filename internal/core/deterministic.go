@@ -3,7 +3,6 @@ package core
 import (
 	"gveleiden/internal/color"
 	"gveleiden/internal/graph"
-	"gveleiden/internal/parallel"
 )
 
 // Deterministic mode (Options.Deterministic) trades a little speed for
@@ -31,13 +30,13 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 	comm := ws.comm[:n]
 	ws.flags.Resize(n)
 	if ws.frontier != nil {
-		ws.flags.SetAll(false, threads)
+		ws.flags.SetAll(ws.opt.Pool, false, threads)
 		for _, v := range ws.frontier {
 			ws.flags.Set(int(v), true)
 		}
 		ws.frontier = nil
 	} else {
-		ws.flags.SetAll(true, threads)
+		ws.flags.SetAll(ws.opt.Pool, true, threads)
 	}
 	moverCh := make([][]mover, threads)
 	iters := 0
@@ -48,7 +47,7 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 			// Decision kernel: frozen comm/Σ (no same-class neighbour
 			// can change them — different colors — and applies happen
 			// only after the barrier below).
-			parallel.For(len(class), threads, grain/4+1, func(lo, hi, tid int) {
+			ws.opt.Pool.For(len(class), threads, grain/4+1, func(lo, hi, tid int) {
 				h := ws.tables[tid]
 				var local float64
 				for idx := lo; idx < hi; idx++ {
@@ -85,12 +84,12 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 					moverCh[tid] = append(moverCh[tid], mover{u, bestC})
 					local += bestDQ
 				}
-				ws.dq[tid].v += local
+				ws.dq[tid].V += local
 			})
 			// Apply kernel: commit all accepted moves of this class.
 			for tid := range moverCh {
 				movers := moverCh[tid]
-				parallel.For(len(movers), threads, 64, func(lo, hi, _ int) {
+				ws.opt.Pool.For(len(movers), threads, 64, func(lo, hi, _ int) {
 					for idx := lo; idx < hi; idx++ {
 						m := movers[idx]
 						d := comm[m.u]
@@ -132,7 +131,7 @@ func (ws *workspace) refinePhaseColored(g *graph.CSR, col *color.Coloring) int64
 	moverCh := make([][]mover, threads)
 	for cls := 0; cls < col.NumColors; cls++ {
 		class := col.Class(cls)
-		parallel.For(len(class), threads, 64, func(lo, hi, tid int) {
+		ws.opt.Pool.For(len(class), threads, 64, func(lo, hi, tid int) {
 			h := ws.tables[tid]
 			for idx := lo; idx < hi; idx++ {
 				u := class[idx]
@@ -163,7 +162,7 @@ func (ws *workspace) refinePhaseColored(g *graph.CSR, col *color.Coloring) int64
 				ws.csize.Add(int(c), -si)
 				ws.csize.Add(int(m.target), si)
 				commStore(comm, m.u, m.target)
-				ws.moved[tid].v++
+				ws.moved[tid].V++
 			}
 			moverCh[tid] = movers[:0]
 		}

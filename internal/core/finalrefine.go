@@ -5,7 +5,6 @@ import (
 
 	"gveleiden/internal/color"
 	"gveleiden/internal/graph"
-	"gveleiden/internal/parallel"
 )
 
 // finalRefine implements multilevel refinement (related work [7, 20,
@@ -26,14 +25,14 @@ func (ws *workspace) finalRefine(g *graph.CSR) {
 	t0 := time.Now()
 	opt := ws.opt
 	ws.vertexWeights(g, ws.k[:n])
-	parallel.FillFloat64(ws.vsize[:n], 1, opt.Threads)
+	opt.Pool.FillFloat64(ws.vsize[:n], 1, opt.Threads)
 	comm := ws.comm[:n]
 	copy(comm, ws.top)
 	ws.sigma.Resize(n)
 	ws.csize.Resize(n)
-	ws.sigma.Zero(opt.Threads)
-	ws.csize.Zero(opt.Threads)
-	parallel.For(n, opt.Threads, opt.Grain, func(lo, hi, _ int) {
+	ws.sigma.Zero(opt.Pool, opt.Threads)
+	ws.csize.Zero(opt.Pool, opt.Threads)
+	opt.Pool.For(n, opt.Threads, opt.Grain, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			ws.sigma.Add(int(comm[i]), ws.k[i])
 			ws.csize.Add(int(comm[i]), 1)
@@ -41,7 +40,7 @@ func (ws *workspace) finalRefine(g *graph.CSR) {
 	})
 	var coloring *color.Coloring
 	if opt.Deterministic {
-		coloring = color.Greedy(g, opt.Threads)
+		coloring = color.GreedyOn(opt.Pool, g, opt.Threads)
 	}
 	ps.Other = time.Since(t0)
 

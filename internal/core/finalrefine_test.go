@@ -8,9 +8,16 @@ import (
 )
 
 func TestFinalRefineNeverLosesQuality(t *testing.T) {
+	// Deterministic mode: the coarsening passes are a pure function of
+	// the graph and options, so the base run and the refined run start
+	// from the same flat partition and the cross-run comparison is
+	// sound. (Asynchronous mode's pass-level nondeterminism would make
+	// it a comparison of two different partitions.)
 	for name, g := range corpusGraphs() {
-		base := Leiden(g, testOpts(2))
-		opt := testOpts(2)
+		det := testOpts(2)
+		det.Deterministic = true
+		base := Leiden(g, det)
+		opt := det
 		opt.FinalRefine = true
 		refined := Leiden(g, opt)
 		if refined.Modularity < base.Modularity-1e-9 {
@@ -27,7 +34,10 @@ func TestFinalRefineImprovesCoarsePartitions(t *testing.T) {
 	// Cap at one pass so the flat partition is visibly suboptimal; the
 	// final sweep must then make strict progress.
 	g, _ := gen.SocialNetwork(2500, 14, 12, 0.35, 91)
+	// Deterministic mode pins the 1-pass partition, so both runs refine
+	// the same baseline and the strict-progress assertion is sound.
 	coarse := testOpts(2)
+	coarse.Deterministic = true
 	coarse.MaxPasses = 1
 	base := Leiden(g, coarse)
 	withRef := coarse

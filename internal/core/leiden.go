@@ -5,7 +5,6 @@ import (
 
 	"gveleiden/internal/color"
 	"gveleiden/internal/graph"
-	"gveleiden/internal/parallel"
 	"gveleiden/internal/quality"
 )
 
@@ -43,7 +42,7 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 		haveInit = true
 		ws.warm = nil
 	}
-	parallel.Iota(ws.top[:ws.n0], opt.Threads)
+	opt.Pool.Iota(ws.top[:ws.n0], opt.Threads)
 	for pass := 0; pass < opt.MaxPasses; pass++ {
 		var ps PassStats
 		n := cur.NumVertices()
@@ -54,18 +53,18 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 		k := ws.k[:n]
 		ws.vertexWeights(cur, k)
 		if pass == 0 {
-			ws.m = parallel.SumFloat64(k, opt.Threads) / 2
+			ws.m = opt.Pool.SumFloat64(k, opt.Threads) / 2
 			if ws.m == 0 {
 				// Edgeless graph: every vertex is its own community.
 				ws.stats.Passes = append(ws.stats.Passes, ps)
 				return
 			}
-			parallel.FillFloat64(ws.vsize[:n], 1, opt.Threads)
+			opt.Pool.FillFloat64(ws.vsize[:n], 1, opt.Threads)
 		}
 		ws.initialCommunities(n, haveInit)
 		var coloring *color.Coloring
 		if opt.Deterministic {
-			coloring = color.Greedy(cur, opt.Threads)
+			coloring = color.GreedyOn(opt.Pool, cur, opt.Threads)
 		}
 		ps.Other += time.Since(t0)
 
@@ -84,9 +83,9 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 		t0 = time.Now()
 		comm := ws.comm[:n]
 		copy(ws.bounds[:n], comm)
-		parallel.Iota(comm, opt.Threads)
-		ws.sigma.CopyFrom(k, opt.Threads)
-		ws.csize.CopyFrom(ws.vsize[:n], opt.Threads)
+		opt.Pool.Iota(comm, opt.Threads)
+		ws.sigma.CopyFrom(opt.Pool, k, opt.Threads)
+		ws.csize.CopyFrom(opt.Pool, ws.vsize[:n], opt.Threads)
 		ps.Other += time.Since(t0)
 
 		t0 = time.Now()

@@ -5,7 +5,6 @@ import (
 
 	"gveleiden/internal/color"
 	"gveleiden/internal/graph"
-	"gveleiden/internal/parallel"
 	"gveleiden/internal/quality"
 )
 
@@ -31,7 +30,7 @@ func runLouvain(g *graph.CSR, ws *workspace) {
 	opt := ws.opt
 	cur := g
 	tau := opt.Tolerance
-	parallel.Iota(ws.top[:ws.n0], opt.Threads)
+	opt.Pool.Iota(ws.top[:ws.n0], opt.Threads)
 	for pass := 0; pass < opt.MaxPasses; pass++ {
 		var ps PassStats
 		n := cur.NumVertices()
@@ -42,17 +41,17 @@ func runLouvain(g *graph.CSR, ws *workspace) {
 		k := ws.k[:n]
 		ws.vertexWeights(cur, k)
 		if pass == 0 {
-			ws.m = parallel.SumFloat64(k, opt.Threads) / 2
+			ws.m = opt.Pool.SumFloat64(k, opt.Threads) / 2
 			if ws.m == 0 {
 				ws.stats.Passes = append(ws.stats.Passes, ps)
 				return
 			}
-			parallel.FillFloat64(ws.vsize[:n], 1, opt.Threads)
+			opt.Pool.FillFloat64(ws.vsize[:n], 1, opt.Threads)
 		}
 		ws.initialCommunities(n, false) // Louvain passes start singleton
 		var coloring *color.Coloring
 		if opt.Deterministic {
-			coloring = color.Greedy(cur, opt.Threads)
+			coloring = color.GreedyOn(opt.Pool, cur, opt.Threads)
 		}
 		ps.Other += time.Since(t0)
 

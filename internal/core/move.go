@@ -3,7 +3,6 @@ package core
 import (
 	"gveleiden/internal/graph"
 	"gveleiden/internal/hashtable"
-	"gveleiden/internal/parallel"
 )
 
 // movePhase is the local-moving phase of GVE-Leiden (Algorithm 2). It
@@ -20,18 +19,18 @@ func (ws *workspace) movePhase(g *graph.CSR, tau float64) int {
 	if ws.frontier != nil {
 		// Dynamic-frontier mode: only the vertices touched by the batch
 		// start unprocessed; the flags propagate outward as they move.
-		ws.flags.SetAll(false, threads)
+		ws.flags.SetAll(ws.opt.Pool, false, threads)
 		for _, v := range ws.frontier {
 			ws.flags.Set(int(v), true)
 		}
 		ws.frontier = nil
 	} else {
-		ws.flags.SetAll(true, threads) // mark all vertices unprocessed
+		ws.flags.SetAll(ws.opt.Pool, true, threads) // mark all vertices unprocessed
 	}
 	iters := 0
 	for it := 0; it < ws.opt.MaxIterations; it++ {
 		ws.zeroDQ()
-		parallel.For(n, threads, grain, func(lo, hi, tid int) {
+		ws.opt.Pool.For(n, threads, grain, func(lo, hi, tid int) {
 			h := ws.tables[tid]
 			var local float64
 			for i := lo; i < hi; i++ {
@@ -45,7 +44,7 @@ func (ws *workspace) movePhase(g *graph.CSR, tau float64) int {
 				dq := ws.moveVertex(g, h, comm, u)
 				local += dq
 			}
-			ws.dq[tid].v += local
+			ws.dq[tid].V += local
 		})
 		iters++
 		if ws.sumDQ() <= tau { // locally converged?

@@ -165,6 +165,12 @@ type Options struct {
 	Seed uint64
 	// Grain overrides the dynamic-scheduling chunk size (0 = default).
 	Grain int
+	// Pool is the persistent worker pool that executes every parallel
+	// region of the run, so one run reuses one set of workers
+	// end-to-end instead of spawning goroutines per region. nil uses
+	// the shared process-default pool, which is right for almost all
+	// callers; pass a dedicated pool to isolate concurrent runs.
+	Pool *parallel.Pool
 }
 
 // DefaultOptions returns the configuration evaluated in the paper:
@@ -211,6 +217,9 @@ func (o Options) normalize() Options {
 	}
 	if o.Grain <= 0 {
 		o.Grain = parallel.DefaultGrain
+	}
+	if o.Pool == nil {
+		o.Pool = parallel.Default()
 	}
 	if o.Deterministic {
 		o.Refinement = RefineGreedy // randomized refinement is inherently order-dependent

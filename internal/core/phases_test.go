@@ -72,8 +72,8 @@ func TestRefinementIsRefinementOfBounds(t *testing.T) {
 		ws.movePhase(g, ws.opt.Tolerance)
 		copy(ws.bounds[:n], ws.comm[:n])
 		parallel.Iota(ws.comm[:n], ws.opt.Threads)
-		ws.sigma.CopyFrom(ws.k[:n], ws.opt.Threads)
-		ws.csize.CopyFrom(ws.vsize[:n], ws.opt.Threads)
+		ws.sigma.CopyFrom(ws.opt.Pool, ws.k[:n], ws.opt.Threads)
+		ws.csize.CopyFrom(ws.opt.Pool, ws.vsize[:n], ws.opt.Threads)
 		ws.refinePhase(g)
 		if !quality.IsRefinementOf(ws.comm[:n], ws.bounds[:n]) {
 			t.Fatalf("%v: refinement crossed community bounds", mode)
@@ -91,8 +91,8 @@ func TestRefinementSubCommunitiesConnected(t *testing.T) {
 	ws.movePhase(g, ws.opt.Tolerance)
 	copy(ws.bounds[:n], ws.comm[:n])
 	parallel.Iota(ws.comm[:n], ws.opt.Threads)
-	ws.sigma.CopyFrom(ws.k[:n], ws.opt.Threads)
-	ws.csize.CopyFrom(ws.vsize[:n], ws.opt.Threads)
+	ws.sigma.CopyFrom(ws.opt.Pool, ws.k[:n], ws.opt.Threads)
+	ws.csize.CopyFrom(ws.opt.Pool, ws.vsize[:n], ws.opt.Threads)
 	ws.refinePhase(g)
 	if ds := quality.CountDisconnected(g, ws.comm[:n], 4); ds.Disconnected != 0 {
 		t.Fatalf("%d refined sub-communities are internally disconnected", ds.Disconnected)
@@ -106,8 +106,8 @@ func TestRefineSigmaConsistent(t *testing.T) {
 	ws.movePhase(g, ws.opt.Tolerance)
 	copy(ws.bounds[:n], ws.comm[:n])
 	parallel.Iota(ws.comm[:n], ws.opt.Threads)
-	ws.sigma.CopyFrom(ws.k[:n], ws.opt.Threads)
-	ws.csize.CopyFrom(ws.vsize[:n], ws.opt.Threads)
+	ws.sigma.CopyFrom(ws.opt.Pool, ws.k[:n], ws.opt.Threads)
+	ws.csize.CopyFrom(ws.opt.Pool, ws.vsize[:n], ws.opt.Threads)
 	ws.refinePhase(g)
 	want := make([]float64, n)
 	for i := 0; i < n; i++ {
@@ -131,8 +131,8 @@ func TestAggregatePreservesWeightAndModularity(t *testing.T) {
 	ws.movePhase(g, ws.opt.Tolerance)
 	copy(ws.bounds[:n], ws.comm[:n])
 	parallel.Iota(ws.comm[:n], ws.opt.Threads)
-	ws.sigma.CopyFrom(ws.k[:n], ws.opt.Threads)
-	ws.csize.CopyFrom(ws.vsize[:n], ws.opt.Threads)
+	ws.sigma.CopyFrom(ws.opt.Pool, ws.k[:n], ws.opt.Threads)
+	ws.csize.CopyFrom(ws.opt.Pool, ws.vsize[:n], ws.opt.Threads)
 	ws.refinePhase(g)
 	refined := append([]uint32(nil), ws.comm[:n]...)
 	nComms := ws.renumber(ws.comm[:n], n)

@@ -3,7 +3,6 @@ package core
 import (
 	"gveleiden/internal/graph"
 	"gveleiden/internal/hashtable"
-	"gveleiden/internal/parallel"
 	"gveleiden/internal/prng"
 )
 
@@ -24,7 +23,7 @@ func (ws *workspace) refinePhase(g *graph.CSR) int64 {
 	bounds := ws.bounds[:n]
 	greedy := ws.opt.Refinement == RefineGreedy
 	ws.zeroMoved()
-	parallel.For(n, threads, grain, func(lo, hi, tid int) {
+	ws.opt.Pool.For(n, threads, grain, func(lo, hi, tid int) {
 		h := ws.tables[tid]
 		rng := ws.rngs[tid]
 		var local int64
@@ -57,7 +56,7 @@ func (ws *workspace) refinePhase(g *graph.CSR) int64 {
 				local++
 			}
 		}
-		ws.moved[tid].v += local
+		ws.moved[tid].V += local
 	})
 	return ws.sumMoved()
 }

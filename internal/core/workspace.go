@@ -9,19 +9,6 @@ import (
 	"gveleiden/internal/prng"
 )
 
-// pad64 is a cache-line-padded float64 used for per-thread accumulators
-// (delta-modularity sums, move counters) so threads never share a line.
-type pad64 struct {
-	v float64
-	_ [7]uint64
-}
-
-// padI64 is a cache-line-padded int64 counter.
-type padI64 struct {
-	v int64
-	_ [7]uint64
-}
-
 // arena holds the preallocated storage for one aggregated graph. Two
 // arenas ping-pong across passes: pass p reads the graph in one arena
 // and writes the super-vertex graph into the other. Everything is sized
@@ -68,8 +55,8 @@ type workspace struct {
 	scratch []uint32           // renumbering / existence buffer
 	cursor  []uint32           // aggregation placement cursors
 	flags   *parallel.Flags
-	dq      []pad64  // per-thread ΔQ partial sums
-	moved   []padI64 // per-thread refinement move counters
+	dq      []parallel.Padded[float64] // per-thread ΔQ partial sums
+	moved   []parallel.Padded[int64]   // per-thread refinement move counters
 	arenas  [2]arena
 	cur     int   // arena index holding the *next* write target
 	stats   Stats // per-pass statistics collected by the driver
@@ -104,8 +91,8 @@ func newWorkspace(g *graph.CSR, opt Options) *workspace {
 		scratch: make([]uint32, n+1),
 		cursor:  make([]uint32, n+1),
 		flags:   parallel.NewFlags(n),
-		dq:      make([]pad64, t),
-		moved:   make([]padI64, t),
+		dq:      make([]parallel.Padded[float64], t),
+		moved:   make([]parallel.Padded[int64], t),
 	}
 	ws.arenas[0] = newArena(n, arcs)
 	ws.arenas[1] = newArena(n, arcs)
@@ -125,7 +112,7 @@ func commStore(comm []uint32, i uint32, v uint32) {
 
 // vertexWeights fills k[i] = K'_i for the current graph, in parallel.
 func (ws *workspace) vertexWeights(g *graph.CSR, k []float64) {
-	parallel.For(g.NumVertices(), ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
+	ws.opt.Pool.For(g.NumVertices(), ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			k[i] = g.VertexWeight(uint32(i))
 		}
@@ -141,15 +128,15 @@ func (ws *workspace) initialCommunities(n int, haveInit bool) {
 	ws.sigma.Resize(n)
 	ws.csize.Resize(n)
 	if !haveInit {
-		parallel.Iota(comm, ws.opt.Threads)
-		ws.sigma.CopyFrom(k, ws.opt.Threads)
-		ws.csize.CopyFrom(ws.vsize[:n], ws.opt.Threads)
+		ws.opt.Pool.Iota(comm, ws.opt.Threads)
+		ws.sigma.CopyFrom(ws.opt.Pool, k, ws.opt.Threads)
+		ws.csize.CopyFrom(ws.opt.Pool, ws.vsize[:n], ws.opt.Threads)
 		return
 	}
 	copy(comm, ws.initC[:n])
-	ws.sigma.Zero(ws.opt.Threads)
-	ws.csize.Zero(ws.opt.Threads)
-	parallel.For(n, ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
+	ws.sigma.Zero(ws.opt.Pool, ws.opt.Threads)
+	ws.csize.Zero(ws.opt.Pool, ws.opt.Threads)
+	ws.opt.Pool.For(n, ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			ws.sigma.Add(int(comm[i]), k[i])
 			ws.csize.Add(int(comm[i]), ws.vsize[i])
@@ -182,7 +169,7 @@ func (ws *workspace) aggregateSizes(n, nComms int) {
 		next[i] = 0
 	}
 	agg := parallel.NewFloat64s(nComms)
-	parallel.For(n, ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
+	ws.opt.Pool.For(n, ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			agg.Add(int(comm[i]), ws.vsize[i])
 		}
@@ -198,14 +185,14 @@ func (ws *workspace) aggregateSizes(n, nComms int) {
 // exclusive-scan technique (Algorithm 1 line 11).
 func (ws *workspace) renumber(comm []uint32, n int) int {
 	ex := ws.scratch[:n]
-	parallel.FillUint32(ex, 0, ws.opt.Threads)
-	parallel.For(len(comm), ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
+	ws.opt.Pool.FillUint32(ex, 0, ws.opt.Threads)
+	ws.opt.Pool.For(len(comm), ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			atomic.StoreUint32(&ex[comm[i]], 1)
 		}
 	})
-	total := parallel.ExclusiveScanUint32(ex, ws.opt.Threads)
-	parallel.For(len(comm), ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
+	total := ws.opt.Pool.ExclusiveScanUint32(ex, ws.opt.Threads)
+	ws.opt.Pool.For(len(comm), ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			comm[i] = ex[comm[i]]
 		}
@@ -216,7 +203,7 @@ func (ws *workspace) renumber(comm []uint32, n int) int {
 // lookupDendrogram applies one level of the dendrogram: top[v] becomes
 // level[top[v]] (Algorithm 1 lines 12 and 16).
 func (ws *workspace) lookupDendrogram(level []uint32) {
-	parallel.For(ws.n0, ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
+	ws.opt.Pool.For(ws.n0, ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
 		for v := lo; v < hi; v++ {
 			ws.top[v] = level[ws.top[v]]
 		}
@@ -232,13 +219,13 @@ func (ws *workspace) moveLabels(n int) {
 	comm := ws.comm[:n]     // refined, renumbered
 	bounds := ws.bounds[:n] // move-phase labels (raw vertex ids)
 	lbl := ws.lbl[:n]
-	parallel.FillUint32(lbl, ^uint32(0), ws.opt.Threads)
-	parallel.For(n, ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
+	ws.opt.Pool.FillUint32(lbl, ^uint32(0), ws.opt.Threads)
+	ws.opt.Pool.For(n, ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			atomicMinUint32(&lbl[bounds[i]], comm[i])
 		}
 	})
-	parallel.For(n, ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
+	ws.opt.Pool.For(n, ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			// All members of a refined community share one bound, so the
 			// stores agree; they are atomic to stay race-detector clean.
@@ -262,27 +249,27 @@ func atomicMinUint32(addr *uint32, v uint32) {
 func (ws *workspace) sumDQ() float64 {
 	var s float64
 	for i := range ws.dq {
-		s += ws.dq[i].v
+		s += ws.dq[i].V
 	}
 	return s
 }
 
 func (ws *workspace) zeroDQ() {
 	for i := range ws.dq {
-		ws.dq[i].v = 0
+		ws.dq[i].V = 0
 	}
 }
 
 func (ws *workspace) sumMoved() int64 {
 	var s int64
 	for i := range ws.moved {
-		s += ws.moved[i].v
+		s += ws.moved[i].V
 	}
 	return s
 }
 
 func (ws *workspace) zeroMoved() {
 	for i := range ws.moved {
-		ws.moved[i].v = 0
+		ws.moved[i].V = 0
 	}
 }

@@ -3,6 +3,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+
+	"gveleiden/internal/parallel"
 )
 
 // Edge is one weighted arc or undirected edge in a pre-CSR edge list.
@@ -51,6 +53,35 @@ func (b *Builder) NumEdges() int { return len(b.edges) }
 // paper's loaders make directed inputs undirected the same way).
 // Adjacency lists come out sorted by target id.
 func (b *Builder) Build() *CSR {
+	g := b.placeArcs()
+	g.sortAndMerge()
+	return g
+}
+
+// BuildWith is Build running the expensive phase — per-vertex adjacency
+// sorting and duplicate merging — in parallel on the given pool (nil =
+// default pool). Arc placement stays sequential, so the pre-sort arc
+// order, and therefore the duplicate-merge summation order, is the same
+// as Build's: the output is identical to Build() bit for bit.
+func (b *Builder) BuildWith(p *parallel.Pool, threads int) *CSR {
+	if p == nil {
+		p = parallel.Default()
+	}
+	if threads <= 0 {
+		threads = parallel.DefaultThreads()
+	}
+	g := b.placeArcs()
+	if threads <= 1 || g.NumVertices() < 4096 {
+		g.sortAndMerge()
+		return g
+	}
+	g.sortAndMergeParallel(p, threads)
+	return g
+}
+
+// placeArcs materializes the raw symmetric CSR (unsorted, duplicates
+// kept) with a counting sort over the recorded edges.
+func (b *Builder) placeArcs() *CSR {
 	n := int(b.n)
 	deg := make([]uint32, n+1)
 	for _, e := range b.edges {
@@ -79,9 +110,7 @@ func (b *Builder) Build() *CSR {
 			place(e.V, e.U, e.W)
 		}
 	}
-	g := &CSR{Offsets: deg, Edges: edges, Weights: weights}
-	g.sortAndMerge()
-	return g
+	return &CSR{Offsets: deg, Edges: edges, Weights: weights}
 }
 
 // sortAndMerge sorts each adjacency list by target and merges duplicate
@@ -113,6 +142,54 @@ func (g *CSR) sortAndMerge() {
 	g.Offsets = newOff
 	g.Edges = g.Edges[:wp]
 	g.Weights = g.Weights[:wp]
+}
+
+// sortAndMergeParallel is sortAndMerge with the per-vertex work fanned
+// out on a pool: every adjacency list is sorted and duplicate-merged
+// within its own segment (embarrassingly parallel), the merged counts
+// are prefix-summed, and the compacted segments are copied out in
+// parallel. The per-segment sort and in-order duplicate summation match
+// the sequential path exactly, so the result is identical to
+// sortAndMerge's.
+func (g *CSR) sortAndMergeParallel(p *parallel.Pool, threads int) {
+	n := g.NumVertices()
+	newOff := make([]uint32, n+1)
+	p.For(n, threads, 64, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			s, e := g.Offsets[i], g.Offsets[i+1]
+			seg := arcSorter{g.Edges[s:e], g.Weights[s:e]}
+			sort.Sort(seg)
+			wp := s
+			rp := s
+			for rp < e {
+				t := g.Edges[rp]
+				w := float64(g.Weights[rp])
+				rp++
+				for rp < e && g.Edges[rp] == t {
+					w += float64(g.Weights[rp])
+					rp++
+				}
+				g.Edges[wp] = t
+				g.Weights[wp] = float32(w)
+				wp++
+			}
+			newOff[i] = wp - s // merged degree, scanned into offsets below
+		}
+	})
+	total := p.ExclusiveScanUint32(newOff, threads)
+	edges := make([]uint32, total)
+	weights := make([]float32, total)
+	p.For(n, threads, 256, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			s := g.Offsets[i]
+			d := newOff[i+1] - newOff[i]
+			copy(edges[newOff[i]:newOff[i+1]], g.Edges[s:s+d])
+			copy(weights[newOff[i]:newOff[i+1]], g.Weights[s:s+d])
+		}
+	})
+	g.Offsets = newOff
+	g.Edges = edges
+	g.Weights = weights
 }
 
 type arcSorter struct {

@@ -179,3 +179,58 @@ func TestBuilderPropertyValidGraphs(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// buildTwice builds the same edge set with Build and BuildWith and
+// reports whether the CSRs are bit-identical.
+func csrEqual(a, b *CSR) bool {
+	if len(a.Offsets) != len(b.Offsets) || len(a.Edges) != len(b.Edges) {
+		return false
+	}
+	for i := range a.Offsets {
+		if a.Offsets[i] != b.Offsets[i] {
+			return false
+		}
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] || a.Weights[i] != b.Weights[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBuildWithMatchesBuild(t *testing.T) {
+	// Big enough to clear BuildWith's sequential cutoff, with duplicate
+	// edges so the merge path is exercised, and skewed degrees so the
+	// parallel per-vertex sweep sees imbalance.
+	const n = 6000
+	mk := func() *Builder {
+		b := NewBuilder(n)
+		s := uint32(12345)
+		rnd := func(m uint32) uint32 {
+			s ^= s << 13
+			s ^= s >> 17
+			s ^= s << 5
+			return s % m
+		}
+		for i := 0; i < 8*n; i++ {
+			u := rnd(n)
+			v := rnd(u + 1) // skew: low ids collect high degree
+			b.AddEdge(u, v, float32(1+rnd(5)))
+		}
+		for i := 0; i < n; i++ { // keep every vertex non-isolated
+			b.AddEdge(uint32(i), uint32((i+1)%n), 1)
+		}
+		return b
+	}
+	seq := mk().Build()
+	for _, threads := range []int{2, 3, 8} {
+		par := mk().BuildWith(nil, threads)
+		if !csrEqual(seq, par) {
+			t.Fatalf("BuildWith(threads=%d) differs from Build", threads)
+		}
+	}
+	if err := seq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -72,7 +72,7 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	return b.Build(), nil
+	return b.BuildWith(nil, 0), nil
 }
 
 // WriteMatrixMarket writes g as a symmetric coordinate real matrix:
@@ -144,7 +144,7 @@ func ReadEdgeList(r io.Reader) (*CSR, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	return b.Build(), nil
+	return b.BuildWith(nil, 0), nil
 }
 
 // WriteEdgeList writes each undirected edge once as "u v w".

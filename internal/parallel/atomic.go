@@ -53,19 +53,27 @@ func (f *Float64s) CAS(i int, old, new float64) bool {
 	return atomic.CompareAndSwapUint64(&f.bits[i], math.Float64bits(old), math.Float64bits(new))
 }
 
-// CopyFrom stores src[i] into every element, in parallel. Used to reset
-// Σ' ← K' at the start of a pass and of the refinement phase.
-func (f *Float64s) CopyFrom(src []float64, threads int) {
-	For(len(f.bits), threads, 1<<14, func(lo, hi, _ int) {
+// CopyFrom stores src[i] into every element, in parallel on pool p
+// (nil = default pool). Used to reset Σ' ← K' at the start of a pass
+// and of the refinement phase.
+func (f *Float64s) CopyFrom(p *Pool, src []float64, threads int) {
+	if p == nil {
+		p = Default()
+	}
+	p.For(len(f.bits), threads, 1<<14, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			f.bits[i] = math.Float64bits(src[i])
 		}
 	})
 }
 
-// Zero resets every element to 0, in parallel.
-func (f *Float64s) Zero(threads int) {
-	For(len(f.bits), threads, 1<<14, func(lo, hi, _ int) {
+// Zero resets every element to 0, in parallel on pool p (nil = default
+// pool).
+func (f *Float64s) Zero(p *Pool, threads int) {
+	if p == nil {
+		p = Default()
+	}
+	p.For(len(f.bits), threads, 1<<14, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			f.bits[i] = 0
 		}
@@ -114,13 +122,17 @@ func (f *Flags) Set(i int, v bool) {
 	atomic.StoreUint32(&f.bits[i], x)
 }
 
-// SetAll sets every flag to v, in parallel.
-func (f *Flags) SetAll(v bool, threads int) {
+// SetAll sets every flag to v, in parallel on pool p (nil = default
+// pool).
+func (f *Flags) SetAll(p *Pool, v bool, threads int) {
 	var x uint32
 	if v {
 		x = 1
 	}
-	For(len(f.bits), threads, 1<<14, func(lo, hi, _ int) {
+	if p == nil {
+		p = Default()
+	}
+	p.For(len(f.bits), threads, 1<<14, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			f.bits[i] = x
 		}

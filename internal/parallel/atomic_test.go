@@ -84,13 +84,13 @@ func TestFloat64sConcurrentAdd(t *testing.T) {
 func TestFloat64sCopyFromZeroResize(t *testing.T) {
 	f := NewFloat64s(5)
 	src := []float64{1, 2, 3, 4, 5}
-	f.CopyFrom(src, 2)
+	f.CopyFrom(nil, src, 2)
 	for i, want := range src {
 		if f.Get(i) != want {
 			t.Fatalf("copy: idx %d = %v", i, f.Get(i))
 		}
 	}
-	f.Zero(2)
+	f.Zero(nil, 2)
 	for i := range src {
 		if f.Get(i) != 0 {
 			t.Fatalf("zero: idx %d = %v", i, f.Get(i))
@@ -144,13 +144,13 @@ func TestFlags(t *testing.T) {
 	if f.Get(3) {
 		t.Fatal("clear failed")
 	}
-	f.SetAll(true, 4)
+	f.SetAll(nil, true, 4)
 	for i := 0; i < 10; i++ {
 		if !f.Get(i) {
 			t.Fatalf("SetAll(true) missed %d", i)
 		}
 	}
-	f.SetAll(false, 4)
+	f.SetAll(nil, false, 4)
 	for i := 0; i < 10; i++ {
 		if f.Get(i) {
 			t.Fatalf("SetAll(false) missed %d", i)

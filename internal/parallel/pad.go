@@ -1,0 +1,16 @@
+package parallel
+
+// Padded is a cache-line-padded accumulator cell. Per-thread or
+// per-block partials (ΔQ sums, move counters, scan block sums,
+// reduction partials) live in []Padded[T] slices so that concurrent
+// writers never share a cache line: the 64 bytes of trailing padding
+// guarantee consecutive V fields are at least a full line apart
+// regardless of T's size.
+//
+// This is the one shared accumulator pattern for the runtime and the
+// algorithm layers (internal/core keeps its ΔQ and move counters in
+// it, the scans and reductions here keep their block partials in it).
+type Padded[T any] struct {
+	V T
+	_ [64]byte
+}

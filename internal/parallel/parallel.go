@@ -1,18 +1,24 @@
 // Package parallel provides the shared-memory parallel runtime that
-// GVE-Leiden is built on: a dynamically scheduled parallel-for (the Go
-// equivalent of OpenMP's `schedule(dynamic, grain)`), parallel prefix
-// sums, parallel reductions, and atomic float64 arithmetic.
+// GVE-Leiden is built on: a persistent work-stealing worker pool (see
+// Pool) executing dynamically scheduled parallel-for regions — the Go
+// equivalent of an OpenMP thread team running `schedule(guided)` loops
+// — plus parallel prefix sums, parallel reductions, and atomic float64
+// arithmetic.
+//
+// The free functions in this file are thin wrappers over the shared
+// process-default pool (Default), so existing call sites get persistent
+// workers transparently; performance-critical paths thread an explicit
+// *Pool instead so one algorithm run reuses one set of workers
+// end-to-end.
 //
 // All primitives accept an explicit thread count so that strong-scaling
 // experiments (Figure 9 of the paper) can sweep it; a thread count of 0
-// or 1 runs the sequential fast path with zero goroutine overhead, which
-// is the single-thread baseline of the scaling study.
+// or 1 runs the sequential fast path with zero scheduling overhead,
+// which is the single-thread baseline of the scaling study.
 package parallel
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // DefaultThreads returns the number of worker threads to use when the
@@ -23,229 +29,66 @@ func DefaultThreads() int {
 
 // DefaultGrain is the default dynamic-scheduling chunk size, chosen like
 // OpenMP's typical dynamic grain for graph workloads: large enough to
-// amortize the shared-cursor atomic, small enough to balance skewed
+// amortize the chunk-claim atomic, small enough to balance skewed
 // per-vertex work (power-law degrees).
 const DefaultGrain = 1024
 
-// For runs body(lo, hi, tid) over chunked sub-ranges of [0, n) using the
-// given number of threads and dynamic scheduling with the given grain.
-// tid identifies the worker in [0, threads) so callers can index
-// per-thread scratch state (hashtables, RNG streams) without sharing.
-//
-// threads <= 1 runs the whole range inline on tid 0. grain <= 0 uses
-// DefaultGrain.
+// For runs body(lo, hi, tid) over chunked sub-ranges of [0, n) on the
+// default pool. See Pool.For for the scheduling contract.
 func For(n, threads, grain int, body func(lo, hi, tid int)) {
-	if n <= 0 {
-		return
-	}
-	if grain <= 0 {
-		grain = DefaultGrain
-	}
-	if threads <= 1 || n <= grain {
-		body(0, n, 0)
-		return
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for t := 0; t < threads; t++ {
-		go func(tid int) {
-			defer wg.Done()
-			for {
-				lo := int(cursor.Add(int64(grain))) - grain
-				if lo >= n {
-					return
-				}
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi, tid)
-			}
-		}(t)
-	}
-	wg.Wait()
+	Default().For(n, threads, grain, body)
 }
 
-// ForEach runs body(i, tid) for every i in [0, n) with dynamic
-// scheduling. It is For with a per-element inner loop.
+// SpawnFor runs a parallel-for by spawning fresh goroutines over a
+// shared atomic chunk cursor — the pre-pool runtime, kept as the
+// baseline for the pool-vs-spawn benchmarks and as the fallback for
+// regions submitted while a pool is busy or closed. Same contract as
+// For.
+func SpawnFor(n, threads, grain int, body func(lo, hi, tid int)) {
+	forSpawn(n, threads, grain, body)
+}
+
+// ForEach runs body(i, tid) for every i in [0, n) on the default pool.
 func ForEach(n, threads, grain int, body func(i, tid int)) {
-	For(n, threads, grain, func(lo, hi, tid int) {
-		for i := lo; i < hi; i++ {
-			body(i, tid)
-		}
-	})
+	Default().ForEach(n, threads, grain, body)
 }
 
 // Blocks runs body(block, lo, hi) for `threads` contiguous equal blocks
-// of [0, n) — static scheduling, used by the two-pass parallel scan where
-// each worker must own a deterministic contiguous range.
+// of [0, n) on the default pool — the deterministic static partition
+// used by the two-pass parallel scans.
 func Blocks(n, threads int, body func(block, lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	if threads <= 1 {
-		body(0, 0, n)
-		return
-	}
-	if threads > n {
-		threads = n
-	}
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for b := 0; b < threads; b++ {
-		lo := b * n / threads
-		hi := (b + 1) * n / threads
-		go func(block, lo, hi int) {
-			defer wg.Done()
-			body(block, lo, hi)
-		}(b, lo, hi)
-	}
-	wg.Wait()
+	Default().Blocks(n, threads, body)
 }
 
 // ExclusiveScanUint32 replaces a with its exclusive prefix sum and
-// returns the total. With threads > 1 it runs the classic two-pass block
-// scan: per-block sums, a sequential scan over the (tiny) block-sum
-// array, then per-block exclusive prefixes offset by the block base.
+// returns the total, on the default pool.
 func ExclusiveScanUint32(a []uint32, threads int) uint32 {
-	n := len(a)
-	if n == 0 {
-		return 0
-	}
-	if threads <= 1 || n < 4096 {
-		var sum uint32
-		for i := 0; i < n; i++ {
-			v := a[i]
-			a[i] = sum
-			sum += v
-		}
-		return sum
-	}
-	if threads > n {
-		threads = n
-	}
-	sums := make([]uint32, threads)
-	Blocks(n, threads, func(block, lo, hi int) {
-		var s uint32
-		for i := lo; i < hi; i++ {
-			s += a[i]
-		}
-		sums[block] = s
-	})
-	var total uint32
-	for b := 0; b < threads; b++ {
-		s := sums[b]
-		sums[b] = total
-		total += s
-	}
-	Blocks(n, threads, func(block, lo, hi int) {
-		run := sums[block]
-		for i := lo; i < hi; i++ {
-			v := a[i]
-			a[i] = run
-			run += v
-		}
-	})
-	return total
+	return ExclusiveScanOn(Default(), a, threads)
 }
 
 // ExclusiveScanInt64 is ExclusiveScanUint32 for int64 slices.
 func ExclusiveScanInt64(a []int64, threads int) int64 {
-	n := len(a)
-	if n == 0 {
-		return 0
-	}
-	if threads <= 1 || n < 4096 {
-		var sum int64
-		for i := 0; i < n; i++ {
-			v := a[i]
-			a[i] = sum
-			sum += v
-		}
-		return sum
-	}
-	if threads > n {
-		threads = n
-	}
-	sums := make([]int64, threads)
-	Blocks(n, threads, func(block, lo, hi int) {
-		var s int64
-		for i := lo; i < hi; i++ {
-			s += a[i]
-		}
-		sums[block] = s
-	})
-	var total int64
-	for b := 0; b < threads; b++ {
-		s := sums[b]
-		sums[b] = total
-		total += s
-	}
-	Blocks(n, threads, func(block, lo, hi int) {
-		run := sums[block]
-		for i := lo; i < hi; i++ {
-			v := a[i]
-			a[i] = run
-			run += v
-		}
-	})
-	return total
+	return ExclusiveScanOn(Default(), a, threads)
 }
 
-// SumFloat64 reduces a in parallel. Per-block partial sums keep the
-// float rounding deterministic for a fixed thread count.
+// SumFloat64 reduces a on the default pool. Per-block partial sums keep
+// the float rounding deterministic for a fixed thread count.
 func SumFloat64(a []float64, threads int) float64 {
-	n := len(a)
-	if threads <= 1 || n < 4096 {
-		var s float64
-		for _, v := range a {
-			s += v
-		}
-		return s
-	}
-	if threads > n {
-		threads = n
-	}
-	sums := make([]float64, threads)
-	Blocks(n, threads, func(block, lo, hi int) {
-		var s float64
-		for i := lo; i < hi; i++ {
-			s += a[i]
-		}
-		sums[block] = s
-	})
-	var total float64
-	for _, s := range sums {
-		total += s
-	}
-	return total
+	return SumFloat64On(Default(), a, threads)
 }
 
 // FillUint32 sets every element of a to v, in parallel.
 func FillUint32(a []uint32, v uint32, threads int) {
-	For(len(a), threads, 1<<14, func(lo, hi, _ int) {
-		for i := lo; i < hi; i++ {
-			a[i] = v
-		}
-	})
+	Default().FillUint32(a, v, threads)
 }
 
 // FillFloat64 sets every element of a to v, in parallel.
 func FillFloat64(a []float64, v float64, threads int) {
-	For(len(a), threads, 1<<14, func(lo, hi, _ int) {
-		for i := lo; i < hi; i++ {
-			a[i] = v
-		}
-	})
+	Default().FillFloat64(a, v, threads)
 }
 
 // Iota fills a with the identity permutation a[i] = i, in parallel.
 // This is the `C' ← [0..|V'|)` initialization in Algorithm 1.
 func Iota(a []uint32, threads int) {
-	For(len(a), threads, 1<<14, func(lo, hi, _ int) {
-		for i := lo; i < hi; i++ {
-			a[i] = uint32(i)
-		}
-	})
+	Default().Iota(a, threads)
 }

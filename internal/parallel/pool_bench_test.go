@@ -1,0 +1,117 @@
+package parallel
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// The microbenchmarks below compare the persistent pool against the old
+// per-call goroutine-spawning runtime (kept as forSpawn) on the region
+// shapes that dominate a Leiden run: many small-body parallel-fors per
+// pass, plus skewed per-index work where stealing matters. Small n at
+// grain 1 forces the region through the parallel path, so what is
+// measured is scheduling overhead, not body work.
+
+var benchSink atomic.Int64
+
+func benchBody(lo, hi, _ int) {
+	local := int64(0)
+	for i := lo; i < hi; i++ {
+		local += int64(i)
+	}
+	benchSink.Add(local)
+}
+
+// skewedBody makes the first few indices ~1000x heavier than the rest —
+// the power-law degree profile of web graphs, where a static partition
+// strands one worker with almost all the work.
+func skewedBody(lo, hi, _ int) {
+	local := int64(0)
+	for i := lo; i < hi; i++ {
+		rounds := 1
+		if i < 4 {
+			rounds = 1000
+		}
+		for r := 0; r < rounds; r++ {
+			local += int64(i)
+		}
+	}
+	benchSink.Add(local)
+}
+
+func benchThreads() []int { return []int{2, 4, 8} }
+
+// BenchmarkForSpawn measures the old runtime: every region spawns
+// `threads-1` goroutines and joins them on a WaitGroup.
+func BenchmarkForSpawn(b *testing.B) {
+	const n = 4096
+	for _, threads := range benchThreads() {
+		b.Run(fmt.Sprintf("t%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				forSpawn(n, threads, 1, benchBody)
+			}
+		})
+	}
+}
+
+// BenchmarkPoolFor measures the persistent pool on the identical
+// region: workers are already parked and only need a channel wakeup.
+func BenchmarkPoolFor(b *testing.B) {
+	const n = 4096
+	p := NewPool(8)
+	defer p.Close()
+	for _, threads := range benchThreads() {
+		b.Run(fmt.Sprintf("t%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.For(n, threads, 1, benchBody)
+			}
+		})
+	}
+}
+
+// BenchmarkForSpawnSkewed / BenchmarkPoolForSkewed repeat the
+// comparison with heavy-headed work, where the pool's steal-half
+// rebalancing should also beat the spawn runtime's shared cursor.
+func BenchmarkForSpawnSkewed(b *testing.B) {
+	const n = 4096
+	for _, threads := range benchThreads() {
+		b.Run(fmt.Sprintf("t%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				forSpawn(n, threads, 64, skewedBody)
+			}
+		})
+	}
+}
+
+func BenchmarkPoolForSkewed(b *testing.B) {
+	const n = 4096
+	p := NewPool(8)
+	defer p.Close()
+	for _, threads := range benchThreads() {
+		b.Run(fmt.Sprintf("t%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.For(n, threads, 64, skewedBody)
+			}
+		})
+	}
+}
+
+// BenchmarkPoolScan measures the two-pass scan on the pool (padded
+// per-block partials; see scan.go).
+func BenchmarkPoolScan(b *testing.B) {
+	const n = 1 << 16
+	p := NewPool(4)
+	defer p.Close()
+	a := make([]uint32, n)
+	for _, threads := range []int{2, 4} {
+		b.Run(fmt.Sprintf("t%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j := range a {
+					a[j] = 1
+				}
+				p.ExclusiveScanUint32(a, threads)
+			}
+		})
+	}
+}

@@ -203,11 +203,21 @@ type DisconnectedStats struct {
 // internally disconnected — the algorithm from the paper's extended
 // report, used for Figure 6(d). It groups vertices by community with a
 // counting sort, then BFS-checks each community in parallel (each worker
-// reuses its own scratch).
+// reuses its own scratch). Runs on the shared default pool; use
+// CountDisconnectedOn to supply a dedicated one.
 func CountDisconnected(g *graph.CSR, membership []uint32, threads int) DisconnectedStats {
+	return CountDisconnectedOn(nil, g, membership, threads)
+}
+
+// CountDisconnectedOn is CountDisconnected executing its parallel
+// BFS sweep on the given pool (nil = default pool).
+func CountDisconnectedOn(p *parallel.Pool, g *graph.CSR, membership []uint32, threads int) DisconnectedStats {
 	n := g.NumVertices()
 	if n == 0 {
 		return DisconnectedStats{}
+	}
+	if p == nil {
+		p = parallel.Default()
 	}
 	if threads <= 0 {
 		threads = parallel.DefaultThreads()
@@ -234,20 +244,22 @@ func CountDisconnected(g *graph.CSR, membership []uint32, threads int) Disconnec
 		bucket[cursor[c]] = uint32(i)
 		cursor[c]++
 	}
-	bad := make([]int64, threads)
+	// Padded counters: adjacent workers otherwise bounce the cache line
+	// holding their increment targets.
+	bad := make([]parallel.Padded[int64], threads)
 	scratches := make([]*graph.SubsetScratch, threads)
 	for t := range scratches {
 		scratches[t] = graph.NewSubsetScratch(n)
 	}
-	parallel.ForEach(k, threads, 8, func(c, tid int) {
+	p.ForEach(k, threads, 8, func(c, tid int) {
 		members := bucket[counts[c]:counts[c+1]]
 		if !scratches[tid].SubsetConnected(g, members) {
-			bad[tid]++
+			bad[tid].V++
 		}
 	})
 	var total int64
 	for _, b := range bad {
-		total += b
+		total += b.V
 	}
 	frac := 0.0
 	if k > 0 {
