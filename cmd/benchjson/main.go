@@ -2,7 +2,7 @@
 // committed with a PR: pool-vs-spawn runtime microbenchmarks plus an
 // end-to-end Leiden timing per dataset class.
 //
-//	benchjson -o BENCH_PR1.json -scale 0.15 -repeat 3
+//	benchjson -o BENCH_PR2.json -scale 0.15 -repeat 3
 package main
 
 import (
@@ -16,16 +16,16 @@ import (
 
 func main() {
 	var (
-		out     = flag.String("o", "BENCH_PR1.json", "output path")
+		out     = flag.String("o", "BENCH_PR2.json", "output path")
 		scale   = flag.Float64("scale", 0.15, "dataset size multiplier")
 		repeat  = flag.Int("repeat", 3, "e2e repeats (best-of)")
 		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
-		note    = flag.String("note", "persistent work-stealing pool vs per-call goroutine spawning", "free-form note")
+		note    = flag.String("note", "observability layer: phase splits and pool scheduler counters per e2e run", "free-form note")
 	)
 	flag.Parse()
 
 	report := bench.BenchReport{
-		PR:         "PR1",
+		PR:         "PR2",
 		Note:       *note,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Micro:      bench.RuntimeMicro([]int{2, 4, 8}),
@@ -40,8 +40,10 @@ func main() {
 			m.Name, m.Threads, m.PoolNsPerOp, m.SpawnNsOp, m.Speedup)
 	}
 	for _, e := range report.E2E {
-		fmt.Printf("e2e   %-16s t=%d  %8.1f ms  Q=%.4f  C=%d\n",
-			e.Dataset, e.Threads, e.BestMs, e.Modularity, e.Communities)
+		fmt.Printf("e2e   %-16s t=%d  %8.1f ms  Q=%.4f  C=%d  move/refine/agg/other %.0f/%.0f/%.0f/%.0f%%  steals=%d\n",
+			e.Dataset, e.Threads, e.BestMs, e.Modularity, e.Communities,
+			e.Split.Move*100, e.Split.Refine*100, e.Split.Aggregate*100, e.Split.Other*100,
+			e.Pool.Steals)
 	}
 	fmt.Println("wrote", *out)
 }

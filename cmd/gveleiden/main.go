@@ -6,11 +6,22 @@
 //	gveleiden -gen web -n 100000            # synthetic input
 //	gveleiden -i g.mtx -o membership.txt    # write vertex→community map
 //	gveleiden -i g.mtx -refine random -labels refine -variant heavy
+//
+// Observability:
+//
+//	gveleiden -gen web -n 200000 -v                      # per-pass progress + stats table
+//	gveleiden -i g.mtx -trace trace.json                 # Chrome/Perfetto trace of the run
+//	gveleiden -i g.mtx -metrics metrics.txt              # Prometheus text metrics
+//	gveleiden -i g.mtx -pprof localhost:6060             # live pprof endpoint during the run
 package main
 
 import (
+	_ "expvar" // /debug/vars on the -pprof endpoint
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -18,6 +29,8 @@ import (
 	"gveleiden/internal/export"
 	"gveleiden/internal/gen"
 	"gveleiden/internal/graph"
+	"gveleiden/internal/observe"
+	"gveleiden/internal/parallel"
 	"gveleiden/internal/quality"
 )
 
@@ -40,16 +53,34 @@ func main() {
 		exportDot = flag.String("export-dot", "", "write a Graphviz DOT file colored by community")
 		exportGML = flag.String("export-graphml", "", "write a GraphML file with community attributes")
 		determ    = flag.Bool("deterministic", false, "coloring-ordered phases: identical results for any thread count")
-		verbose   = flag.Bool("v", false, "print per-pass statistics")
+		verbose   = flag.Bool("v", false, "stream per-pass progress to stderr and print the per-pass statistics table")
+		traceOut  = flag.String("trace", "", "write a Chrome-trace JSON profile of the run to this file")
+		metricOut = flag.String("metrics", "", "write Prometheus text metrics of the run to this file (- for stdout)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) during the run")
 		checkDis  = flag.Bool("check-disconnected", true, "count internally-disconnected communities")
 	)
 	flag.Parse()
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "gveleiden: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
+	var tracer *observe.Tracer
+	if *traceOut != "" {
+		tracer = observe.NewTracer()
+	}
+	lsp := tracer.Begin("load-graph", 0)
 	g, err := loadOrGenerate(*input, *genName, *n, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gveleiden: %v\n", err)
 		os.Exit(1)
 	}
+	lsp.EndArgs(map[string]any{"vertices": g.NumVertices(), "arcs": g.NumArcs()})
 	fmt.Printf("graph: |V|=%d |E|=%d\n", g.NumVertices(), g.NumUndirectedEdges())
 
 	opt := core.DefaultOptions()
@@ -97,6 +128,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	opt.Tracer = tracer // nil when -trace is unset
+	if *verbose {
+		opt.Observer = observe.NewProgress(os.Stderr)
+	}
+	if *metricOut != "" {
+		// Scope the pool counter snapshot to this run.
+		parallel.Default().ResetCounters()
+	}
+
 	start := time.Now()
 	var res *core.Result
 	switch *algo {
@@ -119,15 +159,35 @@ func main() {
 	fmt.Printf("processing rate: %.1f M edges/s\n", rate)
 
 	if *verbose {
-		mv, rf, ag, ot := res.Stats.PhaseSplit()
-		fmt.Printf("phase split: move %.0f%%  refine %.0f%%  aggregate %.0f%%  others %.0f%%\n",
-			mv*100, rf*100, ag*100, ot*100)
-		fmt.Printf("first pass: %.0f%% of runtime\n", res.Stats.FirstPassFraction()*100)
-		for i, p := range res.Stats.Passes {
-			fmt.Printf("  pass %d: |V'|=%d arcs=%d iters=%d refineMoves=%d |Γ|=%d move=%s refine=%s agg=%s other=%s\n",
-				i, p.Vertices, p.Arcs, p.MoveIterations, p.RefineMoves, p.Communities,
-				p.Move.Round(time.Microsecond), p.Refine.Round(time.Microsecond),
-				p.Aggregate.Round(time.Microsecond), p.Other.Round(time.Microsecond))
+		fmt.Print(res.Stats.String())
+	}
+	if *traceOut != "" {
+		if err := exportTo(*traceOut, tracer.Write); err != nil {
+			fmt.Fprintf(os.Stderr, "gveleiden: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+	}
+	if *metricOut != "" {
+		ms := observe.NewMetricSet()
+		effThreads := opt.Threads
+		if effThreads <= 0 {
+			effThreads = parallel.DefaultThreads()
+		}
+		core.RunInfoMetrics(ms, g.NumVertices(), g.NumArcs(), effThreads, res)
+		res.Stats.AddMetrics(ms)
+		core.AddPoolMetrics(ms, parallel.Default().Counters())
+		if *metricOut == "-" {
+			if err := ms.WritePrometheus(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "gveleiden: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			if err := exportTo(*metricOut, ms.WritePrometheus); err != nil {
+				fmt.Fprintf(os.Stderr, "gveleiden: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("metrics written to %s\n", *metricOut)
 		}
 	}
 
@@ -145,8 +205,8 @@ func main() {
 		fmt.Printf("membership written to %s\n", *out)
 	}
 	if *exportDot != "" {
-		if err := exportTo(*exportDot, func(f *os.File) error {
-			return export.WriteDOT(f, g, res.Membership)
+		if err := exportTo(*exportDot, func(w io.Writer) error {
+			return export.WriteDOT(w, g, res.Membership)
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "gveleiden: %v\n", err)
 			os.Exit(1)
@@ -154,8 +214,8 @@ func main() {
 		fmt.Printf("DOT written to %s\n", *exportDot)
 	}
 	if *exportGML != "" {
-		if err := exportTo(*exportGML, func(f *os.File) error {
-			return export.WriteGraphML(f, g, res.Membership)
+		if err := exportTo(*exportGML, func(w io.Writer) error {
+			return export.WriteGraphML(w, g, res.Membership)
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "gveleiden: %v\n", err)
 			os.Exit(1)
@@ -164,7 +224,7 @@ func main() {
 	}
 }
 
-func exportTo(path string, write func(*os.File) error) error {
+func exportTo(path string, write func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -17,8 +17,11 @@
 package gveleiden
 
 import (
+	"io"
+
 	"gveleiden/internal/core"
 	"gveleiden/internal/graph"
+	"gveleiden/internal/observe"
 	"gveleiden/internal/parallel"
 	"gveleiden/internal/quality"
 )
@@ -144,3 +147,50 @@ func LeidenDeterministic(g *Graph, opt Options) *Result {
 	opt.Deterministic = true
 	return core.Leiden(g, opt)
 }
+
+// Observability. Set Options.Tracer and/or Options.Observer to watch a
+// run; both default to nil, which keeps every instrumentation site on a
+// no-op fast path.
+
+// Tracer records phase/pass/iteration spans of a run and writes them as
+// Chrome trace-event JSON (chrome://tracing, Perfetto).
+type Tracer = observe.Tracer
+
+// NewTracer returns a tracer whose timeline starts now.
+func NewTracer() *Tracer { return observe.NewTracer() }
+
+// Observer receives pass and iteration events during a run.
+type Observer = observe.Observer
+
+// PassEvent describes one completed pass (super-vertex level).
+type PassEvent = observe.PassEvent
+
+// IterEvent describes one completed local-moving iteration.
+type IterEvent = observe.IterEvent
+
+// Progress is an Observer that streams one line per pass to a writer.
+type Progress = observe.Progress
+
+// NewProgress returns a Progress observer writing to w.
+func NewProgress(w io.Writer) *Progress { return observe.NewProgress(w) }
+
+// MultiObserver fans events out to several observers in order.
+func MultiObserver(obs ...Observer) Observer { return observe.Multi(obs...) }
+
+// MetricSet is an ordered collection of metrics writable as Prometheus
+// text exposition format or JSON.
+type MetricSet = observe.MetricSet
+
+// NewMetricSet returns an empty metric set.
+func NewMetricSet() *MetricSet { return observe.NewMetricSet() }
+
+// PoolCounters is a snapshot of a worker pool's scheduler counters:
+// regions, chunk claims, steals, park/unpark cycles.
+type PoolCounters = parallel.CounterSnapshot
+
+// AddRunMetrics appends a run's statistics (totals, phase-split
+// fractions, per-pass series) to ms.
+func AddRunMetrics(ms *MetricSet, s Stats) { s.AddMetrics(ms) }
+
+// AddPoolMetrics appends a pool counter snapshot to ms.
+func AddPoolMetrics(ms *MetricSet, c PoolCounters) { core.AddPoolMetrics(ms, c) }

@@ -22,16 +22,32 @@ type MicroRecord struct {
 	Speedup     float64 `json:"speedup"`
 }
 
-// E2ERecord is one end-to-end Leiden timing on a registry dataset.
+// PhaseSplit is the Figure-7a phase breakdown of one run: fractions of
+// phase-attributed runtime, plus the first-pass share (Figure 7b).
+type PhaseSplit struct {
+	Move      float64 `json:"move"`
+	Refine    float64 `json:"refine"`
+	Aggregate float64 `json:"aggregate"`
+	Other     float64 `json:"other"`
+	FirstPass float64 `json:"first_pass"`
+}
+
+// E2ERecord is one end-to-end Leiden timing on a registry dataset,
+// with the phase split and the worker-pool scheduler counters of the
+// best run.
 type E2ERecord struct {
-	Dataset     string  `json:"dataset"`
-	Class       string  `json:"class"`
-	Vertices    int     `json:"vertices"`
-	Arcs        int64   `json:"arcs"`
-	Threads     int     `json:"threads"`
-	BestMs      float64 `json:"best_ms"`
-	Modularity  float64 `json:"modularity"`
-	Communities int     `json:"communities"`
+	Dataset     string                   `json:"dataset"`
+	Class       string                   `json:"class"`
+	Vertices    int                      `json:"vertices"`
+	Arcs        int64                    `json:"arcs"`
+	Threads     int                      `json:"threads"`
+	BestMs      float64                  `json:"best_ms"`
+	Modularity  float64                  `json:"modularity"`
+	Communities int                      `json:"communities"`
+	Passes      int                      `json:"passes"`
+	Iterations  int                      `json:"move_iterations"`
+	Split       PhaseSplit               `json:"phase_split"`
+	Pool        parallel.CounterSnapshot `json:"pool"`
 }
 
 // BenchReport is the machine-readable benchmark artifact committed with
@@ -135,17 +151,27 @@ func E2EBench(scale float64, repeats, threads int) []E2ERecord {
 			continue
 		}
 		g, _ := Load(d)
+		// A dedicated pool per dataset keeps the counter snapshot scoped
+		// to this dataset's best run instead of the whole process.
+		pool := parallel.NewPool(threads)
 		opt := core.DefaultOptions()
 		opt.Threads = threads
+		opt.Pool = pool
 		best := time.Duration(0)
 		var res *core.Result
+		var counters parallel.CounterSnapshot
 		for r := 0; r < repeats; r++ {
+			pool.ResetCounters()
 			start := time.Now()
-			res = core.Leiden(g, opt)
+			run := core.Leiden(g, opt)
 			if d := time.Since(start); best == 0 || d < best {
 				best = d
+				res = run
+				counters = pool.Counters()
 			}
 		}
+		pool.Close()
+		mv, rf, ag, ot := res.Stats.PhaseSplit()
 		out = append(out, E2ERecord{
 			Dataset:     d.Name,
 			Class:       d.Class,
@@ -155,6 +181,13 @@ func E2EBench(scale float64, repeats, threads int) []E2ERecord {
 			BestMs:      float64(best.Microseconds()) / 1000,
 			Modularity:  res.Modularity,
 			Communities: res.NumCommunities,
+			Passes:      res.Passes,
+			Iterations:  res.Stats.TotalIterations(),
+			Split: PhaseSplit{
+				Move: mv, Refine: rf, Aggregate: ag, Other: ot,
+				FirstPass: res.Stats.FirstPassFraction(),
+			},
+			Pool: counters,
 		})
 	}
 	return out

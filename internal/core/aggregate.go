@@ -24,7 +24,12 @@ import (
 //
 // The returned graph's storage lives in the next ping-pong arena; no
 // allocation happens beyond slicing preallocated arrays.
-func (ws *workspace) aggregate(g *graph.CSR, nComms int) *graph.CSR {
+//
+// The second return value is the holey CSR's slot occupancy — arcs
+// actually written over slots reserved by the total-degree
+// overestimate — a measure of how much cross-community deduplication
+// the per-thread hashtables did this pass.
+func (ws *workspace) aggregate(g *graph.CSR, nComms int) (*graph.CSR, float64) {
 	n := g.NumVertices()
 	pool, threads, grain := ws.opt.Pool, ws.opt.Threads, ws.opt.Grain
 	comm := ws.comm[:n]
@@ -68,8 +73,10 @@ func (ws *workspace) aggregate(g *graph.CSR, nComms int) *graph.CSR {
 	if aggGrain < 1 {
 		aggGrain = 1
 	}
+	ws.zeroAgg()
 	pool.For(nComms, threads, aggGrain, func(lo, hi, tid int) {
 		h := ws.tables[tid]
+		var arcs int64
 		for c := lo; c < hi; c++ {
 			h.Clear()
 			for _, i := range commVtx[commOff[c]:commOff[c+1]] {
@@ -81,12 +88,18 @@ func (ws *workspace) aggregate(g *graph.CSR, nComms int) *graph.CSR {
 				weights[base+uint32(idx)] = float32(h.Get(d))
 			}
 			counts[c] = uint32(h.Len())
+			arcs += int64(h.Len())
 		}
+		ws.agg[tid].V += arcs
 	})
+	occupancy := 0.0
+	if capacity > 0 {
+		occupancy = float64(ws.sumAgg()) / float64(capacity)
+	}
 	return &graph.CSR{
 		Offsets: superOff,
 		Counts:  counts,
 		Edges:   edges,
 		Weights: weights,
-	}
+	}, occupancy
 }

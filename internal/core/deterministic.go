@@ -23,8 +23,10 @@ type mover struct {
 
 // movePhaseColored is the deterministic local-moving phase: iterations
 // sweep the color classes in order; each class runs a decision kernel
-// against frozen state, then an apply kernel.
-func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Coloring) int {
+// against frozen state, then an apply kernel. Like movePhase, it
+// accumulates work counters into ps and emits per-iteration trace
+// spans and observer events.
+func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Coloring, pass int, ps *PassStats) int {
 	n := g.NumVertices()
 	threads, grain := ws.opt.Threads, ws.opt.Grain
 	comm := ws.comm[:n]
@@ -42,6 +44,8 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 	iters := 0
 	for it := 0; it < ws.opt.MaxIterations; it++ {
 		ws.zeroDQ()
+		ws.zeroMC()
+		sp := ws.opt.Tracer.Begin("move.iter", 0)
 		for cls := 0; cls < col.NumColors; cls++ {
 			class := col.Class(cls)
 			// Decision kernel: frozen comm/Σ (no same-class neighbour
@@ -50,14 +54,17 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 			ws.opt.Pool.For(len(class), threads, grain/4+1, func(lo, hi, tid int) {
 				h := ws.tables[tid]
 				var local float64
+				var scanned, pruned, moves int64
 				for idx := lo; idx < hi; idx++ {
 					u := class[idx]
 					if !ws.opt.DisablePruning {
 						if !ws.flags.Get(int(u)) {
+							pruned++
 							continue
 						}
 						ws.flags.Set(int(u), false)
 					}
+					scanned++
 					d := comm[u]
 					h.Clear()
 					scanCommunities(h, g, comm, u, false)
@@ -82,9 +89,14 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 						continue
 					}
 					moverCh[tid] = append(moverCh[tid], mover{u, bestC})
+					moves++
 					local += bestDQ
 				}
 				ws.dq[tid].V += local
+				mc := &ws.mc[tid].V
+				mc.scanned += scanned
+				mc.pruned += pruned
+				mc.moves += moves
 			})
 			// Apply kernel: commit all accepted moves of this class.
 			for tid := range moverCh {
@@ -110,7 +122,9 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 			}
 		}
 		iters++
-		if ws.sumDQ() <= tau {
+		dq := ws.sumDQ()
+		ws.recordIteration(pass, it, dq, ps, sp)
+		if dq <= tau {
 			break
 		}
 	}

@@ -22,6 +22,8 @@ func (ws *workspace) finalRefine(g *graph.CSR) {
 	var ps PassStats
 	ps.Vertices = n
 	ps.Arcs = g.NumArcs()
+	pass := len(ws.stats.Passes)
+	psp := ws.beginPass("final-refine", pass, n, ps.Arcs)
 	t0 := time.Now()
 	opt := ws.opt
 	ws.vertexWeights(g, ws.k[:n])
@@ -51,12 +53,14 @@ func (ws *workspace) finalRefine(g *graph.CSR) {
 		tau /= opt.ToleranceDrop
 	}
 	t0 = time.Now()
+	sp := opt.Tracer.Begin("move", 0)
 	if coloring != nil {
-		ps.MoveIterations = ws.movePhaseColored(g, tau, coloring)
+		ps.MoveIterations = ws.movePhaseColored(g, tau, coloring, pass, &ps)
 	} else {
-		ps.MoveIterations = ws.movePhase(g, tau)
+		ps.MoveIterations = ws.movePhase(g, tau, pass, &ps)
 	}
+	sp.End()
 	ps.Move = time.Since(t0)
 	copy(ws.top, comm)
-	ws.stats.Passes = append(ws.stats.Passes, ps)
+	ws.endPass("final-refine", pass, &ps, psp)
 }

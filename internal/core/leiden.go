@@ -5,6 +5,7 @@ import (
 
 	"gveleiden/internal/color"
 	"gveleiden/internal/graph"
+	"gveleiden/internal/observe"
 	"gveleiden/internal/quality"
 )
 
@@ -23,12 +24,19 @@ import (
 func Leiden(g *graph.CSR, opt Options) *Result {
 	opt = opt.normalize()
 	ws := newWorkspace(g, opt)
+	run := observe.Span{}
+	if opt.Tracer != nil {
+		run = opt.Tracer.BeginArgs("leiden", 0, map[string]any{
+			"vertices": g.NumVertices(), "arcs": g.NumArcs(), "threads": opt.Threads,
+		})
+	}
 	start := time.Now()
 	runLeiden(g, ws)
 	if opt.FinalRefine {
 		ws.finalRefine(g)
 	}
 	res := finishResult(g, ws, time.Since(start))
+	run.End()
 	return res
 }
 
@@ -48,6 +56,7 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 		n := cur.NumVertices()
 		ps.Vertices = n
 		ps.Arcs = cur.NumArcs()
+		psp := ws.beginPass("leiden", pass, n, ps.Arcs)
 
 		t0 := time.Now()
 		k := ws.k[:n]
@@ -56,7 +65,7 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 			ws.m = opt.Pool.SumFloat64(k, opt.Threads) / 2
 			if ws.m == 0 {
 				// Edgeless graph: every vertex is its own community.
-				ws.stats.Passes = append(ws.stats.Passes, ps)
+				ws.endPass("leiden", pass, &ps, psp)
 				return
 			}
 			opt.Pool.FillFloat64(ws.vsize[:n], 1, opt.Threads)
@@ -69,12 +78,14 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 		ps.Other += time.Since(t0)
 
 		t0 = time.Now()
+		sp := opt.Tracer.Begin("move", 0)
 		var li int
 		if coloring != nil {
-			li = ws.movePhaseColored(cur, tau, coloring)
+			li = ws.movePhaseColored(cur, tau, coloring, pass, &ps)
 		} else {
-			li = ws.movePhase(cur, tau)
+			li = ws.movePhase(cur, tau, pass, &ps)
 		}
+		sp.End()
 		ps.MoveIterations = li
 		ps.Move = time.Since(t0)
 
@@ -89,12 +100,14 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 		ps.Other += time.Since(t0)
 
 		t0 = time.Now()
+		sp = opt.Tracer.Begin("refine", 0)
 		var moves int64
 		if coloring != nil {
 			moves = ws.refinePhaseColored(cur, coloring)
 		} else {
 			moves = ws.refinePhase(cur)
 		}
+		sp.End()
 		ps.RefineMoves = moves
 		ps.Refine = time.Since(t0)
 
@@ -105,7 +118,7 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 			ws.recordLevel(ws.bounds[:n], false)
 			ws.lookupDendrogram(ws.bounds[:n])
 			ps.Other += time.Since(t0)
-			ws.stats.Passes = append(ws.stats.Passes, ps)
+			ws.endPass("leiden", pass, &ps, psp)
 			return
 		}
 
@@ -118,7 +131,7 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 			ws.recordLevel(ws.bounds[:n], false)
 			ws.lookupDendrogram(ws.bounds[:n])
 			ps.Other += time.Since(t0)
-			ws.stats.Passes = append(ws.stats.Passes, ps)
+			ws.endPass("leiden", pass, &ps, psp)
 			return
 		}
 		ws.recordLevel(comm, true)
@@ -126,8 +139,11 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 		ps.Other += time.Since(t0)
 
 		t0 = time.Now()
-		next := ws.aggregate(cur, nComms)
+		sp = opt.Tracer.Begin("aggregate", 0)
+		next, occ := ws.aggregate(cur, nComms)
 		ws.aggregateSizes(n, nComms)
+		sp.End()
+		ps.AggOccupancy = occ
 		ps.Aggregate = time.Since(t0)
 
 		t0 = time.Now()
@@ -140,7 +156,7 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 		cur = next
 		tau /= opt.ToleranceDrop // line 15: threshold scaling
 		ps.Other += time.Since(t0)
-		ws.stats.Passes = append(ws.stats.Passes, ps)
+		ws.endPass("leiden", pass, &ps, psp)
 	}
 	// MaxPasses exhausted after an aggregation: apply the pending
 	// move-based grouping of the last level (Algorithm 1 line 16 uses

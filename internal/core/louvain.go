@@ -5,6 +5,7 @@ import (
 
 	"gveleiden/internal/color"
 	"gveleiden/internal/graph"
+	"gveleiden/internal/observe"
 	"gveleiden/internal/quality"
 )
 
@@ -18,12 +19,20 @@ import (
 func Louvain(g *graph.CSR, opt Options) *Result {
 	opt = opt.normalize()
 	ws := newWorkspace(g, opt)
+	run := observe.Span{}
+	if opt.Tracer != nil {
+		run = opt.Tracer.BeginArgs("louvain", 0, map[string]any{
+			"vertices": g.NumVertices(), "arcs": g.NumArcs(), "threads": opt.Threads,
+		})
+	}
 	start := time.Now()
 	runLouvain(g, ws)
 	if opt.FinalRefine {
 		ws.finalRefine(g)
 	}
-	return finishResult(g, ws, time.Since(start))
+	res := finishResult(g, ws, time.Since(start))
+	run.End()
+	return res
 }
 
 func runLouvain(g *graph.CSR, ws *workspace) {
@@ -36,6 +45,7 @@ func runLouvain(g *graph.CSR, ws *workspace) {
 		n := cur.NumVertices()
 		ps.Vertices = n
 		ps.Arcs = cur.NumArcs()
+		psp := ws.beginPass("louvain", pass, n, ps.Arcs)
 
 		t0 := time.Now()
 		k := ws.k[:n]
@@ -43,7 +53,7 @@ func runLouvain(g *graph.CSR, ws *workspace) {
 		if pass == 0 {
 			ws.m = opt.Pool.SumFloat64(k, opt.Threads) / 2
 			if ws.m == 0 {
-				ws.stats.Passes = append(ws.stats.Passes, ps)
+				ws.endPass("louvain", pass, &ps, psp)
 				return
 			}
 			opt.Pool.FillFloat64(ws.vsize[:n], 1, opt.Threads)
@@ -56,12 +66,14 @@ func runLouvain(g *graph.CSR, ws *workspace) {
 		ps.Other += time.Since(t0)
 
 		t0 = time.Now()
+		sp := opt.Tracer.Begin("move", 0)
 		var li int
 		if coloring != nil {
-			li = ws.movePhaseColored(cur, tau, coloring)
+			li = ws.movePhaseColored(cur, tau, coloring, pass, &ps)
 		} else {
-			li = ws.movePhase(cur, tau)
+			li = ws.movePhase(cur, tau, pass, &ps)
 		}
+		sp.End()
 		ps.MoveIterations = li
 		ps.Move = time.Since(t0)
 
@@ -71,7 +83,7 @@ func runLouvain(g *graph.CSR, ws *workspace) {
 			t0 = time.Now()
 			ws.lookupDendrogram(comm)
 			ps.Other += time.Since(t0)
-			ws.stats.Passes = append(ws.stats.Passes, ps)
+			ws.endPass("louvain", pass, &ps, psp)
 			return
 		}
 
@@ -82,17 +94,20 @@ func runLouvain(g *graph.CSR, ws *workspace) {
 		lowShrink := float64(nComms)/float64(n) > opt.AggregationTolerance
 		ps.Other += time.Since(t0)
 		if lowShrink {
-			ws.stats.Passes = append(ws.stats.Passes, ps)
+			ws.endPass("louvain", pass, &ps, psp)
 			return
 		}
 
 		t0 = time.Now()
-		next := ws.aggregate(cur, nComms)
+		sp = opt.Tracer.Begin("aggregate", 0)
+		next, occ := ws.aggregate(cur, nComms)
 		ws.aggregateSizes(n, nComms)
+		sp.End()
+		ps.AggOccupancy = occ
 		ps.Aggregate = time.Since(t0)
 		cur = next
 		tau /= opt.ToleranceDrop
-		ws.stats.Passes = append(ws.stats.Passes, ps)
+		ws.endPass("louvain", pass, &ps, psp)
 	}
 }
 

@@ -3,15 +3,18 @@ package core
 import (
 	"gveleiden/internal/graph"
 	"gveleiden/internal/hashtable"
+	"gveleiden/internal/observe"
 )
 
 // movePhase is the local-moving phase of GVE-Leiden (Algorithm 2). It
 // iteratively and asynchronously moves vertices to the neighbouring
 // community with maximum delta-modularity, using flag-based vertex
 // pruning: only vertices whose neighbourhood changed since they were
-// last examined are reprocessed. Returns l_i, the number of iterations
-// performed.
-func (ws *workspace) movePhase(g *graph.CSR, tau float64) int {
+// last examined are reprocessed. Work counters (scanned, pruned, moves,
+// ΔQ per iteration) accumulate into ps; each iteration emits a trace
+// span and an observer event when those are configured. Returns l_i,
+// the number of iterations performed.
+func (ws *workspace) movePhase(g *graph.CSR, tau float64, pass int, ps *PassStats) int {
 	n := g.NumVertices()
 	threads, grain := ws.opt.Threads, ws.opt.Grain
 	comm := ws.comm[:n]
@@ -30,28 +33,69 @@ func (ws *workspace) movePhase(g *graph.CSR, tau float64) int {
 	iters := 0
 	for it := 0; it < ws.opt.MaxIterations; it++ {
 		ws.zeroDQ()
+		ws.zeroMC()
+		sp := ws.opt.Tracer.Begin("move.iter", 0)
 		ws.opt.Pool.For(n, threads, grain, func(lo, hi, tid int) {
 			h := ws.tables[tid]
 			var local float64
+			var scanned, pruned, moves int64
 			for i := lo; i < hi; i++ {
 				u := uint32(i)
 				if !ws.opt.DisablePruning {
 					if !ws.flags.Get(i) {
+						pruned++
 						continue
 					}
 					ws.flags.Set(i, false) // prune: mark processed
 				}
+				scanned++
 				dq := ws.moveVertex(g, h, comm, u)
+				if dq > 0 {
+					moves++
+				}
 				local += dq
 			}
 			ws.dq[tid].V += local
+			mc := &ws.mc[tid].V
+			mc.scanned += scanned
+			mc.pruned += pruned
+			mc.moves += moves
 		})
 		iters++
-		if ws.sumDQ() <= tau { // locally converged?
+		dq := ws.sumDQ()
+		ws.recordIteration(pass, it, dq, ps, sp)
+		if dq <= tau { // locally converged?
 			break
 		}
 	}
 	return iters
+}
+
+// recordIteration folds one local-moving iteration's merged counters
+// into ps, closes its trace span, and notifies the observer. Shared by
+// the asynchronous and the deterministic (colored) move phases.
+func (ws *workspace) recordIteration(pass, it int, dq float64, ps *PassStats, sp observe.Span) {
+	c := ws.sumMC()
+	ps.Scanned += c.scanned
+	ps.Pruned += c.pruned
+	ps.Moves += c.moves
+	ps.IterMoves = append(ps.IterMoves, c.moves)
+	ps.DeltaQ += dq
+	if ws.opt.Tracer != nil { // don't build the args map when not tracing
+		sp.EndArgs(map[string]any{
+			"scanned": c.scanned, "pruned": c.pruned, "moves": c.moves, "dq": dq,
+		})
+	}
+	if o := ws.opt.Observer; o != nil {
+		o.OnIteration(observe.IterEvent{
+			Pass:      pass,
+			Iteration: it,
+			Scanned:   c.scanned,
+			Pruned:    c.pruned,
+			Moves:     c.moves,
+			DeltaQ:    dq,
+		})
+	}
 }
 
 // moveVertex examines one vertex: scans the communities connected to it

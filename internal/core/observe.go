@@ -1,0 +1,116 @@
+package core
+
+import (
+	"strconv"
+
+	"gveleiden/internal/observe"
+	"gveleiden/internal/parallel"
+)
+
+// endPass finishes one pass of a run: records ps in the run's stats,
+// closes the pass's trace span, and notifies the observer. alg names
+// the driver ("leiden", "louvain", "final-refine") for the event.
+func (ws *workspace) endPass(alg string, pass int, ps *PassStats, sp observe.Span) {
+	ws.stats.Passes = append(ws.stats.Passes, *ps)
+	if ws.opt.Tracer != nil {
+		sp.EndArgs(map[string]any{
+			"iters": ps.MoveIterations, "moves": ps.Moves,
+			"refineMoves": ps.RefineMoves, "communities": ps.Communities,
+		})
+	}
+	if o := ws.opt.Observer; o != nil {
+		o.OnPass(observe.PassEvent{
+			Algorithm:      alg,
+			Pass:           pass,
+			Vertices:       ps.Vertices,
+			Arcs:           ps.Arcs,
+			MoveIterations: ps.MoveIterations,
+			Scanned:        ps.Scanned,
+			Pruned:         ps.Pruned,
+			Moves:          ps.Moves,
+			DeltaQ:         ps.DeltaQ,
+			RefineMoves:    ps.RefineMoves,
+			Communities:    ps.Communities,
+			AggOccupancy:   ps.AggOccupancy,
+			Move:           ps.Move,
+			Refine:         ps.Refine,
+			Aggregate:      ps.Aggregate,
+			Other:          ps.Other,
+		})
+	}
+}
+
+// beginPass opens the trace span of one pass.
+func (ws *workspace) beginPass(alg string, pass, vertices int, arcs int64) observe.Span {
+	if ws.opt.Tracer == nil {
+		return observe.Span{}
+	}
+	return ws.opt.Tracer.BeginArgs(alg+".pass", 0, map[string]any{
+		"pass": pass, "vertices": vertices, "arcs": arcs,
+	})
+}
+
+// AddMetrics appends the run's statistics to ms in a stable layout:
+// run totals, phase-split fractions, and per-pass series labeled by
+// pass index — the data behind the CLIs' -metrics flag.
+func (s Stats) AddMetrics(ms *observe.MetricSet) {
+	ms.Gauge("gveleiden_run_seconds", "total wall time of the run", s.Total.Seconds())
+	ms.Counter("gveleiden_passes_total", "passes performed", float64(len(s.Passes)))
+	ms.Counter("gveleiden_move_iterations_total", "local-moving iterations across passes", float64(s.TotalIterations()))
+	ms.Counter("gveleiden_vertices_scanned_total", "vertices examined by local moving", float64(s.TotalScanned()))
+	ms.Counter("gveleiden_vertices_pruned_total", "vertices skipped by flag-based pruning", float64(s.TotalPruned()))
+	ms.Counter("gveleiden_moves_total", "local moves applied", float64(s.TotalMoves()))
+	ms.Gauge("gveleiden_first_pass_fraction", "share of runtime in the first pass", s.FirstPassFraction())
+
+	mv, rf, ag, ot := s.PhaseSplit()
+	const splitHelp = "fraction of phase-attributed runtime"
+	ms.Gauge("gveleiden_phase_fraction", splitHelp, mv, observe.L("phase", "move"))
+	ms.Gauge("gveleiden_phase_fraction", splitHelp, rf, observe.L("phase", "refine"))
+	ms.Gauge("gveleiden_phase_fraction", splitHelp, ag, observe.L("phase", "aggregate"))
+	ms.Gauge("gveleiden_phase_fraction", splitHelp, ot, observe.L("phase", "other"))
+
+	const passHelp = "wall time per pass and phase"
+	for i, p := range s.Passes {
+		pl := observe.L("pass", strconv.Itoa(i))
+		ms.Gauge("gveleiden_pass_seconds", passHelp, p.Move.Seconds(), pl, observe.L("phase", "move"))
+		ms.Gauge("gveleiden_pass_seconds", passHelp, p.Refine.Seconds(), pl, observe.L("phase", "refine"))
+		ms.Gauge("gveleiden_pass_seconds", passHelp, p.Aggregate.Seconds(), pl, observe.L("phase", "aggregate"))
+		ms.Gauge("gveleiden_pass_seconds", passHelp, p.Other.Seconds(), pl, observe.L("phase", "other"))
+		ms.Gauge("gveleiden_pass_vertices", "graph size per pass", float64(p.Vertices), pl)
+		ms.Gauge("gveleiden_pass_communities", "communities after refinement per pass", float64(p.Communities), pl)
+		ms.Gauge("gveleiden_pass_refine_moves", "refinement moves per pass", float64(p.RefineMoves), pl)
+		if p.AggOccupancy > 0 {
+			ms.Gauge("gveleiden_pass_agg_occupancy", "aggregation hashtable slot occupancy per pass", p.AggOccupancy, pl)
+		}
+	}
+}
+
+// AddPoolMetrics appends a parallel.Pool counter snapshot to ms: the
+// scheduler-behavior series (chunk claims, steals, park/unpark cycles,
+// fallback regions) that make the work-stealing runtime observable.
+func AddPoolMetrics(ms *observe.MetricSet, c parallel.CounterSnapshot) {
+	add := func(name, help string, v int64) {
+		ms.Counter("gveleiden_pool_"+name, help, float64(v))
+	}
+	add("regions_total", "parallel regions scheduled on the persistent workers", c.Regions)
+	add("inline_regions_total", "regions run inline on the submitter", c.InlineRegions)
+	add("spawn_regions_total", "regions that fell back to spawn-mode execution", c.SpawnRegions)
+	add("wakes_total", "worker park/unpark cycles", c.Wakes)
+	add("chunks_total", "guided chunks claimed by range owners", c.Chunks)
+	add("items_total", "loop iterations executed on the pool", c.Items)
+	add("steal_attempts_total", "steal sweeps by participants out of own work", c.StealAttempts)
+	add("steals_total", "successful steals of half a victim's range", c.Steals)
+	add("items_stolen_total", "loop iterations transferred by steals", c.ItemsStolen)
+}
+
+// RunInfoMetrics appends run-identification gauges (graph size, thread
+// count, result quality) shared by the CLI exporters.
+func RunInfoMetrics(ms *observe.MetricSet, vertices int, arcs int64, threads int, res *Result) {
+	ms.Gauge("gveleiden_graph_vertices", "vertices of the input graph", float64(vertices))
+	ms.Gauge("gveleiden_graph_arcs", "stored arcs of the input graph", float64(arcs))
+	ms.Gauge("gveleiden_threads", "worker threads used", float64(threads))
+	if res != nil {
+		ms.Gauge("gveleiden_communities", "communities detected", float64(res.NumCommunities))
+		ms.Gauge("gveleiden_modularity", "modularity of the result", res.Modularity)
+	}
+}

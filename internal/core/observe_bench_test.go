@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"gveleiden/internal/gen"
+	"gveleiden/internal/graph"
+	"gveleiden/internal/observe"
+)
+
+// nullObserver consumes events without storing them — isolates the
+// event-construction and virtual-call cost from any sink cost.
+type nullObserver struct{}
+
+func (nullObserver) OnPass(observe.PassEvent)      {}
+func (nullObserver) OnIteration(observe.IterEvent) {}
+
+var benchGraph *graph.CSR
+
+func observeBenchGraph() *graph.CSR {
+	if benchGraph == nil {
+		benchGraph, _ = gen.WebGraph(20000, 16, 42)
+	}
+	return benchGraph
+}
+
+// BenchmarkLeidenNilObserver is the baseline: Observer and Tracer nil,
+// so every instrumentation site takes its no-op fast path. Compare
+// against BenchmarkLeidenObserved / BenchmarkLeidenTraced to verify the
+// nil path adds no measurable overhead versus pre-instrumentation code.
+func BenchmarkLeidenNilObserver(b *testing.B) {
+	g := observeBenchGraph()
+	opt := testOpts(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Leiden(g, opt)
+	}
+}
+
+// BenchmarkLeidenObserved runs with an active (but sink-free) Observer.
+func BenchmarkLeidenObserved(b *testing.B) {
+	g := observeBenchGraph()
+	opt := testOpts(4)
+	opt.Observer = nullObserver{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Leiden(g, opt)
+	}
+}
+
+// BenchmarkLeidenTraced runs with a live Tracer collecting span events.
+func BenchmarkLeidenTraced(b *testing.B) {
+	g := observeBenchGraph()
+	opt := testOpts(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Tracer = observe.NewTracer()
+		Leiden(g, opt)
+	}
+}

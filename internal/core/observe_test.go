@@ -1,0 +1,281 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"gveleiden/internal/gen"
+	"gveleiden/internal/observe"
+	"gveleiden/internal/parallel"
+)
+
+// recorder captures every event a run emits.
+type recorder struct {
+	mu     sync.Mutex
+	passes []observe.PassEvent
+	iters  []observe.IterEvent
+}
+
+func (r *recorder) OnPass(e observe.PassEvent) {
+	r.mu.Lock()
+	r.passes = append(r.passes, e)
+	r.mu.Unlock()
+}
+
+func (r *recorder) OnIteration(e observe.IterEvent) {
+	r.mu.Lock()
+	r.iters = append(r.iters, e)
+	r.mu.Unlock()
+}
+
+// TestObserverEventsMatchStats: the events delivered to the Observer
+// agree with the PassStats recorded in the result, and the iteration
+// counters roll up into the pass counters.
+func TestObserverEventsMatchStats(t *testing.T) {
+	g, _ := gen.WebGraph(3000, 14, 1)
+	rec := &recorder{}
+	opt := testOpts(4)
+	opt.Observer = rec
+	res := Leiden(g, opt)
+
+	if len(rec.passes) != len(res.Stats.Passes) {
+		t.Fatalf("observer saw %d passes, stats has %d", len(rec.passes), len(res.Stats.Passes))
+	}
+	var iterSum int64
+	for i, e := range rec.passes {
+		ps := res.Stats.Passes[i]
+		if e.Algorithm != "leiden" || e.Pass != i {
+			t.Errorf("pass %d event mislabeled: %+v", i, e)
+		}
+		if e.Vertices != ps.Vertices || e.MoveIterations != ps.MoveIterations ||
+			e.Moves != ps.Moves || e.RefineMoves != ps.RefineMoves ||
+			e.Scanned != ps.Scanned || e.Pruned != ps.Pruned {
+			t.Errorf("pass %d event %+v disagrees with stats %+v", i, e, ps)
+		}
+		// The per-iteration move counts must sum to the pass total.
+		var fromIters int64
+		for _, m := range ps.IterMoves {
+			fromIters += m
+		}
+		if fromIters != ps.Moves {
+			t.Errorf("pass %d: IterMoves sum %d != Moves %d", i, fromIters, ps.Moves)
+		}
+		if len(ps.IterMoves) != ps.MoveIterations {
+			t.Errorf("pass %d: %d IterMoves entries for %d iterations",
+				i, len(ps.IterMoves), ps.MoveIterations)
+		}
+		iterSum += int64(ps.MoveIterations)
+	}
+	if int64(len(rec.iters)) != iterSum {
+		t.Errorf("observer saw %d iteration events, stats says %d iterations",
+			len(rec.iters), iterSum)
+	}
+	for _, e := range rec.iters {
+		if e.Scanned < e.Moves {
+			t.Errorf("iteration event scanned %d < moves %d", e.Scanned, e.Moves)
+		}
+	}
+}
+
+// TestMoveCountersCoherent: scanned+pruned accounts for every vertex
+// visit, and disabling pruning zeroes the pruned counter.
+func TestMoveCountersCoherent(t *testing.T) {
+	g, _ := gen.SocialNetwork(2500, 14, 12, 0.35, 2)
+	res := Leiden(g, testOpts(4))
+	for i, ps := range res.Stats.Passes {
+		// Each iteration visits |V'| vertices, each either scanned or
+		// pruned (the convergence-break iteration still sweeps all).
+		want := int64(ps.MoveIterations) * int64(ps.Vertices)
+		if got := ps.Scanned + ps.Pruned; got != want {
+			t.Errorf("pass %d: scanned %d + pruned %d = %d, want iters×|V'| = %d",
+				i, ps.Scanned, ps.Pruned, got, want)
+		}
+		if ps.MoveIterations > 1 && ps.Pruned == 0 && ps.Vertices > 100 {
+			t.Errorf("pass %d: pruning never skipped a vertex in %d iterations",
+				i, ps.MoveIterations)
+		}
+	}
+
+	opt := testOpts(4)
+	opt.DisablePruning = true
+	res = Leiden(g, opt)
+	for i, ps := range res.Stats.Passes {
+		if ps.Pruned != 0 {
+			t.Errorf("pass %d: pruning disabled but Pruned = %d", i, ps.Pruned)
+		}
+		if ps.Scanned != int64(ps.MoveIterations)*int64(ps.Vertices) {
+			t.Errorf("pass %d: unpruned scan %d != iters×|V'|", i, ps.Scanned)
+		}
+	}
+}
+
+// TestAggOccupancyBounds: every aggregating pass reports an occupancy
+// in (0, 1] — arcs written never exceed the reserved slots.
+func TestAggOccupancyBounds(t *testing.T) {
+	g, _ := gen.WebGraph(3000, 14, 5)
+	res := Leiden(g, testOpts(4))
+	sawAgg := false
+	for i, ps := range res.Stats.Passes {
+		if ps.Aggregate == 0 && ps.AggOccupancy == 0 {
+			continue
+		}
+		sawAgg = true
+		if ps.AggOccupancy <= 0 || ps.AggOccupancy > 1+1e-9 {
+			t.Errorf("pass %d: occupancy %v out of (0,1]", i, ps.AggOccupancy)
+		}
+	}
+	if !sawAgg {
+		t.Skip("run converged before aggregating — no occupancy to check")
+	}
+}
+
+// TestTracedRunProducesValidNestedTrace: a traced Leiden run emits a
+// parseable Chrome trace whose run span contains the pass spans, which
+// contain the phase spans.
+func TestTracedRunProducesValidNestedTrace(t *testing.T) {
+	g, _ := gen.WebGraph(3000, 14, 1)
+	tr := observe.NewTracer()
+	opt := testOpts(4)
+	opt.Tracer = tr
+	res := Leiden(g, opt)
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("trace is not valid JSON")
+	}
+	evs := tr.Events()
+	span := func(name string) (observe.Event, bool) {
+		for _, e := range evs {
+			if e.Name == name {
+				return e, true
+			}
+		}
+		return observe.Event{}, false
+	}
+	run, ok := span("leiden")
+	if !ok {
+		t.Fatal("no run span recorded")
+	}
+	counts := map[string]int{}
+	for _, e := range evs {
+		counts[e.Name]++
+		// Every span nests inside the run span.
+		if e.Name != "leiden" && (e.Ts < run.Ts-1 || e.Ts+e.Dur > run.Ts+run.Dur+1) {
+			t.Errorf("event %q [%v,%v] escapes run span [%v,%v]",
+				e.Name, e.Ts, e.Ts+e.Dur, run.Ts, run.Ts+run.Dur)
+		}
+	}
+	if counts["leiden.pass"] != res.Passes {
+		t.Errorf("%d pass spans for %d passes", counts["leiden.pass"], res.Passes)
+	}
+	if counts["move"] != res.Passes {
+		t.Errorf("%d move spans for %d passes", counts["move"], res.Passes)
+	}
+	if counts["move.iter"] != res.Stats.TotalIterations() {
+		t.Errorf("%d iteration spans for %d iterations",
+			counts["move.iter"], res.Stats.TotalIterations())
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Ts < evs[i-1].Ts {
+			t.Fatalf("trace timestamps not monotonic at %d", i)
+		}
+	}
+}
+
+// TestObservedRunMatchesBaseline: observing and tracing must not
+// change the partition (same options, same seed → same result).
+func TestObservedRunMatchesBaseline(t *testing.T) {
+	g, _ := gen.SocialNetwork(2000, 12, 10, 0.3, 9)
+	opt := testOpts(4)
+	opt.Deterministic = true
+	base := Leiden(g, opt)
+
+	opt.Observer = &recorder{}
+	opt.Tracer = observe.NewTracer()
+	observed := Leiden(g, opt)
+	if base.NumCommunities != observed.NumCommunities || base.Modularity != observed.Modularity {
+		t.Errorf("observation changed the result: %d/%f vs %d/%f",
+			base.NumCommunities, base.Modularity,
+			observed.NumCommunities, observed.Modularity)
+	}
+	for i := range base.Membership {
+		if base.Membership[i] != observed.Membership[i] {
+			t.Fatalf("membership diverged at vertex %d", i)
+		}
+	}
+}
+
+// TestMetricsAssembly: the exported metric set contains the headline
+// series with sane values.
+func TestMetricsAssembly(t *testing.T) {
+	g, _ := gen.WebGraph(2000, 12, 3)
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	opt := testOpts(4)
+	opt.Pool = pool
+	res := Leiden(g, opt)
+
+	ms := observe.NewMetricSet()
+	RunInfoMetrics(ms, g.NumVertices(), g.NumArcs(), 4, res)
+	res.Stats.AddMetrics(ms)
+	AddPoolMetrics(ms, pool.Counters())
+
+	byName := map[string]float64{}
+	for _, m := range ms.Metrics() {
+		if len(m.Labels) == 0 {
+			byName[m.Name] = m.Value
+		}
+	}
+	if byName["gveleiden_passes_total"] != float64(res.Passes) {
+		t.Errorf("passes metric %v != %d", byName["gveleiden_passes_total"], res.Passes)
+	}
+	if byName["gveleiden_pool_regions_total"] <= 0 {
+		t.Error("pool regions metric missing or zero")
+	}
+	if byName["gveleiden_pool_items_total"] <= 0 {
+		t.Error("pool items metric missing or zero")
+	}
+	var buf bytes.Buffer
+	if err := ms.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty Prometheus output")
+	}
+}
+
+// TestLouvainObserved: the Louvain driver emits events too.
+func TestLouvainObserved(t *testing.T) {
+	g, _ := gen.WebGraph(2000, 12, 7)
+	rec := &recorder{}
+	opt := testOpts(4)
+	opt.Observer = rec
+	res := Louvain(g, opt)
+	if len(rec.passes) != res.Passes {
+		t.Fatalf("observer saw %d passes, result says %d", len(rec.passes), res.Passes)
+	}
+	for _, e := range rec.passes {
+		if e.Algorithm != "louvain" {
+			t.Errorf("pass event algorithm %q, want louvain", e.Algorithm)
+		}
+	}
+}
+
+// TestFinalRefineObserved: the extra final-refinement pass is reported
+// with its own algorithm label.
+func TestFinalRefineObserved(t *testing.T) {
+	g, _ := gen.WebGraph(2000, 12, 11)
+	rec := &recorder{}
+	opt := testOpts(4)
+	opt.FinalRefine = true
+	opt.Observer = rec
+	Leiden(g, opt)
+	if len(rec.passes) == 0 || rec.passes[len(rec.passes)-1].Algorithm != "final-refine" {
+		t.Fatalf("last pass event should be final-refine, got %+v", rec.passes)
+	}
+}

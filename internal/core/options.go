@@ -9,6 +9,7 @@
 package core
 
 import (
+	"gveleiden/internal/observe"
 	"gveleiden/internal/parallel"
 )
 
@@ -171,6 +172,17 @@ type Options struct {
 	// the shared process-default pool, which is right for almost all
 	// callers; pass a dedicated pool to isolate concurrent runs.
 	Pool *parallel.Pool
+	// Observer, when non-nil, receives a pass event after every pass
+	// and an iteration event after every local-moving iteration — the
+	// hook behind progress reporting on long runs. nil (the default)
+	// keeps the hot path on a no-op fast path: event sites cost one
+	// pointer comparison and build no event values.
+	Observer observe.Observer
+	// Tracer, when non-nil, records a span for the whole run, each
+	// pass, each phase, and each local-moving iteration; write it out
+	// with Tracer.Write for a Chrome-trace/Perfetto-compatible profile
+	// of the run. nil disables tracing at the same no-op cost.
+	Tracer *observe.Tracer
 }
 
 // DefaultOptions returns the configuration evaluated in the paper:

@@ -31,7 +31,7 @@ func TestMovePhaseImprovesModularity(t *testing.T) {
 	ws := setupPass(g, testOpts(4))
 	n := g.NumVertices()
 	before := quality.Modularity(g, ws.comm[:n]) // singletons
-	iters := ws.movePhase(g, ws.opt.Tolerance)
+	iters := ws.movePhase(g, ws.opt.Tolerance, 0, &PassStats{})
 	after := quality.Modularity(g, ws.comm[:n])
 	if iters < 1 {
 		t.Fatal("no iterations performed")
@@ -47,7 +47,7 @@ func TestMovePhaseSigmaConsistent(t *testing.T) {
 	g, _ := gen.WebGraph(1000, 10, 7)
 	ws := setupPass(g, testOpts(8))
 	n := g.NumVertices()
-	ws.movePhase(g, ws.opt.Tolerance)
+	ws.movePhase(g, ws.opt.Tolerance, 0, &PassStats{})
 	want := make([]float64, n)
 	for i := 0; i < n; i++ {
 		want[ws.comm[i]] += ws.k[i]
@@ -69,7 +69,7 @@ func TestRefinementIsRefinementOfBounds(t *testing.T) {
 		opt.Refinement = mode
 		ws := setupPass(g, opt)
 		n := g.NumVertices()
-		ws.movePhase(g, ws.opt.Tolerance)
+		ws.movePhase(g, ws.opt.Tolerance, 0, &PassStats{})
 		copy(ws.bounds[:n], ws.comm[:n])
 		parallel.Iota(ws.comm[:n], ws.opt.Threads)
 		ws.sigma.CopyFrom(ws.opt.Pool, ws.k[:n], ws.opt.Threads)
@@ -88,7 +88,7 @@ func TestRefinementSubCommunitiesConnected(t *testing.T) {
 	g, _ := gen.WebGraph(1500, 12, 19)
 	ws := setupPass(g, testOpts(8))
 	n := g.NumVertices()
-	ws.movePhase(g, ws.opt.Tolerance)
+	ws.movePhase(g, ws.opt.Tolerance, 0, &PassStats{})
 	copy(ws.bounds[:n], ws.comm[:n])
 	parallel.Iota(ws.comm[:n], ws.opt.Threads)
 	ws.sigma.CopyFrom(ws.opt.Pool, ws.k[:n], ws.opt.Threads)
@@ -103,7 +103,7 @@ func TestRefineSigmaConsistent(t *testing.T) {
 	g, _ := gen.WebGraph(1000, 10, 23)
 	ws := setupPass(g, testOpts(8))
 	n := g.NumVertices()
-	ws.movePhase(g, ws.opt.Tolerance)
+	ws.movePhase(g, ws.opt.Tolerance, 0, &PassStats{})
 	copy(ws.bounds[:n], ws.comm[:n])
 	parallel.Iota(ws.comm[:n], ws.opt.Threads)
 	ws.sigma.CopyFrom(ws.opt.Pool, ws.k[:n], ws.opt.Threads)
@@ -128,7 +128,7 @@ func TestAggregatePreservesWeightAndModularity(t *testing.T) {
 	g, _ := gen.SocialNetwork(1200, 14, 8, 0.3, 31)
 	ws := setupPass(g, testOpts(4))
 	n := g.NumVertices()
-	ws.movePhase(g, ws.opt.Tolerance)
+	ws.movePhase(g, ws.opt.Tolerance, 0, &PassStats{})
 	copy(ws.bounds[:n], ws.comm[:n])
 	parallel.Iota(ws.comm[:n], ws.opt.Threads)
 	ws.sigma.CopyFrom(ws.opt.Pool, ws.k[:n], ws.opt.Threads)
@@ -139,7 +139,7 @@ func TestAggregatePreservesWeightAndModularity(t *testing.T) {
 	if nComms >= n {
 		t.Fatal("no shrink — test premise broken")
 	}
-	super := ws.aggregate(g, nComms)
+	super, _ := ws.aggregate(g, nComms)
 
 	if super.NumVertices() != nComms {
 		t.Fatalf("super |V| = %d, want %d", super.NumVertices(), nComms)
@@ -177,7 +177,7 @@ func TestAggregateSelfLoopsCarryInternalWeight(t *testing.T) {
 	g := b.Build()
 	ws := setupPass(g, testOpts(1))
 	copy(ws.comm[:6], []uint32{0, 0, 0, 1, 1, 1})
-	super := ws.aggregate(g, 2)
+	super, _ := ws.aggregate(g, 2)
 	// Each triangle has internal arc weight 6 (3 edges × 2 arcs).
 	if got := super.ArcWeight(0, 0); got != 6 {
 		t.Fatalf("super self-loop = %v, want 6", got)

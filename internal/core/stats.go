@@ -1,21 +1,36 @@
 package core
 
 import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
 	"time"
 )
 
 // PassStats records what one pass of the algorithm did — the raw data
-// behind the paper's phase-split and pass-split analysis (Figure 7).
+// behind the paper's phase-split and pass-split analysis (Figure 7),
+// extended with the local-moving work counters (vertices scanned vs.
+// pruned, moves applied, ΔQ) and the aggregation hashtable occupancy.
 type PassStats struct {
-	Vertices       int           // |V'| of the graph this pass ran on
-	Arcs           int64         // stored arcs of that graph
-	MoveIterations int           // l_i of Algorithm 2
-	RefineMoves    int64         // vertices moved during refinement
-	Communities    int           // |Γ| after refinement (pre-aggregation)
-	Move           time.Duration // local-moving phase time
-	Refine         time.Duration // refinement phase time
-	Aggregate      time.Duration // aggregation phase time
-	Other          time.Duration // init, renumber, dendrogram lookup, resets
+	Vertices       int     // |V'| of the graph this pass ran on
+	Arcs           int64   // stored arcs of that graph
+	MoveIterations int     // l_i of Algorithm 2
+	Scanned        int64   // vertices examined by the local-moving phase
+	Pruned         int64   // vertices skipped by flag-based pruning
+	Moves          int64   // local moves applied across all iterations
+	IterMoves      []int64 // moves applied per local-moving iteration
+	DeltaQ         float64 // total ΔQ gained by the local-moving phase
+	RefineMoves    int64   // vertices moved during refinement
+	Communities    int     // |Γ| after refinement (pre-aggregation)
+	// AggOccupancy is arcs written / slots reserved in the aggregation
+	// phase's holey CSR — how tight the paper's total-degree
+	// overestimate (Algorithm 4 line 8) was this pass. 0 when the pass
+	// did not aggregate.
+	AggOccupancy float64
+	Move         time.Duration // local-moving phase time
+	Refine       time.Duration // refinement phase time
+	Aggregate    time.Duration // aggregation phase time
+	Other        time.Duration // init, renumber, dendrogram lookup, resets
 }
 
 // Duration returns the total wall time of the pass.
@@ -71,6 +86,62 @@ func (s Stats) TotalIterations() int {
 		n += p.MoveIterations
 	}
 	return n
+}
+
+// TotalScanned, TotalPruned and TotalMoves sum the local-moving work
+// counters across passes.
+func (s Stats) TotalScanned() int64 {
+	var n int64
+	for _, p := range s.Passes {
+		n += p.Scanned
+	}
+	return n
+}
+
+func (s Stats) TotalPruned() int64 {
+	var n int64
+	for _, p := range s.Passes {
+		n += p.Pruned
+	}
+	return n
+}
+
+func (s Stats) TotalMoves() int64 {
+	var n int64
+	for _, p := range s.Passes {
+		n += p.Moves
+	}
+	return n
+}
+
+// String renders the run as a human-readable per-pass table followed by
+// the phase-split summary — the output behind the CLI's -v flag.
+func (s Stats) String() string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "pass\t|V'|\tarcs\titers\tscanned\tpruned\tmoves\trefine\t|Γ|\tagg-occ\tt_move\tt_refine\tt_agg\tt_other\tt_pass\t")
+	for i, p := range s.Passes {
+		occ := "-"
+		if p.AggOccupancy > 0 {
+			occ = fmt.Sprintf("%.2f", p.AggOccupancy)
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t\n",
+			i, p.Vertices, p.Arcs, p.MoveIterations, p.Scanned, p.Pruned,
+			p.Moves, p.RefineMoves, p.Communities, occ,
+			round(p.Move), round(p.Refine), round(p.Aggregate), round(p.Other),
+			round(p.Duration()))
+	}
+	w.Flush()
+	mv, rf, ag, ot := s.PhaseSplit()
+	fmt.Fprintf(&b, "phase split: move %.0f%%  refine %.0f%%  aggregate %.0f%%  others %.0f%%\n",
+		mv*100, rf*100, ag*100, ot*100)
+	fmt.Fprintf(&b, "first pass: %.0f%% of runtime; %d local-moving iterations total\n",
+		s.FirstPassFraction()*100, s.TotalIterations())
+	return b.String()
+}
+
+func round(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
 }
 
 // Result is the output of a Leiden or Louvain run.

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Edge cases of the Figure-7 analysis helpers: empty runs and
+// zero-duration passes must not divide by zero.
+func TestPhaseSplitEdgeCases(t *testing.T) {
+	var empty Stats
+	mv, rf, ag, ot := empty.PhaseSplit()
+	if mv != 0 || rf != 0 || ag != 0 || ot != 0 {
+		t.Errorf("empty run: split = %v %v %v %v, want all zero", mv, rf, ag, ot)
+	}
+	if f := empty.FirstPassFraction(); f != 0 {
+		t.Errorf("empty run: first-pass fraction = %v, want 0", f)
+	}
+
+	zero := Stats{Passes: []PassStats{{Vertices: 10}, {Vertices: 5}}}
+	mv, rf, ag, ot = zero.PhaseSplit()
+	if mv != 0 || rf != 0 || ag != 0 || ot != 0 {
+		t.Errorf("zero-duration passes: split = %v %v %v %v, want all zero", mv, rf, ag, ot)
+	}
+	if f := zero.FirstPassFraction(); f != 0 {
+		t.Errorf("zero-duration passes: first-pass fraction = %v, want 0", f)
+	}
+}
+
+func TestPhaseSplitSumsToOne(t *testing.T) {
+	s := Stats{Passes: []PassStats{
+		{Move: 6 * time.Millisecond, Refine: 2 * time.Millisecond,
+			Aggregate: time.Millisecond, Other: time.Millisecond},
+		{Move: 2 * time.Millisecond, Other: 2 * time.Millisecond},
+	}}
+	mv, rf, ag, ot := s.PhaseSplit()
+	if sum := mv + rf + ag + ot; sum < 0.999 || sum > 1.001 {
+		t.Errorf("split sums to %v, want 1", sum)
+	}
+	if mv != 8.0/14.0 {
+		t.Errorf("move fraction = %v, want %v", mv, 8.0/14.0)
+	}
+	if f := s.FirstPassFraction(); f != 10.0/14.0 {
+		t.Errorf("first-pass fraction = %v, want %v", f, 10.0/14.0)
+	}
+}
+
+func TestStatsCounterTotals(t *testing.T) {
+	s := Stats{Passes: []PassStats{
+		{MoveIterations: 3, Scanned: 100, Pruned: 40, Moves: 25},
+		{MoveIterations: 2, Scanned: 10, Pruned: 5, Moves: 3},
+	}}
+	if s.TotalIterations() != 5 {
+		t.Errorf("TotalIterations = %d, want 5", s.TotalIterations())
+	}
+	if s.TotalScanned() != 110 || s.TotalPruned() != 45 || s.TotalMoves() != 28 {
+		t.Errorf("totals = %d/%d/%d, want 110/45/28",
+			s.TotalScanned(), s.TotalPruned(), s.TotalMoves())
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	// Empty stats still render (header + summary, no pass rows).
+	if out := (Stats{}).String(); !strings.Contains(out, "phase split") {
+		t.Errorf("empty Stats.String() missing summary:\n%s", out)
+	}
+
+	s := Stats{Passes: []PassStats{{
+		Vertices: 1000, Arcs: 8000, MoveIterations: 4,
+		Scanned: 2400, Pruned: 1600, Moves: 700, RefineMoves: 120,
+		Communities: 80, AggOccupancy: 0.42,
+		Move: 3 * time.Millisecond, Refine: time.Millisecond,
+		Aggregate: time.Millisecond, Other: time.Millisecond,
+	}}}
+	out := s.String()
+	for _, want := range []string{"1000", "8000", "2400", "0.42", "phase split", "first pass"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Stats.String() missing %q:\n%s", want, out)
+		}
+	}
+	// A pass that never aggregated shows "-" instead of a bogus 0.00.
+	s2 := Stats{Passes: []PassStats{{Vertices: 10, Move: time.Millisecond}}}
+	if !strings.Contains(s2.String(), "-") {
+		t.Errorf("no-aggregation pass should render '-' occupancy:\n%s", s2.String())
+	}
+}

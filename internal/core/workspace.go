@@ -55,8 +55,10 @@ type workspace struct {
 	scratch []uint32           // renumbering / existence buffer
 	cursor  []uint32           // aggregation placement cursors
 	flags   *parallel.Flags
-	dq      []parallel.Padded[float64] // per-thread ΔQ partial sums
-	moved   []parallel.Padded[int64]   // per-thread refinement move counters
+	dq      []parallel.Padded[float64]      // per-thread ΔQ partial sums
+	moved   []parallel.Padded[int64]        // per-thread refinement move counters
+	mc      []parallel.Padded[iterCounters] // per-thread local-moving work counters
+	agg     []parallel.Padded[int64]        // per-thread aggregation arc counters
 	arenas  [2]arena
 	cur     int   // arena index holding the *next* write target
 	stats   Stats // per-pass statistics collected by the driver
@@ -93,6 +95,8 @@ func newWorkspace(g *graph.CSR, opt Options) *workspace {
 		flags:   parallel.NewFlags(n),
 		dq:      make([]parallel.Padded[float64], t),
 		moved:   make([]parallel.Padded[int64], t),
+		mc:      make([]parallel.Padded[iterCounters], t),
+		agg:     make([]parallel.Padded[int64], t),
 	}
 	ws.arenas[0] = newArena(n, arcs)
 	ws.arenas[1] = newArena(n, arcs)
@@ -272,4 +276,43 @@ func (ws *workspace) zeroMoved() {
 	for i := range ws.moved {
 		ws.moved[i].V = 0
 	}
+}
+
+// iterCounters are the local-moving work counters of one iteration,
+// accumulated in per-thread padded slots (chunk-local sums merged at
+// chunk end) so the hot loop stays plain increments on registers.
+type iterCounters struct {
+	scanned int64 // vertices examined (pruning survivors)
+	pruned  int64 // vertices skipped by flag-based pruning
+	moves   int64 // moves applied
+}
+
+func (ws *workspace) zeroMC() {
+	for i := range ws.mc {
+		ws.mc[i].V = iterCounters{}
+	}
+}
+
+func (ws *workspace) sumMC() iterCounters {
+	var s iterCounters
+	for i := range ws.mc {
+		s.scanned += ws.mc[i].V.scanned
+		s.pruned += ws.mc[i].V.pruned
+		s.moves += ws.mc[i].V.moves
+	}
+	return s
+}
+
+func (ws *workspace) zeroAgg() {
+	for i := range ws.agg {
+		ws.agg[i].V = 0
+	}
+}
+
+func (ws *workspace) sumAgg() int64 {
+	var s int64
+	for i := range ws.agg {
+		s += ws.agg[i].V
+	}
+	return s
 }

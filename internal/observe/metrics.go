@@ -1,0 +1,165 @@
+package observe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metric types, following the Prometheus exposition format.
+const (
+	TypeCounter = "counter"
+	TypeGauge   = "gauge"
+)
+
+// Label is one name="value" metric label.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Metric is one sample: a name, optional labels, and a float64 value.
+type Metric struct {
+	Name   string  `json:"name"`
+	Help   string  `json:"help,omitempty"`
+	Type   string  `json:"type"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// MetricSet is an ordered collection of samples with Prometheus
+// text-format and JSON writers. It is a build-then-write value, not a
+// live registry: a run finishes, the caller assembles the set from the
+// run's stats and counters, and writes it out. Not safe for concurrent
+// mutation.
+type MetricSet struct {
+	metrics []Metric
+}
+
+// NewMetricSet returns an empty set.
+func NewMetricSet() *MetricSet { return &MetricSet{} }
+
+// Add appends one sample. Samples with the same name should share help
+// and type; the Prometheus writer emits the header of the first one.
+func (ms *MetricSet) Add(name, typ, help string, value float64, labels ...Label) {
+	ms.metrics = append(ms.metrics, Metric{
+		Name: name, Help: help, Type: typ, Labels: labels, Value: value,
+	})
+}
+
+// Counter appends a counter sample.
+func (ms *MetricSet) Counter(name, help string, value float64, labels ...Label) {
+	ms.Add(name, TypeCounter, help, value, labels...)
+}
+
+// Gauge appends a gauge sample.
+func (ms *MetricSet) Gauge(name, help string, value float64, labels ...Label) {
+	ms.Add(name, TypeGauge, help, value, labels...)
+}
+
+// Len returns the number of samples.
+func (ms *MetricSet) Len() int { return len(ms.metrics) }
+
+// Metrics returns the samples in insertion order.
+func (ms *MetricSet) Metrics() []Metric { return ms.metrics }
+
+// WritePrometheus writes the set in the Prometheus text exposition
+// format: samples grouped by metric name (first-seen order), each group
+// preceded by its # HELP / # TYPE header.
+func (ms *MetricSet) WritePrometheus(w io.Writer) error {
+	groups := make(map[string][]Metric, len(ms.metrics))
+	var order []string
+	for _, m := range ms.metrics {
+		if _, seen := groups[m.Name]; !seen {
+			order = append(order, m.Name)
+		}
+		groups[m.Name] = append(groups[m.Name], m)
+	}
+	for _, name := range order {
+		g := groups[name]
+		if g[0].Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, g[0].Help); err != nil {
+				return err
+			}
+		}
+		typ := g[0].Type
+		if typ == "" {
+			typ = "untyped"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ); err != nil {
+			return err
+		}
+		for _, m := range g {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				name, formatLabels(m.Labels), formatValue(m.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the samples as an indented JSON array, in insertion
+// order — the machine-readable dump used by cmd/benchjson.
+func (ms *MetricSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ms.metrics)
+}
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the exposition-format label escapes: backslash,
+// double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,121 @@
+package observe
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// PassEvent describes one completed pass of a run (one super-vertex
+// level): the paper's per-pass quantities plus the new per-phase
+// counters. Fields mirror core.PassStats without importing it, so the
+// observability layer stays dependency-free.
+type PassEvent struct {
+	Algorithm      string        // "leiden", "louvain", "final-refine"
+	Pass           int           // 0-based pass index
+	Vertices       int           // |V'| of the graph this pass ran on
+	Arcs           int64         // stored arcs of that graph
+	MoveIterations int           // local-moving iterations performed
+	Scanned        int64         // vertices examined by local moving
+	Pruned         int64         // vertices skipped by flag pruning
+	Moves          int64         // local moves applied
+	DeltaQ         float64       // total ΔQ gained by local moving
+	RefineMoves    int64         // vertices moved during refinement
+	Communities    int           // |Γ| after refinement
+	AggOccupancy   float64       // aggregation hashtable slot occupancy
+	Move           time.Duration // local-moving phase time
+	Refine         time.Duration // refinement phase time
+	Aggregate      time.Duration // aggregation phase time
+	Other          time.Duration // init, renumber, dendrogram, resets
+}
+
+// Duration returns the total wall time of the pass.
+func (e PassEvent) Duration() time.Duration {
+	return e.Move + e.Refine + e.Aggregate + e.Other
+}
+
+// IterEvent describes one completed local-moving iteration.
+type IterEvent struct {
+	Pass      int
+	Iteration int     // 0-based within the pass
+	Scanned   int64   // vertices examined this iteration
+	Pruned    int64   // vertices skipped by flag pruning
+	Moves     int64   // moves applied this iteration
+	DeltaQ    float64 // ΔQ gained this iteration
+}
+
+// Observer receives progress events from a run. Implementations must
+// be safe for the call pattern of one run: events arrive sequentially
+// from the driver goroutine, but two concurrent runs sharing an
+// Observer will call it concurrently. A nil Observer in the options
+// disables eventing at the cost of a pointer comparison per site.
+type Observer interface {
+	OnIteration(IterEvent)
+	OnPass(PassEvent)
+}
+
+// Progress is an Observer that prints one line per pass (and, with
+// Iterations set, one per local-moving iteration) — the engine behind
+// the CLI's -v flag. Safe for concurrent runs.
+type Progress struct {
+	W          io.Writer
+	Iterations bool // also log each local-moving iteration
+	mu         sync.Mutex
+}
+
+// NewProgress returns a Progress observer writing to w.
+func NewProgress(w io.Writer) *Progress { return &Progress{W: w} }
+
+// OnIteration implements Observer.
+func (p *Progress) OnIteration(e IterEvent) {
+	if !p.Iterations {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.W, "  pass %d iter %d: scanned=%d pruned=%d moves=%d dQ=%.3e\n",
+		e.Pass, e.Iteration, e.Scanned, e.Pruned, e.Moves, e.DeltaQ)
+}
+
+// OnPass implements Observer.
+func (p *Progress) OnPass(e PassEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.W, "%s pass %d: |V'|=%d arcs=%d iters=%d moves=%d refineMoves=%d |Γ|=%d %s (move %s, refine %s, agg %s)\n",
+		e.Algorithm, e.Pass, e.Vertices, e.Arcs, e.MoveIterations, e.Moves,
+		e.RefineMoves, e.Communities, e.Duration().Round(time.Microsecond),
+		e.Move.Round(time.Microsecond), e.Refine.Round(time.Microsecond),
+		e.Aggregate.Round(time.Microsecond))
+}
+
+// Multi fans events out to several observers in order.
+func Multi(obs ...Observer) Observer {
+	var live []Observer
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multi(live)
+}
+
+type multi []Observer
+
+func (m multi) OnIteration(e IterEvent) {
+	for _, o := range m {
+		o.OnIteration(e)
+	}
+}
+
+func (m multi) OnPass(e PassEvent) {
+	for _, o := range m {
+		o.OnPass(e)
+	}
+}

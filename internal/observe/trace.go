@@ -1,0 +1,185 @@
+package observe
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records spans and point events and serializes them as Chrome
+// trace-event JSON (the format read by chrome://tracing and Perfetto).
+// All methods are safe for concurrent use and safe on a nil receiver —
+// a nil *Tracer is the "tracing off" state and costs one pointer
+// comparison per call, so call sites never need their own guard.
+//
+// Timestamps come from a single monotonic base captured at NewTracer,
+// so events from different goroutines share one consistent timeline.
+type Tracer struct {
+	base time.Time
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// Event is one recorded trace event. The JSON field names follow the
+// Chrome trace-event format: ph "X" is a complete span with ts+dur, "i"
+// an instant, "C" a counter sample; ts and dur are microseconds.
+type Event struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// NewTracer returns a tracer whose timeline starts now.
+func NewTracer() *Tracer {
+	return &Tracer{base: time.Now()}
+}
+
+// Span is an open span handle returned by Begin. End closes it and
+// records the complete event. The zero Span (from a nil tracer) is
+// valid and End on it is a no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	tid   int
+	start time.Duration
+	args  map[string]any
+}
+
+// Begin opens a span named name on virtual thread track tid. Pass the
+// worker/participant id as tid so per-thread work lands on separate
+// tracks in the viewer; the driver goroutine conventionally uses 0.
+func (t *Tracer) Begin(name string, tid int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, tid: tid, start: time.Since(t.base)}
+}
+
+// BeginArgs is Begin with key/value metadata attached to the span.
+func (t *Tracer) BeginArgs(name string, tid int, args map[string]any) Span {
+	s := t.Begin(name, tid)
+	s.args = args
+	return s
+}
+
+// End closes the span and records it.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	end := time.Since(s.t.base)
+	s.t.record(Event{
+		Name:  s.name,
+		Phase: "X",
+		Ts:    micros(s.start),
+		Dur:   micros(end - s.start),
+		Tid:   s.tid,
+		Args:  s.args,
+	})
+}
+
+// EndArgs closes the span attaching (or extending) metadata first —
+// for values only known at span end, like an iteration count.
+func (s Span) EndArgs(args map[string]any) {
+	if s.t == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = args
+	} else {
+		for k, v := range args {
+			s.args[k] = v
+		}
+	}
+	s.End()
+}
+
+// Instant records a zero-duration point event.
+func (t *Tracer) Instant(name string, tid int, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.record(Event{
+		Name:  name,
+		Phase: "i",
+		Ts:    micros(time.Since(t.base)),
+		Tid:   tid,
+		Args:  args,
+	})
+}
+
+// Counter records a counter sample; the viewer plots one stacked series
+// per key in values.
+func (t *Tracer) Counter(name string, tid int, values map[string]any) {
+	if t == nil {
+		return
+	}
+	t.record(Event{
+		Name:  name,
+		Phase: "C",
+		Ts:    micros(time.Since(t.base)),
+		Tid:   tid,
+		Args:  values,
+	})
+}
+
+func (t *Tracer) record(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events sorted by start
+// timestamp (ties keep record order, so an enclosing span that started
+// in the same microsecond sorts before its children end-to-end).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
+	return out
+}
+
+// traceFile is the on-disk JSON object: the trace-event "JSON Object
+// Format", which viewers accept with optional extra fields.
+type traceFile struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// Write serializes the recorded events as a Chrome trace-event JSON
+// object. Events are sorted by timestamp; spans record at End, so sort
+// order is also a valid load order for streaming viewers.
+func (t *Tracer) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{
+		TraceEvents:     t.Events(),
+		DisplayTimeUnit: "ms",
+	})
+}
+
+func micros(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e3
+}

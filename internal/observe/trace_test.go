@@ -1,0 +1,159 @@
+package observe
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTracerSafe: a nil *Tracer is the tracing-off state; every
+// method must be a no-op.
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin("x", 0)
+	sp.End()
+	tr.BeginArgs("y", 1, map[string]any{"k": 1}).EndArgs(map[string]any{"z": 2})
+	tr.Instant("i", 0, nil)
+	tr.Counter("c", 0, map[string]any{"v": 1})
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatalf("nil tracer recorded events")
+	}
+}
+
+// TestTraceJSONParses: the emitted file is valid Chrome trace-event
+// JSON with the expected fields.
+func TestTraceJSONParses(t *testing.T) {
+	tr := NewTracer()
+	run := tr.BeginArgs("run", 0, map[string]any{"vertices": 10})
+	pass := tr.Begin("pass", 0)
+	time.Sleep(time.Millisecond)
+	pass.EndArgs(map[string]any{"iters": 3})
+	tr.Instant("converged", 0, nil)
+	tr.Counter("dq", 0, map[string]any{"dq": 0.5})
+	run.End()
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(file.TraceEvents))
+	}
+	byName := map[string]int{}
+	for _, e := range file.TraceEvents {
+		byName[e.Name]++
+		if e.Ts < 0 || e.Dur < 0 {
+			t.Errorf("%s: negative ts/dur (%v, %v)", e.Name, e.Ts, e.Dur)
+		}
+		switch e.Ph {
+		case "X", "i", "C":
+		default:
+			t.Errorf("%s: unexpected phase %q", e.Name, e.Ph)
+		}
+	}
+	for _, name := range []string{"run", "pass", "converged", "dq"} {
+		if byName[name] != 1 {
+			t.Errorf("event %q recorded %d times, want 1", name, byName[name])
+		}
+	}
+	for _, e := range file.TraceEvents {
+		if e.Name == "pass" {
+			if e.Args["iters"] != float64(3) {
+				t.Errorf("pass args = %v, want iters=3", e.Args)
+			}
+			if e.Dur < 900 { // slept 1ms; trace times are µs
+				t.Errorf("pass dur = %vµs, want ≥ 900", e.Dur)
+			}
+		}
+	}
+}
+
+// TestTraceMonotonicAndNested: exported timestamps are sorted
+// ascending, and on a single tid track spans are properly nested —
+// every pair is either disjoint or one contains the other.
+func TestTraceMonotonicAndNested(t *testing.T) {
+	tr := NewTracer()
+	outer := tr.Begin("outer", 0)
+	for i := 0; i < 5; i++ {
+		mid := tr.Begin("mid", 0)
+		inner := tr.Begin("inner", 0)
+		time.Sleep(200 * time.Microsecond)
+		inner.End()
+		mid.End()
+	}
+	outer.End()
+
+	evs := tr.Events()
+	if len(evs) != 11 {
+		t.Fatalf("got %d events, want 11", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Ts < evs[i-1].Ts {
+			t.Fatalf("timestamps not monotonic: event %d at %v after %v",
+				i, evs[i].Ts, evs[i-1].Ts)
+		}
+	}
+	const eps = 1e-9
+	for i, a := range evs {
+		for j, b := range evs {
+			if i == j || a.Tid != b.Tid {
+				continue
+			}
+			aEnd, bEnd := a.Ts+a.Dur, b.Ts+b.Dur
+			disjoint := aEnd <= b.Ts+eps || bEnd <= a.Ts+eps
+			aInB := a.Ts+eps >= b.Ts && aEnd <= bEnd+eps
+			bInA := b.Ts+eps >= a.Ts && bEnd <= aEnd+eps
+			if !disjoint && !aInB && !bInA {
+				t.Fatalf("spans %q [%v,%v] and %q [%v,%v] partially overlap",
+					a.Name, a.Ts, aEnd, b.Name, b.Ts, bEnd)
+			}
+		}
+	}
+}
+
+// TestTracerConcurrent hammers one tracer from many goroutines — the
+// pattern of pool workers tracing under the steal path. Run under
+// -race this proves the tracer is race-clean.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	const workers, spansPer = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < spansPer; i++ {
+				sp := tr.Begin("work", tid)
+				tr.Counter("progress", tid, map[string]any{"i": i})
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := tr.Len(), workers*spansPer*2; got != want {
+		t.Fatalf("recorded %d events, want %d", got, want)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("concurrent trace output is not valid JSON")
+	}
+}

@@ -1,0 +1,136 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCountersItemsExact: whatever mix of owner claims and steals a
+// region resolves into, the merged item count equals the iteration
+// space — every index executed exactly once — and the region/chunk
+// tallies are coherent.
+func TestCountersItemsExact(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	const n, regions = 100_000, 10
+	for r := 0; r < regions; r++ {
+		p.For(n, 8, 64, func(lo, hi, tid int) {})
+	}
+	s := p.Counters()
+	if s.Items != n*regions {
+		t.Errorf("Items = %d, want %d", s.Items, n*regions)
+	}
+	if s.Regions != regions {
+		t.Errorf("Regions = %d, want %d", s.Regions, regions)
+	}
+	if s.Chunks < regions { // at least one chunk per region
+		t.Errorf("Chunks = %d, want >= %d", s.Chunks, regions)
+	}
+	if s.Wakes != regions*7 {
+		t.Errorf("Wakes = %d, want %d", s.Wakes, regions*7)
+	}
+	if s.Steals > s.StealAttempts {
+		t.Errorf("Steals %d > StealAttempts %d", s.Steals, s.StealAttempts)
+	}
+	if s.Steals == 0 && s.ItemsStolen != 0 {
+		t.Errorf("ItemsStolen %d without successful steals", s.ItemsStolen)
+	}
+}
+
+// TestCountersStealPath forces stealing with a heavily skewed body (the
+// first participant's range is slow) and checks the steal counters
+// fire and the item accounting still balances. Under -race this also
+// proves the plain per-participant increments on the steal path are
+// race-free.
+func TestCountersStealPath(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	p.ResetCounters()
+	const n = 4096
+	p.For(n, 4, 1, func(lo, hi, tid int) {
+		if lo < n/4 {
+			time.Sleep(50 * time.Microsecond) // skew: first range is slow
+		}
+	})
+	s := p.Counters()
+	if s.Items != n {
+		t.Errorf("Items = %d, want %d", s.Items, n)
+	}
+	if s.StealAttempts == 0 {
+		t.Errorf("skewed region recorded no steal attempts")
+	}
+	if s.Steals > 0 && s.ItemsStolen == 0 {
+		t.Errorf("successful steals but no stolen items")
+	}
+}
+
+// TestCountersInlineAndSpawn: the two off-pool region outcomes are
+// tallied, not silently dropped.
+func TestCountersInlineAndSpawn(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	p.For(100, 1, 1, func(lo, hi, tid int) {}) // single thread → inline
+	p.For(10, 4, 100, func(lo, hi, tid int) {}) // n <= grain → inline
+	p.For(10_000, 4, 1, func(lo, hi, tid int) {
+		// Nested submission: the pool is busy, so this falls to spawn.
+		if lo == 0 {
+			p.For(5_000, 2, 1, func(lo, hi, tid int) {})
+		}
+	})
+	s := p.Counters()
+	if s.InlineRegions != 2 {
+		t.Errorf("InlineRegions = %d, want 2", s.InlineRegions)
+	}
+	if s.SpawnRegions < 1 {
+		t.Errorf("SpawnRegions = %d, want >= 1", s.SpawnRegions)
+	}
+	p.ResetCounters()
+	if s := p.Counters(); s != (CounterSnapshot{}) {
+		t.Errorf("ResetCounters left %+v", s)
+	}
+}
+
+// TestCountersConcurrentRuns: many goroutines submitting regions at
+// once (pool + spawn fallback mix) keep the counters coherent and
+// race-clean.
+func TestCountersConcurrentRuns(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	p.ResetCounters()
+	const goroutines, perG, n = 6, 20, 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				p.For(n, 4, 64, func(lo, hi, tid int) {})
+			}
+		}()
+	}
+	wg.Wait()
+	s := p.Counters()
+	// Pool-scheduled items are counted; spawn-fallback regions are
+	// tallied but their iterations run off-pool.
+	if want := s.Regions * n; s.Items != want {
+		t.Errorf("Items = %d, want %d (%d pooled regions)", s.Items, want, s.Regions)
+	}
+	if s.Regions+s.SpawnRegions != goroutines*perG {
+		t.Errorf("Regions %d + SpawnRegions %d != %d submissions",
+			s.Regions, s.SpawnRegions, goroutines*perG)
+	}
+}
+
+// TestSnapshotSub: delta arithmetic between two snapshots.
+func TestSnapshotSub(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	p.For(10_000, 4, 64, func(lo, hi, tid int) {})
+	before := p.Counters()
+	p.For(10_000, 4, 64, func(lo, hi, tid int) {})
+	d := p.Counters().Sub(before)
+	if d.Regions != 1 || d.Items != 10_000 {
+		t.Errorf("delta = %+v, want 1 region / 10000 items", d)
+	}
+}

@@ -44,6 +44,16 @@ type Pool struct {
 	body     func(lo, hi, tid int)
 	grain    int
 	rthreads int
+
+	// Scheduler counters (see counters.go): per-participant padded
+	// blocks written with plain increments on the hot path, merged
+	// under mu; region/wake tallies guarded by mu; the two region
+	// outcomes decided without the lock are atomics.
+	counters      []workerCounters
+	regions       int64
+	wakes         int64
+	inlineRegions atomic.Int64
+	spawnRegions  atomic.Int64
 }
 
 // paddedRange is one participant's claimable range, packed lo<<32|hi in
@@ -116,6 +126,9 @@ func (p *Pool) Close() {
 // participants. Caller must hold p.mu (or be the constructor).
 func (p *Pool) grow(threads int) {
 	p.ranges = make([]paddedRange, threads)
+	counters := make([]workerCounters, threads)
+	copy(counters, p.counters) // accumulated counts survive a grow
+	p.counters = counters
 	for w := len(p.wake); w < threads-1; w++ {
 		ch := make(chan struct{}, 1)
 		p.wake = append(p.wake, ch)
@@ -154,10 +167,12 @@ func (p *Pool) For(n, threads, grain int, body func(lo, hi, tid int)) {
 		grain = DefaultGrain
 	}
 	if threads <= 1 || n <= grain {
+		p.noteInline()
 		body(0, n, 0)
 		return
 	}
 	if n >= maxPackedN || p.closed.Load() || !p.mu.TryLock() {
+		p.noteSpawn()
 		forSpawn(n, threads, grain, body)
 		return
 	}
@@ -168,6 +183,8 @@ func (p *Pool) For(n, threads, grain int, body func(lo, hi, tid int)) {
 	if threads > n {
 		threads = n
 	}
+	p.regions++
+	p.wakes += int64(threads - 1)
 	p.body, p.grain, p.rthreads = body, grain, threads
 	for i := 0; i < threads; i++ {
 		p.ranges[i].r.Store(pack(i*n/threads, (i+1)*n/threads))
@@ -189,6 +206,7 @@ func (p *Pool) For(n, threads, grain int, body func(lo, hi, tid int)) {
 func (p *Pool) work(tid int) {
 	body, grain, t := p.body, p.grain, p.rthreads
 	self := &p.ranges[tid].r
+	wc := &p.counters[tid]
 	for {
 		for {
 			packed := self.Load()
@@ -205,6 +223,8 @@ func (p *Pool) work(tid int) {
 				c = size
 			}
 			if self.CompareAndSwap(packed, pack(lo+c, hi)) {
+				wc.chunks++
+				wc.items += int64(c)
 				body(lo, lo+c, tid)
 			}
 		}
@@ -219,6 +239,8 @@ func (p *Pool) work(tid int) {
 // nothing worth stealing — every remaining item is owned by a
 // participant that will execute it.
 func (p *Pool) steal(tid, t int) bool {
+	wc := &p.counters[tid]
+	wc.stealAttempts++
 	// Cheap owner-local xorshift-free LCG for victim selection.
 	seed := &p.ranges[tid].rng
 	*seed = *seed*6364136223846793005 + 1442695040888963407
@@ -241,6 +263,8 @@ func (p *Pool) steal(tid, t int) bool {
 			mid := lo + (hi-lo)/2
 			if victim.CompareAndSwap(packed, pack(lo, mid)) {
 				p.ranges[tid].r.Store(pack(mid, hi))
+				wc.steals++
+				wc.itemsStolen += int64(hi - mid)
 				return true
 			}
 		}
