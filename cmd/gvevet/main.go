@@ -1,0 +1,70 @@
+// Command gvevet runs this repository's concurrency-invariant analyzer
+// suite (internal/lint) over Go packages and reports findings in the
+// familiar file:line:col format. It exits 0 when the tree is clean, 1
+// when any finding survives suppression, and 2 on load or usage errors,
+// so CI can gate merges on it:
+//
+//	go run ./cmd/gvevet ./...
+//
+// Flags:
+//
+//	-json   emit findings as a JSON array instead of text
+//	-list   print the analyzer suite and exit
+//	-tests  include _test.go files in the analysis
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"gveleiden/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	tests := flag.Bool("tests", false, "include _test.go files")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gvevet [flags] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := lint.Load(lint.LoadConfig{Patterns: patterns, Tests: *tests})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gvevet: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := lint.Run(prog, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "gvevet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "gvevet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -25,6 +25,7 @@ func LabelPropagation(g *graph.CSR, opt Options) []uint32 {
 	}
 	n := g.NumVertices()
 	labels := make([]uint32, n)
+	//gvevet:exclusive single-threaded setup: no workers have been released yet
 	for i := range labels {
 		labels[i] = uint32(i)
 	}

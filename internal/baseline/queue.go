@@ -96,6 +96,7 @@ func queueMovePar(g *graph.CSR, k []float64, m float64, threads, maxIter int) ([
 	n := g.NumVertices()
 	comm := make([]uint32, n)
 	sigma := parallel.NewFloat64s(n)
+	//gvevet:exclusive single-threaded setup: no workers have been released yet
 	for i := 0; i < n; i++ {
 		comm[i] = uint32(i)
 		sigma.Set(i, k[i])
@@ -103,6 +104,7 @@ func queueMovePar(g *graph.CSR, k []float64, m float64, threads, maxIter int) ([
 	var locks stripedLocks
 	inQueue := make([]uint32, n)
 	queue := make([]uint32, n)
+	//gvevet:exclusive single-threaded setup: no workers have been released yet
 	for i := range queue {
 		queue[i] = uint32(i)
 		inQueue[i] = 1
@@ -205,6 +207,7 @@ func unguardedRefinePar(g *graph.CSR, k []float64, m float64, bounds []uint32, t
 	n := g.NumVertices()
 	comm := make([]uint32, n)
 	sigma := parallel.NewFloat64s(n)
+	//gvevet:exclusive single-threaded setup: no workers have been released yet
 	for i := 0; i < n; i++ {
 		comm[i] = uint32(i)
 		sigma.Set(i, k[i])

@@ -6,6 +6,10 @@
 // local-moving phase deterministic.
 package color
 
+// The Jones-Plassmann rounds below run on the worker pool with bodies
+// that must stay allocation-free.
+//gvevet:hotpath
+
 import (
 	"sync/atomic"
 
@@ -64,6 +68,7 @@ func GreedyOn(p *parallel.Pool, g *graph.CSR, threads int) *Coloring {
 	}
 	const uncolored = ^uint32(0)
 	colors := make([]uint32, n)
+	//gvevet:exclusive single-threaded setup: no workers have been released yet
 	for i := range colors {
 		colors[i] = uncolored
 	}
@@ -89,6 +94,7 @@ func GreedyOn(p *parallel.Pool, g *graph.CSR, threads int) *Coloring {
 
 	maxColor := uint32(0)
 	isPending := make([]uint32, n) // 1 while uncolored
+	//gvevet:exclusive single-threaded setup: no workers have been released yet
 	for _, u := range pending {
 		isPending[u] = 1
 	}
@@ -111,7 +117,7 @@ func GreedyOn(p *parallel.Pool, g *graph.CSR, threads int) *Coloring {
 					}
 				}
 				if eligible {
-					eligCh[tid] = append(eligCh[tid], u)
+					eligCh[tid] = append(eligCh[tid], u) //gvevet:ignore hotalloc per-round eligibility buffer whose growth amortizes across rounds
 				}
 			}
 		})
@@ -149,6 +155,7 @@ func GreedyOn(p *parallel.Pool, g *graph.CSR, threads int) *Coloring {
 				atomic.StoreUint32(&colors[u], pick)
 			}
 		})
+		//gvevet:exclusive sequential section between rounds: the coloring region's barrier has completed
 		for _, u := range eligible {
 			atomic.StoreUint32(&isPending[u], 0)
 			if colors[u] > maxColor {
@@ -157,6 +164,7 @@ func GreedyOn(p *parallel.Pool, g *graph.CSR, threads int) *Coloring {
 		}
 		// Rebuild pending (sequentially; the set shrinks geometrically).
 		next := pending[:0]
+		//gvevet:exclusive sequential section between rounds: only this goroutine touches isPending here
 		for _, u := range pending {
 			if isPending[u] == 1 {
 				next = append(next, u)

@@ -46,7 +46,7 @@ func (ws *workspace) aggregate(g *graph.CSR, nComms int) (*graph.CSR, float64) {
 	})
 	pool.ExclusiveScanUint32(commOff, threads)
 	cursor := ws.cursor[:nComms]
-	copy(cursor, commOff[:nComms])
+	copy(cursor, commOff[:nComms]) //gvevet:exclusive between regions: the counting adds and the scatter's cursor adds are separated by pool barriers
 	commVtx := a.commVtx[:n]
 	pool.For(n, threads, grain, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
@@ -79,10 +79,11 @@ func (ws *workspace) aggregate(g *graph.CSR, nComms int) (*graph.CSR, float64) {
 		var arcs int64
 		for c := lo; c < hi; c++ {
 			h.Clear()
+			//gvevet:exclusive read-only phase: commOff's atomic counting finished behind earlier region barriers
 			for _, i := range commVtx[commOff[c]:commOff[c+1]] {
 				scanCommunities(h, g, comm, i, true)
 			}
-			base := superOff[c]
+			base := superOff[c] //gvevet:exclusive read-only phase: superOff's atomic degree adds finished behind earlier region barriers
 			for idx, d := range h.Keys() {
 				edges[base+uint32(idx)] = d
 				weights[base+uint32(idx)] = float32(h.Get(d))

@@ -1,0 +1,18 @@
+package core
+
+// Package-level analyzer opt-ins: core is determinism-sensitive (a run
+// with a fixed seed, thread count and options must produce an identical
+// partition) and hot-path (parallel region bodies must not allocate).
+//
+//gvevet:deterministic
+//gvevet:hotpath
+
+import "time"
+
+// now is core's one read of the wall clock. Every phase-timing site
+// calls it instead of time.Now directly, so the nodeterm analyzer
+// verifies at a glance that wall-clock values reach only the Stats
+// timings, never the algorithm.
+//
+//gvevet:ignore nodeterm timestamps feed only the phase timings in Stats, never results
+func now() time.Time { return time.Now() }

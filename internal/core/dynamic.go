@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"time"
 
 	"gveleiden/internal/graph"
@@ -90,7 +91,7 @@ func LeidenDynamic(g *graph.CSR, prev []uint32, delta Delta, mode DynamicMode, o
 		ws.frontier = frontierOf(warm, delta, bound, n)
 	}
 
-	start := time.Now()
+	start := now()
 	runLeiden(g, ws)
 	if opt.FinalRefine {
 		ws.finalRefine(g)
@@ -134,8 +135,13 @@ func frontierOf(warm []uint32, delta Delta, firstNew, n int) []uint32 {
 		mark(uint32(v))
 	}
 	out := make([]uint32, 0, len(marked))
+	//gvevet:ignore nodeterm the keys are sorted below before anything consumes them
 	for v := range marked {
 		out = append(out, v)
 	}
+	// The frontier seeds the pruning flags and the flag-seeding order is
+	// observable in deterministic mode, so hand it over sorted rather
+	// than in map order.
+	slices.Sort(out)
 	return out
 }

@@ -24,7 +24,7 @@ func (ws *workspace) finalRefine(g *graph.CSR) {
 	ps.Arcs = g.NumArcs()
 	pass := len(ws.stats.Passes)
 	psp := ws.beginPass("final-refine", pass, n, ps.Arcs)
-	t0 := time.Now()
+	t0 := now()
 	opt := ws.opt
 	ws.vertexWeights(g, ws.k[:n])
 	opt.Pool.FillFloat64(ws.vsize[:n], 1, opt.Threads)
@@ -52,7 +52,7 @@ func (ws *workspace) finalRefine(g *graph.CSR) {
 	for i := 0; i < 4; i++ {
 		tau /= opt.ToleranceDrop
 	}
-	t0 = time.Now()
+	t0 = now()
 	sp := opt.Tracer.Begin("move", 0)
 	if coloring != nil {
 		ps.MoveIterations = ws.movePhaseColored(g, tau, coloring, pass, &ps)

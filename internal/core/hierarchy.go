@@ -59,7 +59,7 @@ func LeidenHierarchy(g *graph.CSR, opt Options) (*Result, *Hierarchy) {
 	opt = opt.normalize()
 	ws := newWorkspace(g, opt)
 	ws.hierarchy = &Hierarchy{}
-	start := time.Now()
+	start := now()
 	runLeiden(g, ws)
 	return finishResult(g, ws, time.Since(start)), ws.hierarchy
 }

@@ -30,7 +30,7 @@ func Leiden(g *graph.CSR, opt Options) *Result {
 			"vertices": g.NumVertices(), "arcs": g.NumArcs(), "threads": opt.Threads,
 		})
 	}
-	start := time.Now()
+	start := now()
 	runLeiden(g, ws)
 	if opt.FinalRefine {
 		ws.finalRefine(g)
@@ -46,7 +46,7 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 	tau := opt.Tolerance
 	haveInit := false
 	if ws.warm != nil {
-		copy(ws.initC[:ws.n0], ws.warm)
+		copy(ws.initC[:ws.n0], ws.warm) //gvevet:exclusive single-threaded run setup: no workers are active yet
 		haveInit = true
 		ws.warm = nil
 	}
@@ -58,7 +58,7 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 		ps.Arcs = cur.NumArcs()
 		psp := ws.beginPass("leiden", pass, n, ps.Arcs)
 
-		t0 := time.Now()
+		t0 := now()
 		k := ws.k[:n]
 		ws.vertexWeights(cur, k)
 		if pass == 0 {
@@ -77,7 +77,7 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 		}
 		ps.Other += time.Since(t0)
 
-		t0 = time.Now()
+		t0 = now()
 		sp := opt.Tracer.Begin("move", 0)
 		var li int
 		if coloring != nil {
@@ -91,7 +91,7 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 
 		// Community bounds for refinement: the move-phase communities;
 		// then reset memberships and community weights to singletons.
-		t0 = time.Now()
+		t0 = now()
 		comm := ws.comm[:n]
 		copy(ws.bounds[:n], comm)
 		opt.Pool.Iota(comm, opt.Threads)
@@ -99,7 +99,7 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 		ws.csize.CopyFrom(opt.Pool, ws.vsize[:n], opt.Threads)
 		ps.Other += time.Since(t0)
 
-		t0 = time.Now()
+		t0 = now()
 		sp = opt.Tracer.Begin("refine", 0)
 		var moves int64
 		if coloring != nil {
@@ -114,7 +114,7 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 		if li <= 1 && moves == 0 {
 			// Globally converged (Algorithm 1 line 8): the flat result is
 			// the local-moving partition of this pass.
-			t0 = time.Now()
+			t0 = now()
 			ws.recordLevel(ws.bounds[:n], false)
 			ws.lookupDendrogram(ws.bounds[:n])
 			ps.Other += time.Since(t0)
@@ -122,7 +122,7 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 			return
 		}
 
-		t0 = time.Now()
+		t0 = now()
 		nComms := ws.renumber(comm, n)
 		ps.Communities = nComms
 		if float64(nComms)/float64(n) > opt.AggregationTolerance {
@@ -138,7 +138,7 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 		ws.lookupDendrogram(comm) // line 12: C ← C'[C]
 		ps.Other += time.Since(t0)
 
-		t0 = time.Now()
+		t0 = now()
 		sp = opt.Tracer.Begin("aggregate", 0)
 		next, occ := ws.aggregate(cur, nComms)
 		ws.aggregateSizes(n, nComms)
@@ -146,7 +146,7 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 		ps.AggOccupancy = occ
 		ps.Aggregate = time.Since(t0)
 
-		t0 = time.Now()
+		t0 = now()
 		if opt.Labels == LabelMove {
 			ws.moveLabels(n) // line 14: map super-vertices to move labels
 			haveInit = true
@@ -162,8 +162,9 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 	// move-based grouping of the last level (Algorithm 1 line 16 uses
 	// the mapped C').
 	if haveInit {
+		//gvevet:exclusive pass boundary: initC's stores in moveLabels finished behind the pass's pool barriers
 		ws.recordLevel(ws.initC[:cur.NumVertices()], false)
-		ws.lookupDendrogram(ws.initC[:cur.NumVertices()])
+		ws.lookupDendrogram(ws.initC[:cur.NumVertices()]) //gvevet:exclusive pass boundary: initC's stores in moveLabels finished behind the pass's pool barriers
 	}
 }
 

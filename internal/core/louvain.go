@@ -25,7 +25,7 @@ func Louvain(g *graph.CSR, opt Options) *Result {
 			"vertices": g.NumVertices(), "arcs": g.NumArcs(), "threads": opt.Threads,
 		})
 	}
-	start := time.Now()
+	start := now()
 	runLouvain(g, ws)
 	if opt.FinalRefine {
 		ws.finalRefine(g)
@@ -47,7 +47,7 @@ func runLouvain(g *graph.CSR, ws *workspace) {
 		ps.Arcs = cur.NumArcs()
 		psp := ws.beginPass("louvain", pass, n, ps.Arcs)
 
-		t0 := time.Now()
+		t0 := now()
 		k := ws.k[:n]
 		ws.vertexWeights(cur, k)
 		if pass == 0 {
@@ -65,7 +65,7 @@ func runLouvain(g *graph.CSR, ws *workspace) {
 		}
 		ps.Other += time.Since(t0)
 
-		t0 = time.Now()
+		t0 = now()
 		sp := opt.Tracer.Begin("move", 0)
 		var li int
 		if coloring != nil {
@@ -80,14 +80,14 @@ func runLouvain(g *graph.CSR, ws *workspace) {
 		comm := ws.comm[:n]
 		if li <= 1 && pass > 0 {
 			// Converged: the previous level's communities stand.
-			t0 = time.Now()
+			t0 = now()
 			ws.lookupDendrogram(comm)
 			ps.Other += time.Since(t0)
 			ws.endPass("louvain", pass, &ps, psp)
 			return
 		}
 
-		t0 = time.Now()
+		t0 = now()
 		nComms := ws.renumber(comm, n)
 		ps.Communities = nComms
 		ws.lookupDendrogram(comm)
@@ -98,7 +98,7 @@ func runLouvain(g *graph.CSR, ws *workspace) {
 			return
 		}
 
-		t0 = time.Now()
+		t0 = now()
 		sp = opt.Tracer.Begin("aggregate", 0)
 		next, occ := ws.aggregate(cur, nComms)
 		ws.aggregateSizes(n, nComms)

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+
+	"gveleiden/internal/gen"
+	"gveleiden/internal/quality"
+)
+
+// TestEndToEndUnderRace drives the full Leiden and Louvain pipelines on
+// a small planted-community graph with more workers than the graph
+// strictly needs. It exists for the CI race job: the unit tests mostly
+// exercise phases in isolation, while this one runs every phase —
+// coloring, local moving, refinement, aggregation, renumbering — back
+// to back under contention, which is where cross-phase races would
+// show up. It is deliberately not skipped in -short mode.
+func TestEndToEndUnderRace(t *testing.T) {
+	g, _ := gen.SocialNetwork(600, 10, 8, 0.3, 42)
+	for _, threads := range []int{2, 8} {
+		opt := DefaultOptions()
+		opt.Threads = threads
+		opt.FinalRefine = true
+
+		check := func(name string, res *Result) {
+			t.Helper()
+			if err := quality.ValidatePartition(g, res.Membership); err != nil {
+				t.Fatalf("%s threads=%d: invalid partition: %v", name, threads, err)
+			}
+			if res.Modularity <= 0 {
+				t.Fatalf("%s threads=%d: modularity %v, want > 0 on a planted graph", name, threads, res.Modularity)
+			}
+		}
+		check("Leiden", Leiden(g, opt))
+		check("Louvain", Louvain(g, opt))
+	}
+}

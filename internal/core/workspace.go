@@ -55,10 +55,10 @@ type workspace struct {
 	scratch []uint32           // renumbering / existence buffer
 	cursor  []uint32           // aggregation placement cursors
 	flags   *parallel.Flags
-	dq      []parallel.Padded[float64]      // per-thread ΔQ partial sums
-	moved   []parallel.Padded[int64]        // per-thread refinement move counters
-	mc      []parallel.Padded[iterCounters] // per-thread local-moving work counters
-	agg     []parallel.Padded[int64]        // per-thread aggregation arc counters
+	dq      []parallel.Padded[float64] // per-thread ΔQ partial sums
+	moved   []parallel.Padded[int64]   // per-thread refinement move counters
+	mc      []mcSlot                   // per-thread local-moving work counters
+	agg     []parallel.Padded[int64]   // per-thread aggregation arc counters
 	arenas  [2]arena
 	cur     int   // arena index holding the *next* write target
 	stats   Stats // per-pass statistics collected by the driver
@@ -95,7 +95,7 @@ func newWorkspace(g *graph.CSR, opt Options) *workspace {
 		flags:   parallel.NewFlags(n),
 		dq:      make([]parallel.Padded[float64], t),
 		moved:   make([]parallel.Padded[int64], t),
-		mc:      make([]parallel.Padded[iterCounters], t),
+		mc:      make([]mcSlot, t),
 		agg:     make([]parallel.Padded[int64], t),
 	}
 	ws.arenas[0] = newArena(n, arcs)
@@ -137,7 +137,7 @@ func (ws *workspace) initialCommunities(n int, haveInit bool) {
 		ws.csize.CopyFrom(ws.opt.Pool, ws.vsize[:n], ws.opt.Threads)
 		return
 	}
-	copy(comm, ws.initC[:n])
+	copy(comm, ws.initC[:n]) //gvevet:exclusive pass boundary: initC was last stored in the previous pass's moveLabels, behind two pool barriers
 	ws.sigma.Zero(ws.opt.Pool, ws.opt.Threads)
 	ws.csize.Zero(ws.opt.Pool, ws.opt.Threads)
 	ws.opt.Pool.For(n, ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
@@ -198,7 +198,7 @@ func (ws *workspace) renumber(comm []uint32, n int) int {
 	total := ws.opt.Pool.ExclusiveScanUint32(ex, ws.opt.Threads)
 	ws.opt.Pool.For(len(comm), ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
-			comm[i] = ex[comm[i]]
+			comm[i] = ex[comm[i]] //gvevet:exclusive read-only phase: ex stores finished behind the scan's region barriers
 		}
 	})
 	return int(total)
@@ -285,6 +285,18 @@ type iterCounters struct {
 	scanned int64 // vertices examined (pruning survivors)
 	pruned  int64 // vertices skipped by flag-based pruning
 	moves   int64 // moves applied
+}
+
+// mcSlot is one thread's iterCounters cell, padded to exactly one cache
+// line. iterCounters is 24 bytes, which parallel.Padded would round to
+// 80 — straddling lines so neighbouring threads' slots collide — hence
+// this purpose-built concrete slot (the pattern padsize prescribes for
+// element types wider than 8 bytes).
+//
+//gvevet:padded
+type mcSlot struct {
+	V iterCounters
+	_ [40]byte
 }
 
 func (ws *workspace) zeroMC() {

@@ -19,6 +19,10 @@
 //     self-loop counted once; m = Σ_i K_i / 2.
 package graph
 
+// Builders, generators and I/O must produce identical structures for
+// identical inputs — CSR layout feeds everything downstream.
+//gvevet:deterministic
+
 import (
 	"errors"
 	"fmt"
@@ -220,6 +224,7 @@ func (g *CSR) checkSymmetry() error {
 			}
 		}
 	}
+	//gvevet:ignore nodeterm error path only: which violating pair is named may vary, validity itself cannot
 	for p, v := range acc {
 		if v > 1e-3 || v < -1e-3 {
 			return fmt.Errorf("graph: asymmetric arcs between %d and %d (net %g)", p.a, p.b, v)

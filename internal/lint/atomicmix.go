@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix enforces the repository's single most important concurrency
+// invariant: memory that is accessed through sync/atomic anywhere must
+// not also be accessed with plain loads and stores, unless the plain
+// access is explicitly blessed as running in an exclusive phase.
+//
+// The hot paths deliberately mix the two *across phases*: Float64s.Add
+// CASes Σ' during local moving, while Float64s.Zero plainly rewrites the
+// same words between phases when no other goroutine can observe them.
+// That discipline is sound but invisible to the race detector unless a
+// test happens to interleave the phases wrongly — so the analyzer makes
+// it explicit: every plain access to an atomically accessed variable,
+// field, or slice must carry a //gvevet:exclusive annotation (on the
+// statement or the enclosing function) saying why it is safe.
+//
+// Scope and soundness: the analyzer tracks struct fields and
+// package-level variables package-wide, and function-local variables
+// (including parameters) within their function, when their address —
+// or the address of one of their elements — is passed to a sync/atomic
+// function. Passing a tracked slice itself to another function is not
+// reported (aliasing is beyond a single-package analysis); composite
+// literals and len/cap are exempt because they cannot race with
+// element accesses on a still-private or length-stable slice.
+var AtomicMix = &Analyzer{
+	Name: "atomic-mix",
+	Doc:  "flags plain access to memory that is elsewhere accessed via sync/atomic",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	info := pass.Info
+	// Collect: variables whose storage is atomically accessed.
+	tracked := map[types.Object]token.Pos{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := accessBase(info, un.X); obj != nil {
+					if _, seen := tracked[obj]; !seen {
+						tracked[obj] = un.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(tracked) == 0 {
+		return
+	}
+
+	for _, f := range pass.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			var obj types.Object
+			switch n := n.(type) {
+			case *ast.Ident:
+				o := info.Uses[n]
+				if o == nil {
+					return true
+				}
+				// A field name can only be referenced through a
+				// selector or a composite-literal key; the selector
+				// case is handled below on the SelectorExpr itself.
+				if v, ok := o.(*types.Var); ok && v.IsField() {
+					return true
+				}
+				obj = o
+			case *ast.SelectorExpr:
+				if sel := info.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+					obj = sel.Obj()
+				} else {
+					return true
+				}
+			default:
+				return true
+			}
+			first, ok := tracked[obj]
+			if !ok {
+				return true
+			}
+			report, what := classifyPlainAccess(info, parents, n)
+			if !report {
+				return true
+			}
+			if pass.Directives.Exclusive(n.Pos()) {
+				return true
+			}
+			pass.Report(n.Pos(),
+				"%s of %s, which is accessed atomically (e.g. %s); use sync/atomic or annotate the exclusive phase with //gvevet:exclusive",
+				what, obj.Name(), pass.Prog.Fset.Position(first))
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic function.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// accessBase resolves the variable at the root of an access expression
+// like v, v[i], s.f, s.f[i], (*p).f[i].
+func accessBase(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.IndexExpr:
+		return accessBase(info, e.X)
+	case *ast.StarExpr:
+		return accessBase(info, e.X)
+	case *ast.SelectorExpr:
+		if sel := info.Selections[e]; sel != nil && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v // package-qualified global
+		}
+	}
+	return nil
+}
+
+// classifyPlainAccess decides whether the reference node ref (an Ident
+// or field SelectorExpr of a tracked object) is a plain access worth
+// reporting, and describes it.
+func classifyPlainAccess(info *types.Info, parents map[ast.Node]ast.Node, ref ast.Node) (bool, string) {
+	// Grow the access expression outward: x → x[i] → x[i:j] ...
+	maximal := ast.Expr(ref.(ast.Expr))
+	indexed := false
+	for {
+		p := parents[maximal]
+		grown := false
+		switch p := p.(type) {
+		case *ast.ParenExpr:
+			maximal, grown = p, true
+		case *ast.IndexExpr:
+			if p.X == maximal {
+				// Distinguish indexing from generic instantiation.
+				if _, isType := info.Types[p].Type.(*types.Signature); !isType {
+					maximal, indexed, grown = p, true, true
+				}
+			}
+		case *ast.SliceExpr:
+			if p.X == maximal {
+				maximal, indexed, grown = p, true, true
+			}
+		case *ast.StarExpr:
+			if p.X == maximal {
+				maximal, grown = p, true
+			}
+		case *ast.SelectorExpr:
+			// ref is the X of a field selection chain (x.f.g): keep
+			// growing only when the selector is a field access.
+			if p.X == maximal {
+				if sel := info.Selections[p]; sel != nil && sel.Kind() == types.FieldVal {
+					maximal, grown = p, true
+				} else if sel != nil {
+					// Method value/call on the tracked variable:
+					// methods encapsulate their own discipline.
+					return false, ""
+				}
+			}
+		}
+		if !grown {
+			break
+		}
+	}
+
+	switch p := parents[maximal].(type) {
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			// &x or &x[i]: exempt inside a sync/atomic argument,
+			// otherwise the alias escapes atomic discipline.
+			if call, ok := parents[p].(*ast.CallExpr); ok && isAtomicCall(info, call) {
+				return false, ""
+			}
+			return true, "address-of that escapes sync/atomic"
+		}
+	case *ast.CallExpr:
+		if p.Fun == maximal {
+			return false, "" // calling through it (func-typed)
+		}
+		switch callee := calleeName(info, p); callee {
+		case "len", "cap":
+			return false, "" // length/capacity reads cannot race with element access
+		case "copy", "append":
+			return true, "plain element access (" + callee + ")"
+		default:
+			if isAtomicCall(info, p) {
+				return false, ""
+			}
+			if !indexed {
+				return false, "" // aliasing: the callee is responsible
+			}
+			return true, "plain read"
+		}
+	case *ast.KeyValueExpr:
+		if p.Key == maximal {
+			return false, "" // composite-literal field name
+		}
+		if !indexed {
+			return false, "" // aliasing into a literal
+		}
+		return true, "plain read"
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == maximal {
+				return true, "plain write"
+			}
+		}
+		if !indexed {
+			return false, "" // aliasing assignment; the new name is tracked separately if atomics touch it
+		}
+		return true, "plain read"
+	case *ast.RangeStmt:
+		if p.X == maximal && p.Value != nil {
+			return true, "plain iteration over elements"
+		}
+		if p.X == maximal {
+			return false, "" // index-only range reads just the header, like len
+		}
+	case *ast.IncDecStmt:
+		return true, "plain write"
+	}
+	if !indexed {
+		// Bare mention in an expression (comparison, conversion, copy
+		// of the slice header for aliasing): only element and header
+		// accesses are the invariant; conservatively skip.
+		return false, ""
+	}
+	return true, "plain read"
+}
+
+// calleeName returns the name of a called builtin ("len", "copy", ...)
+// or "" for anything else.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := info.Uses[id].(*types.Builtin); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// parentMap records each node's parent within one file.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive kinds. See the package comment for semantics.
+const (
+	kindIgnore        = "ignore"
+	kindExclusive     = "exclusive"
+	kindNilSafe       = "nilsafe"
+	kindPadded        = "padded"
+	kindDeterministic = "deterministic"
+	kindHotPath       = "hotpath"
+)
+
+// Directive is one parsed //gvevet:<kind> comment.
+type Directive struct {
+	Kind     string
+	Analyzer string // ignore only: the analyzer being suppressed
+	Reason   string // ignore/exclusive: the human justification
+	Pos      token.Pos
+	File     string
+
+	// targetLine is the source line the directive applies to: its own
+	// line for a trailing comment, the next line for a standalone one,
+	// and the declaration's first line for a doc comment.
+	targetLine int
+	// scope is the range of the statement or declaration the directive
+	// attaches to (NoPos..NoPos when it resolved to no node, in which
+	// case only the line rule applies).
+	scopeStart, scopeEnd token.Pos
+}
+
+// covers reports whether pos falls inside the directive's attached
+// statement or declaration.
+func (d *Directive) covers(pos token.Pos) bool {
+	return d.scopeStart.IsValid() && d.scopeStart <= pos && pos <= d.scopeEnd
+}
+
+// Directives is the per-package directive index.
+type Directives struct {
+	fset *token.FileSet
+	list []*Directive
+
+	// Deterministic/HotPath are the package-level opt-ins.
+	Deterministic bool
+	HotPath       bool
+
+	// nilSafe/padded hold the annotated type names of this package.
+	nilSafe map[string]bool // type name → true
+	padded  map[string]bool
+}
+
+// NilSafeType reports whether the named type (declared in this package)
+// is annotated //gvevet:nilsafe.
+func (d *Directives) NilSafeType(name string) bool { return d.nilSafe[name] }
+
+// PaddedType reports whether the named type (declared in this package)
+// is annotated //gvevet:padded.
+func (d *Directives) PaddedType(name string) bool { return d.padded[name] }
+
+// Exclusive reports whether pos is blessed by a //gvevet:exclusive
+// directive: inside an annotated function or statement, or on an
+// annotated line.
+func (d *Directives) Exclusive(pos token.Pos) bool {
+	line := d.fset.Position(pos).Line
+	file := d.fset.Position(pos).Filename
+	for _, dir := range d.list {
+		if dir.Kind != kindExclusive || dir.File != file {
+			continue
+		}
+		if dir.covers(pos) || dir.targetLine == line {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressed reports whether finding f is covered by a matching
+// //gvevet:ignore directive.
+func (d *Directives) suppressed(f Finding) bool {
+	for _, dir := range d.list {
+		if dir.Kind != kindIgnore || dir.Analyzer != f.Analyzer || dir.File != f.Pos.Filename {
+			continue
+		}
+		if dir.targetLine == f.Pos.Line {
+			return true
+		}
+		if dir.scopeStart.IsValid() {
+			start := d.fset.Position(dir.scopeStart)
+			end := d.fset.Position(dir.scopeEnd)
+			if start.Filename == f.Pos.Filename && start.Line <= f.Pos.Line && f.Pos.Line <= end.Line {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseDirectives scans the files of one package for gvevet directives
+// and resolves what each one attaches to.
+func parseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{
+		fset:    fset,
+		nilSafe: map[string]bool{},
+		padded:  map[string]bool{},
+	}
+	for _, f := range files {
+		docOwner := docComments(f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//gvevet:")
+				if !ok {
+					continue
+				}
+				dir := parseOne(text, c.Pos(), fset.Position(c.Pos()).Filename)
+				d.attach(dir, f, c, docOwner[cg])
+				d.list = append(d.list, dir)
+			}
+		}
+	}
+	return d
+}
+
+// parseOne splits "//gvevet:kind rest" into a Directive.
+func parseOne(text string, pos token.Pos, file string) *Directive {
+	kind, rest, _ := strings.Cut(text, " ")
+	dir := &Directive{Kind: kind, Pos: pos, File: file}
+	switch kind {
+	case kindIgnore:
+		dir.Analyzer, dir.Reason, _ = strings.Cut(strings.TrimSpace(rest), " ")
+		dir.Reason = strings.TrimSpace(dir.Reason)
+	case kindExclusive:
+		dir.Reason = strings.TrimSpace(rest)
+	}
+	return dir
+}
+
+// attach resolves the directive's target: the documented declaration,
+// the statement on its line (trailing comment), or the statement on the
+// following line (standalone comment). Package-level kinds also flip
+// the package flags, and type annotations are recorded by name.
+func (d *Directives) attach(dir *Directive, f *ast.File, c *ast.Comment, owner ast.Node) {
+	switch dir.Kind {
+	case kindDeterministic:
+		d.Deterministic = true
+		return
+	case kindHotPath:
+		d.HotPath = true
+		return
+	}
+	if owner != nil {
+		dir.scopeStart, dir.scopeEnd = owner.Pos(), owner.End()
+		dir.targetLine = d.fset.Position(owner.Pos()).Line
+		if name := specName(owner); name != "" {
+			switch dir.Kind {
+			case kindNilSafe:
+				d.nilSafe[name] = true
+			case kindPadded:
+				d.padded[name] = true
+			}
+		}
+		return
+	}
+	// Not a doc comment: trailing on a code line, or standalone above
+	// one. Find the smallest statement starting on the relevant line.
+	line := d.fset.Position(c.Pos()).Line
+	if n := stmtOnLine(d.fset, f, line, c.Pos()); n != nil {
+		dir.scopeStart, dir.scopeEnd = n.Pos(), n.End()
+		dir.targetLine = line
+		return
+	}
+	dir.targetLine = line + 1
+	if n := stmtOnLine(d.fset, f, line+1, token.NoPos); n != nil {
+		dir.scopeStart, dir.scopeEnd = n.Pos(), n.End()
+	}
+}
+
+// docComments maps each comment group that serves as a Doc comment to
+// the declaration or spec it documents.
+func docComments(f *ast.File) map[*ast.CommentGroup]ast.Node {
+	m := map[*ast.CommentGroup]ast.Node{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Doc != nil {
+				m[n.Doc] = n
+			}
+		case *ast.GenDecl:
+			if n.Doc != nil {
+				// A doc on `type ( ... )` blocks with one spec documents
+				// the spec; with several, the whole decl.
+				if len(n.Specs) == 1 {
+					m[n.Doc] = n.Specs[0]
+				} else {
+					m[n.Doc] = n
+				}
+			}
+		case *ast.TypeSpec:
+			if n.Doc != nil {
+				m[n.Doc] = n
+			}
+		case *ast.ValueSpec:
+			if n.Doc != nil {
+				m[n.Doc] = n
+			}
+		case *ast.Field:
+			if n.Doc != nil {
+				m[n.Doc] = n
+			}
+		}
+		return true
+	})
+	return m
+}
+
+// specName returns the declared type name when node is (or wraps) a
+// TypeSpec, so nilsafe/padded annotations resolve to their type.
+func specName(node ast.Node) string {
+	switch n := node.(type) {
+	case *ast.TypeSpec:
+		return n.Name.Name
+	case *ast.GenDecl:
+		if len(n.Specs) == 1 {
+			if ts, ok := n.Specs[0].(*ast.TypeSpec); ok {
+				return ts.Name.Name
+			}
+		}
+	}
+	return ""
+}
+
+// stmtOnLine returns the outermost statement, declaration or spec whose
+// first line is `line` (preorder visits parents first, so the first
+// match is the largest: a directive above a for loop covers the whole
+// loop, not just its init statement), considering only nodes that start
+// before `before` when it is valid (the trailing-comment case: code
+// precedes the comment on its own line).
+func stmtOnLine(fset *token.FileSet, f *ast.File, line int, before token.Pos) ast.Node {
+	var best ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || best != nil {
+			return false
+		}
+		switch n.(type) {
+		case ast.Stmt, ast.Decl, ast.Spec:
+		default:
+			return true
+		}
+		if fset.Position(n.Pos()).Line != line {
+			return true
+		}
+		if before.IsValid() && n.Pos() >= before {
+			return true
+		}
+		best = n
+		return false
+	})
+	return best
+}

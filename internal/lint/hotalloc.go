@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc polices the bodies of parallel regions in hot-path packages
+// (those annotated //gvevet:hotpath — internal/core, internal/color,
+// internal/quality): a function literal passed to parallel.Pool.For /
+// ForEach / Blocks runs once per guided chunk on every worker of every
+// iteration, so an allocation there multiplies by regions × chunks and
+// shows up directly in pause times and scalability curves. The paper's
+// engineering (and this repo's workspace design) preallocates every
+// per-thread buffer up front precisely so these bodies stay
+// allocation-free.
+//
+// Reported inside region bodies:
+//   - make, new, and map/slice/pointer composite literals
+//   - append (growth reallocates; pre-size the buffer or annotate why
+//     the growth is amortized)
+//   - calls into fmt (allocation and formatting both)
+//   - interface boxing: explicit conversions to interface types and
+//     concrete-typed arguments passed to interface parameters
+//
+// Intentional allocations (e.g. a per-round buffer whose growth is
+// amortized across rounds) carry //gvevet:ignore hotalloc <reason>.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbids allocations and interface boxing inside parallel region bodies in hot-path packages",
+	Run:  runHotAlloc,
+}
+
+// poolPath is the package whose Pool methods open parallel regions.
+const poolPath = "gveleiden/internal/parallel"
+
+// regionMethods are the Pool methods whose final func-literal argument
+// is a region body.
+var regionMethods = map[string]bool{"For": true, "ForEach": true, "Blocks": true}
+
+func runHotAlloc(pass *Pass) {
+	if !pass.Directives.HotPath {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isRegionCall(pass.Info, call) {
+				return true
+			}
+			body, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkRegionBody(pass, body)
+			return true
+		})
+	}
+}
+
+// isRegionCall matches p.For / p.ForEach / p.Blocks on
+// internal/parallel's Pool (and the package-level function wrappers of
+// the same names).
+func isRegionCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != poolPath {
+		return false
+	}
+	return regionMethods[fn.Name()]
+}
+
+func checkRegionBody(pass *Pass, body *ast.FuncLit) {
+	info := pass.Info
+	ast.Inspect(body.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkRegionCall(pass, n)
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Map:
+				pass.Report(n.Pos(), "map literal allocates inside a parallel region body")
+			case *types.Slice:
+				pass.Report(n.Pos(), "slice literal allocates inside a parallel region body")
+			}
+		case *ast.UnaryExpr:
+			if lit, ok := n.X.(*ast.CompositeLit); ok && n.Op == token.AND {
+				pass.Report(lit.Pos(), "&composite literal allocates inside a parallel region body")
+				return true
+			}
+		}
+		return true
+	})
+}
+
+func checkRegionCall(pass *Pass, call *ast.CallExpr) {
+	info := pass.Info
+	if name := calleeName(info, call); name != "" {
+		switch name {
+		case "make":
+			pass.Report(call.Pos(), "make allocates inside a parallel region body; preallocate in the workspace")
+		case "new":
+			pass.Report(call.Pos(), "new allocates inside a parallel region body; preallocate in the workspace")
+		case "append":
+			pass.Report(call.Pos(), "append may grow its backing array inside a parallel region body; pre-size it or annotate the amortized growth")
+		}
+		return
+	}
+	// Conversions: T(x) with T an interface type boxes x.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && types.IsInterface(tv.Type) && !isInterfaceValue(info, call.Args[0]) {
+			pass.Report(call.Pos(), "conversion to %s boxes its operand inside a parallel region body", tv.Type)
+		}
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			pass.Report(call.Pos(), "fmt.%s allocates and formats inside a parallel region body", fn.Name())
+			return
+		}
+	}
+	// Implicit boxing: concrete argument, interface parameter.
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			continue // spread argument: already a slice of the parameter type
+		}
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(param) && !isInterfaceValue(info, arg) {
+			pass.Report(arg.Pos(), "argument boxes into interface parameter inside a parallel region body")
+		}
+	}
+}
+
+// isInterfaceValue reports whether e already has interface type (or is
+// untyped nil), i.e. passing it to an interface parameter does not box.
+func isInterfaceValue(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return true // be conservative: no type info, no finding
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return true
+	}
+	if _, ok := tv.Type.(*types.TypeParam); ok {
+		return true // generic argument: boxing depends on instantiation
+	}
+	return types.IsInterface(tv.Type)
+}

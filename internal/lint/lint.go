@@ -1,0 +1,202 @@
+// Package lint is a zero-dependency static-analysis framework for this
+// repository's concurrency and performance invariants, built on the
+// standard library's go/ast, go/parser and go/types only (the module
+// has no external requires, and the analyzers keep it that way).
+//
+// The framework loads packages with full type information (see Load),
+// runs a set of project-specific analyzers over them, and reports
+// findings. cmd/gvevet is the command-line driver; it exits non-zero on
+// any finding, which makes the invariants CI-enforceable.
+//
+// Analyzers communicate with the source through gvevet directives,
+// ordinary comments of the form //gvevet:<kind> (no space after //, like
+// go:build):
+//
+//	//gvevet:ignore <analyzer> <reason>   suppress findings of one
+//	                                      analyzer on the directive's
+//	                                      line (trailing comment) or on
+//	                                      the statement that follows it
+//	//gvevet:exclusive [reason]           bless a function or statement
+//	                                      as running in an exclusive
+//	                                      phase: plain access to
+//	                                      atomically accessed memory is
+//	                                      intentional there (atomic-mix)
+//	//gvevet:nilsafe                      declare a type's methods
+//	                                      nil-receiver safe; nilrecv
+//	                                      verifies the guards
+//	//gvevet:padded                       declare a type a per-worker
+//	                                      shared slot; padsize verifies
+//	                                      its size is a multiple of 64
+//	//gvevet:deterministic                (package level) mark a package
+//	                                      determinism-sensitive; nodeterm
+//	                                      polices wall clocks, global
+//	                                      RNG, and map-order iteration
+//	//gvevet:hotpath                      (package level) mark a package
+//	                                      hot-path; hotalloc polices
+//	                                      allocations inside parallel
+//	                                      region bodies
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one invariant checker. Run inspects a single type-checked
+// package and reports findings through the pass.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in
+	// //gvevet:ignore directives (e.g. "atomic-mix").
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run analyzes pass.Pkg and calls pass.Report for each violation.
+	Run func(pass *Pass)
+}
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	// Path is the import path ("gveleiden/internal/parallel"; test
+	// variants keep the plain path, external test packages get the
+	// _test suffix).
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Directives are the parsed gvevet directives of this package.
+	Directives *Directives
+}
+
+// Program is a whole load: every analyzed package plus the
+// cross-package facts analyzers need (directive-annotated types are
+// matched by package path and name, because an object imported through
+// export data is not identical to the one from source).
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+	// Sizes computes type sizes with the gc layout rules for the
+	// build's target architecture (padsize).
+	Sizes types.Sizes
+	// PaddedTypes is the set of //gvevet:padded type names, keyed
+	// "path.Name". Generic entries are checked per instantiation.
+	PaddedTypes map[string]bool
+}
+
+// Pass is the per-(analyzer, package) context handed to Analyzer.Run.
+type Pass struct {
+	*Package
+	Prog     *Program
+	Analyzer *Analyzer
+	findings *[]Finding
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported violation.
+type Finding struct {
+	Pos      token.Position `json:"pos"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AtomicMix,
+		HotAlloc,
+		NilRecv,
+		PadSize,
+		NoDeterm,
+	}
+}
+
+// Run executes the analyzers over every package of prog, applies
+// //gvevet:ignore suppression, validates the directives themselves, and
+// returns the surviving findings sorted by position.
+func Run(prog *Program, analyzers []*Analyzer) []Finding {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Finding
+	for _, pkg := range prog.Packages {
+		var raw []Finding
+		for _, a := range analyzers {
+			pass := &Pass{Package: pkg, Prog: prog, Analyzer: a, findings: &raw}
+			a.Run(pass)
+		}
+		for _, f := range raw {
+			if !pkg.Directives.suppressed(f) {
+				out = append(out, f)
+			}
+		}
+		out = append(out, validateDirectives(prog, pkg, known)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// validateDirectives reports malformed gvevet directives: unknown
+// kinds, ignore without an analyzer name or reason, and ignore naming
+// an analyzer that does not exist. A directive that silently does
+// nothing is worse than a finding.
+func validateDirectives(prog *Program, pkg *Package, known map[string]bool) []Finding {
+	var out []Finding
+	bad := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:      prog.Fset.Position(pos),
+			Analyzer: "gvevet",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, d := range pkg.Directives.list {
+		switch d.Kind {
+		case kindIgnore:
+			if d.Analyzer == "" || d.Reason == "" {
+				bad(d.Pos, "malformed //gvevet:ignore: need \"//gvevet:ignore <analyzer> <reason>\"")
+			} else if !known[d.Analyzer] {
+				bad(d.Pos, "//gvevet:ignore names unknown analyzer %q", d.Analyzer)
+			}
+		case kindExclusive, kindNilSafe, kindPadded, kindDeterministic, kindHotPath:
+			// No required arguments.
+		default:
+			bad(d.Pos, "unknown gvevet directive %q", d.Kind)
+		}
+	}
+	return out
+}
+
+// pathFor returns the canonical "path.Name" key for a named object, the
+// identity analyzers use across packages.
+func pathFor(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureDir maps an analyzer to its corpus under testdata/src.
+func fixtureDir(a *Analyzer) string {
+	return filepath.Join("testdata", "src", strings.ReplaceAll(a.Name, "-", ""))
+}
+
+// wantRe pulls the expectation regexps out of a fixture line:
+// `// want "first" "second"`.
+var (
+	wantRe   = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)$`)
+	quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans the fixture sources for want comments, keyed by
+// absolute file path and line.
+func collectWants(t *testing.T, dir string) map[string][]*want {
+	t.Helper()
+	wants := map[string][]*want{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixtures: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path, err := filepath.Abs(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", path, i+1)
+			for _, q := range quotedRe.FindAllStringSubmatch(m[1], -1) {
+				re, err := regexp.Compile(q[1])
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", key, q[1], err)
+				}
+				wants[key] = append(wants[key], &want{re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// TestAnalyzersGolden runs each analyzer over its fixture corpus and
+// requires an exact match: every want comment matched by a finding on
+// its line, no finding without a want. Suppression and exclusive cases
+// are covered by fixture lines that must stay silent.
+func TestAnalyzersGolden(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			dir := fixtureDir(a)
+			prog, err := Load(LoadConfig{Patterns: []string{"./" + filepath.ToSlash(dir)}})
+			if err != nil {
+				t.Fatalf("loading fixture corpus: %v", err)
+			}
+			findings := Run(prog, []*Analyzer{a})
+			if len(findings) == 0 {
+				t.Fatalf("fixture corpus produced no findings; gvevet would exit 0 on it")
+			}
+			wants := collectWants(t, dir)
+
+			for _, f := range findings {
+				key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+				matched := false
+				for _, w := range wants[key] {
+					if !w.matched && w.re.MatchString(f.Message) {
+						w.matched, matched = true, true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected finding (no matching want): %s", f)
+				}
+			}
+			for key, ws := range wants {
+				for _, w := range ws {
+					if !w.matched {
+						t.Errorf("%s: want %q not reported", key, w.re)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRepoClean loads the whole module and requires the full analyzer
+// suite to report nothing: the tree must stay gvevet-clean, with every
+// intentional exception annotated in the source.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	prog, err := Load(LoadConfig{Dir: filepath.Join("..", ".."), Patterns: []string{"./..."}})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if findings := Run(prog, All()); len(findings) > 0 {
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+		t.Fatalf("repository is not gvevet-clean: %d finding(s)", len(findings))
+	}
+}
+
+// TestMalformedIgnoreDirective covers the validation branch the fixture
+// corpus cannot express inline (a bare //gvevet:ignore has no room left
+// on its line for a want comment).
+func TestMalformedIgnoreDirective(t *testing.T) {
+	src := `package p
+
+//gvevet:ignore
+var a int
+
+//gvevet:ignore atomic-mix
+var b int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Path: "p", Directives: parseDirectives(fset, []*ast.File{f})}
+	prog := &Program{Fset: fset}
+	findings := validateDirectives(prog, pkg, map[string]bool{"atomic-mix": true})
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (bare ignore, ignore without reason): %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Analyzer != "gvevet" || !strings.Contains(f.Message, "malformed //gvevet:ignore") {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// LoadConfig configures Load.
+type LoadConfig struct {
+	// Dir is the working directory patterns are resolved in (""means
+	// the process working directory).
+	Dir string
+	// Patterns are go package patterns ("./...", explicit directories).
+	Patterns []string
+	// Tests includes _test.go files: in-package test files join their
+	// package, external test packages are analyzed separately.
+	Tests bool
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	Module     *struct{ Path string }
+}
+
+// Load type-checks the packages matching the patterns and returns the
+// Program the analyzers run over.
+//
+// It shells out to `go list -export` once to discover packages and to
+// have the toolchain compile export data for every dependency, then
+// parses and type-checks the target packages from source with the
+// standard library's go/parser + go/types, importing dependencies
+// through their export data. This keeps the module dependency-free
+// (no golang.org/x/tools) while still giving analyzers full types.
+func Load(cfg LoadConfig) (*Program, error) {
+	pkgs, err := goList(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	targets := selectTargets(pkgs)
+	fset := token.NewFileSet()
+	shared := importerFor(fset, exports, nil)
+	prog := &Program{
+		Fset:        fset,
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+		PaddedTypes: map[string]bool{},
+	}
+	for _, t := range targets {
+		files, err := parseFiles(fset, t)
+		if err != nil {
+			return nil, err
+		}
+		imp := shared
+		if len(t.ImportMap) > 0 && hasTestRemap(t.ImportMap) {
+			// External test packages import the test-augmented variant
+			// of the package under test; give them their own importer
+			// so the remapped path does not pollute the shared cache.
+			imp = importerFor(fset, exports, t.ImportMap)
+		}
+		conf := types.Config{Importer: imp}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Instances:  map[*ast.Ident]types.Instance{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		path := canonicalPath(t.ImportPath)
+		tpkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", path, err)
+		}
+		pkg := &Package{
+			Path:       path,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+			Directives: parseDirectives(fset, files),
+		}
+		for name := range pkg.Directives.padded {
+			prog.PaddedTypes[path+"."+name] = true
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+// goList runs the go command and decodes its package stream.
+func goList(cfg LoadConfig) ([]*listPackage, error) {
+	args := []string{
+		"list", "-e=false", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,ImportMap,Standard,DepOnly,ForTest,Module",
+	}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, cfg.Patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// selectTargets picks the packages to analyze: requested module
+// packages, preferring the test-augmented variant "X [X.test]" over the
+// plain package X (its GoFiles already include the in-package test
+// files), keeping external test packages, and dropping generated
+// .test binaries.
+func selectTargets(pkgs []*listPackage) []*listPackage {
+	variants := map[string]bool{}
+	for _, p := range pkgs {
+		if p.ForTest != "" && canonicalPath(p.ImportPath) == p.ForTest {
+			variants[p.ForTest] = true
+		}
+	}
+	var out []*listPackage
+	for _, p := range pkgs {
+		if p.Standard || p.DepOnly || p.Module == nil {
+			continue
+		}
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue // synthesized test main
+		}
+		if p.ForTest == "" && variants[p.ImportPath] {
+			continue // superseded by its test variant
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// hasTestRemap reports whether the import map redirects any path to a
+// test variant ("pkg [pkg.test]").
+func hasTestRemap(m map[string]string) bool {
+	for from, to := range m {
+		if from != to && strings.Contains(to, " [") {
+			return true
+		}
+	}
+	return false
+}
+
+// canonicalPath strips the " [pkg.test]" variant suffix.
+func canonicalPath(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+func parseFiles(fset *token.FileSet, p *listPackage) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// importerFor builds a gc-export-data importer over the files `go list
+// -export` produced. remap, when non-nil, redirects import paths first
+// (the external-test-package case).
+func importerFor(fset *token.FileSet, exports map[string]string, remap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if remap != nil {
+			if to, ok := remap[path]; ok {
+				path = to
+			}
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}

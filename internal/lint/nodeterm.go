@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoDeterm polices nondeterminism sources in packages annotated
+// //gvevet:deterministic (internal/core and internal/graph). The
+// engine's contract is that a run with a fixed seed, thread count and
+// options produces an identical partition — the deterministic
+// (coloring-ordered) mode and the regression corpus depend on it — so
+// results must never be fed from:
+//
+//   - time.Now: wall-clock values belong to observability, not to
+//     results. Phase timing goes through one annotated helper
+//     (core's now()), keeping every other call site clean. time.Since
+//     is deliberately not flagged: it only ever produces durations.
+//   - the global math/rand / math/rand/v2 source: shared, seeded from
+//     entropy, and serialized by a global lock. Randomized decisions
+//     use the per-thread seeded streams in internal/prng (methods on a
+//     locally owned *rand.Rand are fine too and are not flagged).
+//   - map iteration: range order varies per run, so anything
+//     accumulated or emitted in that order varies with it. Iterate a
+//     sorted key slice instead, or annotate why order cannot matter.
+var NoDeterm = &Analyzer{
+	Name: "nodeterm",
+	Doc:  "forbids wall clocks, global RNG, and map-order iteration in determinism-sensitive packages",
+	Run:  runNoDeterm,
+}
+
+func runNoDeterm(pass *Pass) {
+	if !pass.Directives.Deterministic {
+		return
+	}
+	info := pass.Info
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				// Package-level functions only: sel.X must name the
+				// package, so r.Int63() on an owned *rand.Rand passes.
+				if _, isPkg := info.Uses[identOf(sel.X)].(*types.PkgName); !isPkg {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if fn.Name() == "Now" {
+						pass.Report(n.Pos(),
+							"time.Now in a determinism-sensitive package; route timing through the package's annotated clock helper")
+					}
+				case "math/rand", "math/rand/v2":
+					pass.Report(n.Pos(),
+						"global %s.%s in a determinism-sensitive package; use the seeded per-thread streams (internal/prng)",
+						fn.Pkg().Name(), fn.Name())
+				}
+			case *ast.RangeStmt:
+				if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Report(n.Pos(),
+							"map iteration order is nondeterministic; iterate sorted keys or annotate why order cannot feed results")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// identOf unwraps e to an identifier, or returns nil.
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PadSize verifies the cache-line geometry of per-worker shared slots.
+// Types annotated //gvevet:padded — parallel.Padded instantiations, the
+// pool's workerCounters and paddedRange blocks, core's per-thread
+// counter slots — live in slices indexed by worker id, where each
+// worker writes its own element with plain stores on the hot path. That
+// is only false-sharing-free when consecutive elements never share a
+// 64-byte cache line, i.e. when the element size is an exact multiple
+// of 64. "At least 64 bytes of padding somewhere" is not enough: a
+// 72-byte element straddles lines so that worker i's tail and worker
+// i+1's head collide on every write.
+//
+// Generic annotated types (parallel.Padded[T]) are checked at each
+// concrete instantiation found anywhere in the analyzed packages, so
+// Padded[SomeBigStruct] fails the build the moment it is written, with
+// the fix being a purpose-built concrete slot type.
+var PadSize = &Analyzer{
+	Name: "padsize",
+	Doc:  "requires //gvevet:padded per-worker slot types to have size an exact multiple of 64 bytes",
+	Run:  runPadSize,
+}
+
+func runPadSize(pass *Pass) {
+	sizes := pass.Prog.Sizes
+	// Directly declared annotated types in this package.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !pass.Directives.PaddedType(ts.Name.Name) {
+					continue
+				}
+				if ts.TypeParams != nil {
+					continue // generic: checked per instantiation below
+				}
+				obj := pass.Info.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				if sz := sizes.Sizeof(obj.Type()); sz%64 != 0 {
+					pass.Report(ts.Pos(),
+						"per-worker slot type %s has size %d, not a multiple of the 64-byte cache line; adjust its padding",
+						ts.Name.Name, sz)
+				}
+			}
+		}
+	}
+	// Instantiations of annotated generic types, wherever they are
+	// declared (matched by package path + name, since imported objects
+	// come from export data).
+	for ident, inst := range pass.Info.Instances {
+		obj := pass.Info.Uses[ident]
+		if obj == nil {
+			obj = pass.Info.Defs[ident]
+		}
+		tn, ok := obj.(*types.TypeName)
+		if !ok || !pass.Prog.PaddedTypes[pathFor(tn)] {
+			continue
+		}
+		if dependsOnTypeParams(inst.Type) {
+			continue // inside generic code: concrete uses are checked at their own sites
+		}
+		if sz := sizes.Sizeof(inst.Type); sz%64 != 0 {
+			pass.Report(ident.Pos(),
+				"instantiation %s has size %d, not a multiple of the 64-byte cache line; use an element type the padding rounds to a full line, or a purpose-built concrete slot",
+				types.TypeString(inst.Type, nil), sz)
+		}
+	}
+}
+
+// dependsOnTypeParams reports whether t mentions an uninstantiated type
+// parameter.
+func dependsOnTypeParams(t types.Type) bool {
+	seen := map[types.Type]bool{}
+	var walk func(types.Type) bool
+	walk = func(t types.Type) bool {
+		if t == nil || seen[t] {
+			return false
+		}
+		seen[t] = true
+		switch t := t.(type) {
+		case *types.TypeParam:
+			return true
+		case *types.Named:
+			if args := t.TypeArgs(); args != nil {
+				for i := 0; i < args.Len(); i++ {
+					if walk(args.At(i)) {
+						return true
+					}
+				}
+			}
+			return walk(t.Underlying())
+		case *types.Pointer:
+			return walk(t.Elem())
+		case *types.Slice:
+			return walk(t.Elem())
+		case *types.Array:
+			return walk(t.Elem())
+		case *types.Map:
+			return walk(t.Key()) || walk(t.Elem())
+		case *types.Chan:
+			return walk(t.Elem())
+		case *types.Struct:
+			for i := 0; i < t.NumFields(); i++ {
+				if walk(t.Field(i).Type()) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(t)
+}

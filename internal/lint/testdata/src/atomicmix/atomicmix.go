@@ -1,0 +1,81 @@
+// Package atomicmix is the fixture corpus for the atomic-mix analyzer.
+// Each "want" comment is a regexp the golden runner matches against the
+// finding reported on that line; lines without one must stay clean.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  []uint64
+	total uint64
+}
+
+func (c *counters) bump(i int) {
+	atomic.AddUint64(&c.hits[i], 1)
+	atomic.AddUint64(&c.total, 1)
+}
+
+func (c *counters) readPlain(i int) uint64 {
+	return c.hits[i] // want "plain read of hits"
+}
+
+func (c *counters) writePlain() {
+	c.total = 0 // want "plain write of total"
+}
+
+func (c *counters) iterate() uint64 {
+	var s uint64
+	for _, v := range c.hits { // want "plain iteration over elements of hits"
+		s += v
+	}
+	return s
+}
+
+func (c *counters) escape() *uint64 {
+	return &c.hits[0] // want "address-of that escapes sync/atomic"
+}
+
+func (c *counters) grow() {
+	c.hits = append(c.hits, 0) // want "plain write of hits" "plain element access \(append\) of hits"
+}
+
+// zeroExclusive is blessed: the statement-level directive covers the
+// whole loop.
+func (c *counters) zeroExclusive() {
+	//gvevet:exclusive between phases: no concurrent access
+	for i := range c.hits {
+		c.hits[i] = 0
+	}
+}
+
+//gvevet:exclusive snapshot after all workers joined
+func (c *counters) snapshotExclusive() uint64 {
+	return c.total
+}
+
+func (c *counters) suppressed() uint64 {
+	return c.total //gvevet:ignore atomic-mix reviewed: read happens after the final barrier
+}
+
+// lengthIsFine: len/cap cannot race with element access.
+func (c *counters) lengthIsFine() int {
+	return len(c.hits)
+}
+
+// aliasIsFine: passing the slice itself is aliasing, not element access.
+func (c *counters) aliasIsFine() {
+	consume(c.hits)
+}
+
+func consume([]uint64) {}
+
+// localMix exercises function-local tracking.
+func localMix() uint32 {
+	x := make([]uint32, 4)
+	atomic.StoreUint32(&x[0], 1)
+	return x[1] // want "plain read of x"
+}
+
+//gvevet:bogus // want "unknown gvevet directive"
+
+//gvevet:ignore nosuch reviewed: names a nonexistent analyzer // want "names unknown analyzer"

@@ -1,0 +1,48 @@
+// Package hotalloc is the fixture corpus for the hotalloc analyzer:
+// parallel region bodies in a //gvevet:hotpath package must not
+// allocate or box.
+//
+//gvevet:hotpath
+package hotalloc
+
+import (
+	"fmt"
+
+	"gveleiden/internal/parallel"
+)
+
+type pair struct{ a, b int }
+
+func sink(v any) {}
+
+func regions(p *parallel.Pool, buf []int, out []any) {
+	scratch := make([]int, 16) // fine: outside the region body
+	p.For(len(buf), 4, 64, func(lo, hi, tid int) {
+		tmp := make([]int, 8) // want "make allocates inside a parallel region body"
+		_ = tmp
+		q := new(pair) // want "new allocates inside a parallel region body"
+		_ = q
+		buf = append(buf, lo)         // want "append may grow its backing array"
+		msg := fmt.Sprintf("c%d", hi) // want "fmt.Sprintf allocates and formats"
+		_ = msg
+		lit := []int{lo, hi} // want "slice literal allocates"
+		_ = lit
+		m := map[int]int{lo: hi} // want "map literal allocates"
+		_ = m
+		pp := &pair{lo, hi} // want "&composite literal allocates"
+		_ = pp
+		sink(lo)     // want "argument boxes into interface parameter"
+		_ = any(tid) // want "conversion to any boxes its operand"
+		sink(nil)    // fine: untyped nil does not box
+		out[0] = nil // fine
+		_ = scratch
+		amortized := append([]int(nil), lo) //gvevet:ignore hotalloc fixture: amortized growth example
+		_ = amortized
+	})
+}
+
+// outside a region body, everything above is fine
+func notARegion(buf []int) []int {
+	buf = append(buf, len(buf))
+	return buf
+}

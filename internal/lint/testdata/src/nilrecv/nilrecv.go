@@ -1,0 +1,60 @@
+// Package nilrecv is the fixture corpus for the nilrecv analyzer:
+// exported pointer-receiver methods of //gvevet:nilsafe types must
+// guard the receiver before their first field access.
+package nilrecv
+
+// Tracer's nil value is its documented "off" state.
+//
+//gvevet:nilsafe
+type Tracer struct {
+	n       int
+	enabled bool
+}
+
+func (t *Tracer) Good() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+func (t *Tracer) GoodFlipped() int {
+	if nil != t {
+		return t.n
+	}
+	return 0
+}
+
+func (t *Tracer) Bad() int {
+	return t.n // want "method Bad on nil-safe type .Tracer accesses t.n before a nil-receiver guard"
+}
+
+func (t *Tracer) Late() int {
+	x := t.n // want "method Late on nil-safe type .Tracer accesses t.n before a nil-receiver guard"
+	if t == nil {
+		return 0
+	}
+	return x
+}
+
+// MethodOnly never touches a field directly; the callee guards itself.
+func (t *Tracer) MethodOnly() int {
+	return t.Good()
+}
+
+// NoDeref has nothing to guard.
+func (t *Tracer) NoDeref() bool {
+	return t != nil
+}
+
+// helper is unexported: it runs behind the exported guards.
+func (t *Tracer) helper() int {
+	return t.n
+}
+
+// Plain is not annotated, so its methods are not checked.
+type Plain struct{ n int }
+
+func (p *Plain) Get() int {
+	return p.n
+}

@@ -1,0 +1,58 @@
+// Package nodeterm is the fixture corpus for the nodeterm analyzer:
+// wall clocks, the global RNG and map-order iteration are forbidden in
+// //gvevet:deterministic packages.
+//
+//gvevet:deterministic
+package nodeterm
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now() // want "time.Now in a determinism-sensitive package"
+	return t.Unix()
+}
+
+func sinceIsFine(t0 time.Time) time.Duration {
+	return time.Since(t0) // durations never feed results
+}
+
+func globalRand() int {
+	return rand.Int() // want "global rand.Int in a determinism-sensitive package"
+}
+
+func globalRandV2() uint64 {
+	return randv2.Uint64() // want "global rand.Uint64 in a determinism-sensitive package"
+}
+
+func ownedRandIsFine(r *rand.Rand) int {
+	return r.Int()
+}
+
+func mapOrder(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m { // want "map iteration order is nondeterministic"
+		out = append(out, k)
+	}
+	return out
+}
+
+func sliceOrderIsFine(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+func suppressed(m map[int]bool) int {
+	n := 0
+	//gvevet:ignore nodeterm counting only: the total cannot depend on order
+	for range m {
+		n++
+	}
+	return n
+}

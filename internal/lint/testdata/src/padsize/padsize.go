@@ -1,0 +1,51 @@
+// Package padsize is the fixture corpus for the padsize analyzer:
+// //gvevet:padded per-worker slot types must have size an exact
+// multiple of the 64-byte cache line, checked per instantiation for
+// generics.
+package padsize
+
+// goodSlot is exactly one line.
+//
+//gvevet:padded
+type goodSlot struct {
+	v int64
+	_ [56]byte
+}
+
+// badSlot has "a line of padding" but a 72-byte size, so consecutive
+// elements straddle lines.
+//
+//gvevet:padded
+type badSlot struct { // want "per-worker slot type badSlot has size 72"
+	v int64
+	_ [64]byte
+}
+
+// genSlot uses the alignment trick: exact for any v of at most 8 bytes.
+//
+//gvevet:padded
+type genSlot[T any] struct {
+	v T
+	_ [0]uint64
+	_ [56]byte
+}
+
+var goodNarrow genSlot[uint32]
+var goodWide genSlot[float64]
+var badWide genSlot[[3]int64] // want "instantiation .*genSlot\[\[3\]int64\] has size 80"
+
+// Inside generic code the size depends on the type parameter, so the
+// instantiation is checked at concrete use sites instead.
+func generic[T any]() genSlot[T] {
+	var s genSlot[T]
+	return s
+}
+
+// unannotated types are never checked.
+type unannotated struct {
+	v int64
+	_ [64]byte
+}
+
+var _ = generic[int16]
+var _ unannotated

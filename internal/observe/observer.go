@@ -57,7 +57,11 @@ type Observer interface {
 
 // Progress is an Observer that prints one line per pass (and, with
 // Iterations set, one per local-moving iteration) — the engine behind
-// the CLI's -v flag. Safe for concurrent runs.
+// the CLI's -v flag. Safe for concurrent runs, and safe on a nil
+// receiver: a typed-nil *Progress stored in a non-nil Observer
+// interface value silently disables printing instead of panicking.
+//
+//gvevet:nilsafe
 type Progress struct {
 	W          io.Writer
 	Iterations bool // also log each local-moving iteration
@@ -69,7 +73,7 @@ func NewProgress(w io.Writer) *Progress { return &Progress{W: w} }
 
 // OnIteration implements Observer.
 func (p *Progress) OnIteration(e IterEvent) {
-	if !p.Iterations {
+	if p == nil || !p.Iterations {
 		return
 	}
 	p.mu.Lock()
@@ -80,6 +84,9 @@ func (p *Progress) OnIteration(e IterEvent) {
 
 // OnPass implements Observer.
 func (p *Progress) OnPass(e PassEvent) {
+	if p == nil {
+		return
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	fmt.Fprintf(p.W, "%s pass %d: |V'|=%d arcs=%d iters=%d moves=%d refineMoves=%d |Γ|=%d %s (move %s, refine %s, agg %s)\n",

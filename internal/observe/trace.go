@@ -16,6 +16,8 @@ import (
 //
 // Timestamps come from a single monotonic base captured at NewTracer,
 // so events from different goroutines share one consistent timeline.
+//
+//gvevet:nilsafe
 type Tracer struct {
 	base time.Time
 

@@ -49,6 +49,15 @@ func (f *Float64s) Add(i int, delta float64) float64 {
 // reporting whether the swap happened. This is the atomicCAS of
 // Algorithm 3, which claims an isolated vertex's singleton community by
 // swapping Σ'[c] from K'[i] to 0.
+//
+// Equality is bit-pattern equality (Float64bits), not float equality:
+// -0.0 does not match +0.0 even though -0.0 == +0.0, and a NaN element
+// CAN be replaced — but only by passing a NaN with the identical bit
+// pattern as old, whereas NaN == NaN is always false. This is exactly
+// right for the refinement phase (values are sums of edge weights, and
+// a community claimed with CAS(c, K'[i], 0) was stored from the same
+// bits), but callers comparing against recomputed — rather than
+// previously loaded — values must keep the caveat in mind.
 func (f *Float64s) CAS(i int, old, new float64) bool {
 	return atomic.CompareAndSwapUint64(&f.bits[i], math.Float64bits(old), math.Float64bits(new))
 }
@@ -56,6 +65,8 @@ func (f *Float64s) CAS(i int, old, new float64) bool {
 // CopyFrom stores src[i] into every element, in parallel on pool p
 // (nil = default pool). Used to reset Σ' ← K' at the start of a pass
 // and of the refinement phase.
+//
+//gvevet:exclusive phase reset: runs between phases behind a pool barrier, no concurrent element access
 func (f *Float64s) CopyFrom(p *Pool, src []float64, threads int) {
 	if p == nil {
 		p = Default()
@@ -69,6 +80,8 @@ func (f *Float64s) CopyFrom(p *Pool, src []float64, threads int) {
 
 // Zero resets every element to 0, in parallel on pool p (nil = default
 // pool).
+//
+//gvevet:exclusive phase reset: runs between phases behind a pool barrier, no concurrent element access
 func (f *Float64s) Zero(p *Pool, threads int) {
 	if p == nil {
 		p = Default()
@@ -84,6 +97,8 @@ func (f *Float64s) Zero(p *Pool, threads int) {
 // nothing. It exists so a single Float64s can be reused across Leiden
 // passes as the super-vertex graph shrinks, avoiding reallocation (the
 // paper preallocates all per-pass buffers).
+//
+//gvevet:exclusive single-threaded pass setup: resizing happens before workers are released
 func (f *Float64s) Resize(n int) {
 	if cap(f.bits) >= n {
 		f.bits = f.bits[:n]
@@ -124,6 +139,8 @@ func (f *Flags) Set(i int, v bool) {
 
 // SetAll sets every flag to v, in parallel on pool p (nil = default
 // pool).
+//
+//gvevet:exclusive phase reset: runs between phases behind a pool barrier, no concurrent flag access
 func (f *Flags) SetAll(p *Pool, v bool, threads int) {
 	var x uint32
 	if v {
@@ -141,6 +158,8 @@ func (f *Flags) SetAll(p *Pool, v bool, threads int) {
 
 // Resize grows (or reslices) the flag array to length n, preserving
 // nothing.
+//
+//gvevet:exclusive single-threaded pass setup: resizing happens before workers are released
 func (f *Flags) Resize(n int) {
 	if cap(f.bits) >= n {
 		f.bits = f.bits[:n]

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"math"
 	"sync"
 	"testing"
 )
@@ -54,6 +55,37 @@ func TestFloat64sCAS(t *testing.T) {
 	wg.Wait()
 	if wins != 1 {
 		t.Fatalf("CAS wins = %d, want exactly 1", wins)
+	}
+}
+
+// TestFloat64sCASBitPatterns pins down the documented caveat: CAS
+// compares IEEE-754 bit patterns, not float equality. -0.0 and +0.0 are
+// equal as floats but distinct as bits; NaNs are never equal as floats
+// but CAS-able when the bit patterns (payloads) are identical.
+func TestFloat64sCASBitPatterns(t *testing.T) {
+	f := NewFloat64s(1)
+
+	negZero := math.Copysign(0, -1)
+	f.Set(0, negZero)
+	if f.CAS(0, 0.0, 1.0) {
+		t.Fatal("CAS(+0.0) must fail on an element holding -0.0, even though -0.0 == +0.0")
+	}
+	if !f.CAS(0, negZero, 1.0) {
+		t.Fatal("CAS(-0.0) must succeed on an element holding -0.0")
+	}
+
+	nan := math.NaN()
+	f.Set(0, nan)
+	if !f.CAS(0, nan, 2.0) {
+		t.Fatal("CAS with the identical NaN bit pattern must succeed, even though NaN != NaN")
+	}
+	f.Set(0, nan)
+	otherNaN := math.Float64frombits(math.Float64bits(nan) ^ 1) // different payload
+	if !math.IsNaN(otherNaN) {
+		t.Fatal("payload flip must still be a NaN")
+	}
+	if f.CAS(0, otherNaN, 2.0) {
+		t.Fatal("CAS with a different NaN payload must fail")
 	}
 }
 

@@ -15,6 +15,8 @@ package parallel
 
 // workerCounters is one participant's counter block, padded to exactly
 // one cache line so neighbouring participants never share a line.
+//
+//gvevet:padded
 type workerCounters struct {
 	chunks        int64 // chunk claims from the own range
 	items         int64 // loop iterations executed

@@ -70,7 +70,7 @@ func TestCountersStealPath(t *testing.T) {
 func TestCountersInlineAndSpawn(t *testing.T) {
 	p := NewPool(4)
 	defer p.Close()
-	p.For(100, 1, 1, func(lo, hi, tid int) {}) // single thread → inline
+	p.For(100, 1, 1, func(lo, hi, tid int) {})  // single thread → inline
 	p.For(10, 4, 100, func(lo, hi, tid int) {}) // n <= grain → inline
 	p.For(10_000, 4, 1, func(lo, hi, tid int) {
 		// Nested submission: the pool is busy, so this falls to spawn.

@@ -3,14 +3,25 @@ package parallel
 // Padded is a cache-line-padded accumulator cell. Per-thread or
 // per-block partials (ΔQ sums, move counters, scan block sums,
 // reduction partials) live in []Padded[T] slices so that concurrent
-// writers never share a cache line: the 64 bytes of trailing padding
-// guarantee consecutive V fields are at least a full line apart
-// regardless of T's size.
+// writers never share a cache line.
+//
+// The geometry is exact, not merely "at least a line of padding": the
+// zero-length uint64 field forces 8-byte alignment, so for any T of at
+// most 8 bytes (the runtime's counters and scan partials are uint32,
+// int64, uint64 or float64) the struct is exactly 64 bytes and
+// consecutive elements of a []Padded[T] occupy disjoint cache lines. A
+// larger T would push the size past one line WITHOUT rounding it to a
+// multiple of 64, making element i's tail share a line with element
+// i+1's head — the padsize analyzer rejects any such instantiation, and
+// the fix is a purpose-built concrete slot type (see core's mcSlot).
 //
 // This is the one shared accumulator pattern for the runtime and the
 // algorithm layers (internal/core keeps its ΔQ and move counters in
 // it, the scans and reductions here keep their block partials in it).
+//
+//gvevet:padded
 type Padded[T any] struct {
 	V T
-	_ [64]byte
+	_ [0]uint64
+	_ [56]byte
 }

@@ -60,6 +60,8 @@ type Pool struct {
 // a single CAS-able word, padded to a cache line so owner claims and
 // thief CASes on different participants never share a line. rng is the
 // owner-only victim-selection state.
+//
+//gvevet:padded
 type paddedRange struct {
 	r   atomic.Uint64
 	rng uint64

@@ -5,6 +5,10 @@
 // the paper's extended report.
 package quality
 
+// The modularity/CPM reductions below run on the worker pool with
+// bodies that must stay allocation-free.
+//gvevet:hotpath
+
 import (
 	"fmt"
 
