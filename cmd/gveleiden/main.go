@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -30,6 +31,7 @@ import (
 	"gveleiden/internal/gen"
 	"gveleiden/internal/graph"
 	"gveleiden/internal/observe"
+	"gveleiden/internal/oracle"
 	"gveleiden/internal/parallel"
 	"gveleiden/internal/quality"
 )
@@ -48,6 +50,8 @@ func main() {
 		objective = flag.String("objective", "modularity", "quality function: modularity|cpm")
 		maxPass   = flag.Int("passes", 10, "max passes")
 		tol       = flag.Float64("tolerance", 0.01, "initial iteration tolerance")
+		tolDrop   = flag.Float64("tolerance-drop", 10, "divide the tolerance by this after every pass (threshold scaling, >= 1)")
+		aggTol    = flag.Float64("aggregation-tolerance", 0.8, "stop when a pass shrinks the graph by less than this factor (in (0,1])")
 		resol     = flag.Float64("resolution", 1.0, "modularity resolution γ")
 		out       = flag.String("o", "", "write membership (one 'vertex community' line each)")
 		exportDot = flag.String("export-dot", "", "write a Graphviz DOT file colored by community")
@@ -58,8 +62,15 @@ func main() {
 		metricOut = flag.String("metrics", "", "write Prometheus text metrics of the run to this file (- for stdout)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) during the run")
 		checkDis  = flag.Bool("check-disconnected", true, "count internally-disconnected communities")
+		check     = flag.Bool("check", false, "run the correctness oracle on this run (per-level and whole-run invariants); exit nonzero on any violation")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*threads, *maxPass, *tol, *tolDrop, *aggTol, *resol); err != nil {
+		fmt.Fprintf(os.Stderr, "gveleiden: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -87,6 +98,8 @@ func main() {
 	opt.Threads = *threads
 	opt.MaxPasses = *maxPass
 	opt.Tolerance = *tol
+	opt.ToleranceDrop = *tolDrop
+	opt.AggregationTolerance = *aggTol
 	opt.Resolution = *resol
 	opt.Deterministic = *determ
 	switch *refine {
@@ -135,6 +148,11 @@ func main() {
 	if *metricOut != "" {
 		// Scope the pool counter snapshot to this run.
 		parallel.Default().ResetCounters()
+	}
+	var lc *oracle.LevelChecks
+	if *check {
+		lc = &oracle.LevelChecks{R: &oracle.Report{}, Threads: *threads}
+		opt = lc.Attach(opt)
 	}
 
 	start := time.Now()
@@ -196,6 +214,14 @@ func main() {
 		fmt.Printf("disconnected communities: %d of %d (fraction %.2e)\n",
 			ds.Disconnected, ds.Communities, ds.Fraction)
 	}
+	if lc != nil {
+		oracle.CheckRun(lc.R, g, res, *algo == "leiden", *threads)
+		if err := lc.R.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "gveleiden: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("oracle: %d invariant checks across %d levels, all passed\n", lc.R.Checks, lc.Levels)
+	}
 
 	if *out != "" {
 		if err := writeMembership(*out, res.Membership); err != nil {
@@ -222,6 +248,32 @@ func main() {
 		}
 		fmt.Printf("GraphML written to %s\n", *exportGML)
 	}
+}
+
+// validateFlags rejects numeric flag values the algorithm cannot run
+// with, instead of letting core.Options.normalize silently replace them
+// with defaults (a typo like -resolution=-1 should be an error, not a
+// quiet γ=1 run). The !(x > bound) form deliberately catches NaN.
+func validateFlags(threads, passes int, tol, drop, aggTol, resol float64) error {
+	if threads < 0 {
+		return fmt.Errorf("-threads must be >= 0, got %d", threads)
+	}
+	if passes < 1 {
+		return fmt.Errorf("-passes must be >= 1, got %d", passes)
+	}
+	if !(resol > 0) || math.IsInf(resol, 0) {
+		return fmt.Errorf("-resolution must be a positive finite number, got %g", resol)
+	}
+	if !(tol > 0) || math.IsInf(tol, 0) {
+		return fmt.Errorf("-tolerance must be a positive finite number, got %g", tol)
+	}
+	if !(drop >= 1) || math.IsInf(drop, 0) {
+		return fmt.Errorf("-tolerance-drop must be a finite number >= 1, got %g", drop)
+	}
+	if !(aggTol > 0 && aggTol <= 1) {
+		return fmt.Errorf("-aggregation-tolerance must be in (0, 1], got %g", aggTol)
+	}
+	return nil
 }
 
 func exportTo(path string, write func(io.Writer) error) error {

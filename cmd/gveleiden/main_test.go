@@ -1,0 +1,41 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	ok := func(threads, passes int, tol, drop, aggTol, resol float64) bool {
+		return validateFlags(threads, passes, tol, drop, aggTol, resol) == nil
+	}
+	if !ok(0, 10, 0.01, 10, 0.8, 1) {
+		t.Fatalf("defaults rejected: %v", validateFlags(0, 10, 0.01, 10, 0.8, 1))
+	}
+	if !ok(8, 1, 1e-9, 1, 1, 0.25) {
+		t.Fatalf("legal extremes rejected")
+	}
+	bad := []struct {
+		name                     string
+		threads, passes          int
+		tol, drop, aggTol, resol float64
+	}{
+		{"negative threads", -1, 10, 0.01, 10, 0.8, 1},
+		{"zero passes", 0, 0, 0.01, 10, 0.8, 1},
+		{"zero tolerance", 0, 10, 0, 10, 0.8, 1},
+		{"NaN tolerance", 0, 10, math.NaN(), 10, 0.8, 1},
+		{"Inf tolerance", 0, 10, math.Inf(1), 10, 0.8, 1},
+		{"drop below one", 0, 10, 0.01, 0.5, 0.8, 1},
+		{"NaN drop", 0, 10, 0.01, math.NaN(), 0.8, 1},
+		{"zero aggregation tolerance", 0, 10, 0.01, 10, 0, 1},
+		{"aggregation tolerance above one", 0, 10, 0.01, 10, 1.5, 1},
+		{"negative resolution", 0, 10, 0.01, 10, 0.8, -1},
+		{"zero resolution", 0, 10, 0.01, 10, 0.8, 0},
+		{"NaN resolution", 0, 10, 0.01, 10, 0.8, math.NaN()},
+	}
+	for _, tc := range bad {
+		if ok(tc.threads, tc.passes, tc.tol, tc.drop, tc.aggTol, tc.resol) {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -177,6 +177,17 @@ func NewProgress(w io.Writer) *Progress { return observe.NewProgress(w) }
 // MultiObserver fans events out to several observers in order.
 func MultiObserver(obs ...Observer) Observer { return observe.Multi(obs...) }
 
+// LevelEvent describes one completed aggregating pass, delivered to
+// Options.Inspector: the level graph, its move and refined partitions,
+// and the freshly aggregated super-vertex graph. The slices and the
+// aggregated graph alias live workspace memory — read them during the
+// callback, do not retain them. The internal/oracle package builds its
+// per-level invariant checks on this hook.
+type LevelEvent = core.LevelEvent
+
+// LevelInspector receives a LevelEvent after each aggregating pass.
+type LevelInspector = core.LevelInspector
+
 // MetricSet is an ordered collection of metrics writable as Prometheus
 // text exposition format or JSON.
 type MetricSet = observe.MetricSet

@@ -15,10 +15,17 @@ import (
 // whenever edge weights are integers (exact float arithmetic; with
 // fractional weights, summation-order rounding may still differ).
 
-// mover is one accepted decision of a deterministic kernel.
+// mover is one accepted decision of a deterministic kernel. The
+// local-moving kernel also carries the vertex↔community arc weights it
+// measured, so the apply kernel can re-evaluate the move's gain against
+// the live totals without rescanning the adjacency: within one color
+// class no neighbour of u changes community (same-class vertices are
+// never adjacent), so kic and kid stay valid until the class commits.
 type mover struct {
 	u      uint32
 	target uint32
+	kic    float64 // arc weight from u into target
+	kid    float64 // arc weight from u into its current community
 }
 
 // movePhaseColored is the deterministic local-moving phase: iterations
@@ -43,8 +50,8 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 	moverCh := make([][]mover, threads)
 	iters := 0
 	for it := 0; it < ws.opt.MaxIterations; it++ {
-		ws.zeroDQ()
 		ws.zeroMC()
+		realized := 0.0
 		sp := ws.opt.Tracer.Begin("move.iter", 0)
 		for cls := 0; cls < col.NumColors; cls++ {
 			class := col.Class(cls)
@@ -53,7 +60,6 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 			// only after the barrier below).
 			ws.opt.Pool.For(len(class), threads, grain/4+1, func(lo, hi, tid int) {
 				h := ws.tables[tid]
-				var local float64
 				var scanned, pruned, moves int64
 				for idx := lo; idx < hi; idx++ {
 					u := class[idx]
@@ -75,6 +81,7 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 					nd := ws.csize.Get(int(d))
 					bestC := d
 					bestDQ := 0.0
+					bestKic := 0.0
 					for _, c := range h.Keys() {
 						if c == d {
 							continue
@@ -83,36 +90,50 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 						if dq > bestDQ || (dq == bestDQ && dq > 0 && c < bestC) {
 							bestDQ = dq
 							bestC = c
+							bestKic = h.Get(c)
 						}
 					}
 					if bestDQ <= 0 || bestC == d {
 						continue
 					}
-					moverCh[tid] = append(moverCh[tid], mover{u, bestC}) //gvevet:ignore hotalloc per-class mover buffer whose growth amortizes across color classes
+					moverCh[tid] = append(moverCh[tid], mover{u: u, target: bestC, kic: bestKic, kid: kid}) //gvevet:ignore hotalloc per-class mover buffer whose growth amortizes across color classes
 					moves++
-					local += bestDQ
 				}
-				ws.dq[tid].V += local
 				mc := &ws.mc[tid].V
 				mc.scanned += scanned
 				mc.pruned += pruned
 				mc.moves += moves
 			})
-			// Apply kernel: commit all accepted moves of this class.
+			// Apply kernel: commit this class's moves sequentially,
+			// re-measuring each gain against the live totals. The
+			// decision-time estimates were taken against the frozen
+			// snapshot, so when several accepted movers join (or leave)
+			// the same community each one misses the others' mass and
+			// the estimate sum overstates the realized gain — summing
+			// the estimates used to inflate PassStats.DeltaQ by ~1e-3
+			// per pass and broke the ΔQ telescope. Re-measured in
+			// application order, the gains telescope to exactly
+			// Q_after − Q_before. kic/kid stay valid through the class
+			// (no same-class neighbours), so each re-measure is O(1).
 			for tid := range moverCh {
 				movers := moverCh[tid]
+				for _, m := range movers {
+					d := comm[m.u]
+					ki := ws.k[m.u]
+					si := ws.vsize[m.u]
+					realized += ws.delta(m.kic, m.kid, ki,
+						ws.sigma.Get(int(m.target)), ws.sigma.Get(int(d)), si,
+						ws.csize.Get(int(m.target)), ws.csize.Get(int(d)))
+					ws.sigma.Add(int(d), -ki)
+					ws.sigma.Add(int(m.target), ki)
+					ws.csize.Add(int(d), -si)
+					ws.csize.Add(int(m.target), si)
+					commStore(comm, m.u, m.target)
+				}
+				// Frontier marking is order-insensitive; fan it out.
 				ws.opt.Pool.For(len(movers), threads, 64, func(lo, hi, _ int) {
 					for idx := lo; idx < hi; idx++ {
-						m := movers[idx]
-						d := comm[m.u]
-						ki := ws.k[m.u]
-						si := ws.vsize[m.u]
-						ws.sigma.Add(int(d), -ki)
-						ws.sigma.Add(int(m.target), ki)
-						ws.csize.Add(int(d), -si)
-						ws.csize.Add(int(m.target), si)
-						commStore(comm, m.u, m.target)
-						es, _ := g.Neighbors(m.u)
+						es, _ := g.Neighbors(movers[idx].u)
 						for _, e := range es {
 							ws.flags.Set(int(e), true)
 						}
@@ -122,9 +143,8 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 			}
 		}
 		iters++
-		dq := ws.sumDQ()
-		ws.recordIteration(pass, it, dq, ps, sp)
-		if dq <= tau {
+		ws.recordIteration(pass, it, realized, ps, sp)
+		if realized <= tau {
 			break
 		}
 	}
@@ -160,7 +180,7 @@ func (ws *workspace) refinePhaseColored(g *graph.CSR, col *color.Coloring) int64
 				if !ok || target == c {
 					continue
 				}
-				moverCh[tid] = append(moverCh[tid], mover{u, target}) //gvevet:ignore hotalloc per-class mover buffer whose growth amortizes across color classes
+				moverCh[tid] = append(moverCh[tid], mover{u: u, target: target}) //gvevet:ignore hotalloc per-class mover buffer whose growth amortizes across color classes
 			}
 		})
 		for tid := range moverCh {

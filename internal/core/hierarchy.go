@@ -54,13 +54,21 @@ func (h *Hierarchy) Flatten(depth int) ([]uint32, error) {
 // LeidenHierarchy runs GVE-Leiden and additionally records the full
 // dendrogram: one Level per pass with the renumbered refined
 // communities that became the next level's super-vertices. The final
-// Result is identical to Leiden's.
+// Result is identical to Leiden's (it used to silently ignore
+// Options.FinalRefine; it honours it now). Note that with FinalRefine
+// set, Flatten(Depth()) reproduces the partition *before* the final
+// refinement sweeps — individual vertex moves cannot be expressed as a
+// dendrogram level over super-vertices.
 func LeidenHierarchy(g *graph.CSR, opt Options) (*Result, *Hierarchy) {
 	opt = opt.normalize()
 	ws := newWorkspace(g, opt)
 	ws.hierarchy = &Hierarchy{}
 	start := now()
 	runLeiden(g, ws)
+	if opt.FinalRefine {
+		ws.finalRefine(g)
+		splitConnectedLabels(g, ws.top)
+	}
 	return finishResult(g, ws, time.Since(start)), ws.hierarchy
 }
 

@@ -1,0 +1,44 @@
+package core
+
+import "gveleiden/internal/graph"
+
+// LevelEvent is a snapshot of one aggregating pass, delivered to
+// Options.Inspector right after the super-vertex graph is built and
+// before the next pass starts. It exposes exactly the state an external
+// invariant checker needs: the level's input graph, the move and refined
+// partitions over it, and the aggregated graph the next level will run
+// on.
+//
+// All slices and graphs alias the run's live workspace buffers — in
+// particular Aggregated is a holey CSR inside a ping-pong arena that the
+// pass after next will overwrite. Inspect synchronously and copy
+// anything that must outlive the callback.
+type LevelEvent struct {
+	// Algorithm is "leiden" or "louvain".
+	Algorithm string
+	// Pass is the zero-based pass index.
+	Pass int
+	// Graph is the graph this pass ran on (the input graph at pass 0,
+	// a holey aggregated CSR afterwards).
+	Graph *graph.CSR
+	// Move is the local-moving partition of Graph's vertices (labels are
+	// raw vertex ids). Nil for Louvain, whose only partition per pass is
+	// Refined.
+	Move []uint32
+	// Refined is the partition that became the next level's
+	// super-vertices, renumbered dense in [0, Communities): Leiden's
+	// constrained refinement of Move, Louvain's move partition itself.
+	Refined []uint32
+	// Communities is the number of refined communities (the aggregated
+	// graph's vertex count).
+	Communities int
+	// Aggregated is the super-vertex graph built from Refined (holey CSR,
+	// arena-backed — do not retain).
+	Aggregated *graph.CSR
+}
+
+// LevelInspector receives one LevelEvent per aggregating pass. Exit
+// passes (converged, low shrink, pass budget exhausted) do not
+// aggregate and emit no event. Like Observer, a nil inspector costs one
+// pointer comparison per pass and builds no event values.
+type LevelInspector func(LevelEvent)

@@ -33,7 +33,10 @@ func Leiden(g *graph.CSR, opt Options) *Result {
 	start := now()
 	runLeiden(g, ws)
 	if opt.FinalRefine {
+		// Final refinement moves individual vertices and can disconnect a
+		// community the same way the move phase can; re-split afterwards.
 		ws.finalRefine(g)
+		splitConnectedLabels(g, ws.top)
 	}
 	res := finishResult(g, ws, time.Since(start))
 	run.End()
@@ -113,8 +116,11 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 
 		if li <= 1 && moves == 0 {
 			// Globally converged (Algorithm 1 line 8): the flat result is
-			// the local-moving partition of this pass.
+			// the local-moving partition of this pass — which, like any
+			// move partition, may hold internally-disconnected communities;
+			// split those into their components before recording.
 			t0 = now()
+			splitConnectedLabels(cur, ws.bounds[:n])
 			ws.recordLevel(ws.bounds[:n], false)
 			ws.lookupDendrogram(ws.bounds[:n])
 			ps.Other += time.Since(t0)
@@ -127,7 +133,9 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 		ps.Communities = nComms
 		if float64(nComms)/float64(n) > opt.AggregationTolerance {
 			// Low shrink (line 10): aggregating buys almost nothing;
-			// stop with the move partition, which subsumes the refined one.
+			// stop with the move partition, which subsumes the refined one
+			// (split first — move partitions may be disconnected).
+			splitConnectedLabels(cur, ws.bounds[:n])
 			ws.recordLevel(ws.bounds[:n], false)
 			ws.lookupDendrogram(ws.bounds[:n])
 			ps.Other += time.Since(t0)
@@ -145,6 +153,15 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 		sp.End()
 		ps.AggOccupancy = occ
 		ps.Aggregate = time.Since(t0)
+		if opt.Inspector != nil {
+			// Pass boundary: every phase's pool barriers are behind us, so
+			// the inspector reads a quiescent snapshot.
+			opt.Inspector(LevelEvent{
+				Algorithm: "leiden", Pass: pass, Graph: cur,
+				Move: ws.bounds[:n], Refined: comm,
+				Communities: nComms, Aggregated: next,
+			})
+		}
 
 		t0 = now()
 		if opt.Labels == LabelMove {
@@ -162,9 +179,9 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 	// move-based grouping of the last level (Algorithm 1 line 16 uses
 	// the mapped C').
 	if haveInit {
-		//gvevet:exclusive pass boundary: initC's stores in moveLabels finished behind the pass's pool barriers
-		ws.recordLevel(ws.initC[:cur.NumVertices()], false)
-		ws.lookupDendrogram(ws.initC[:cur.NumVertices()]) //gvevet:exclusive pass boundary: initC's stores in moveLabels finished behind the pass's pool barriers
+		splitConnectedLabels(cur, ws.initC[:cur.NumVertices()]) //gvevet:exclusive pass boundary: initC's stores in moveLabels finished behind the pass's pool barriers
+		ws.recordLevel(ws.initC[:cur.NumVertices()], false)     //gvevet:exclusive pass boundary: initC's stores in moveLabels finished behind the pass's pool barriers
+		ws.lookupDendrogram(ws.initC[:cur.NumVertices()])       //gvevet:exclusive pass boundary: initC's stores in moveLabels finished behind the pass's pool barriers
 	}
 }
 

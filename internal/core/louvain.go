@@ -105,6 +105,14 @@ func runLouvain(g *graph.CSR, ws *workspace) {
 		sp.End()
 		ps.AggOccupancy = occ
 		ps.Aggregate = time.Since(t0)
+		if opt.Inspector != nil {
+			// Louvain has no separate refinement: the renumbered move
+			// partition is what aggregation grouped by.
+			opt.Inspector(LevelEvent{
+				Algorithm: "louvain", Pass: pass, Graph: cur,
+				Refined: comm, Communities: nComms, Aggregated: next,
+			})
+		}
 		cur = next
 		tau /= opt.ToleranceDrop
 		ws.endPass("louvain", pass, &ps, psp)

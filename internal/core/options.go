@@ -9,6 +9,8 @@
 package core
 
 import (
+	"math"
+
 	"gveleiden/internal/observe"
 	"gveleiden/internal/parallel"
 )
@@ -183,6 +185,12 @@ type Options struct {
 	// with Tracer.Write for a Chrome-trace/Perfetto-compatible profile
 	// of the run. nil disables tracing at the same no-op cost.
 	Tracer *observe.Tracer
+	// Inspector, when non-nil, receives a LevelEvent after every
+	// aggregating pass — the hook the invariant-checking oracle
+	// (internal/oracle) attaches to. The event aliases live workspace
+	// memory; see LevelEvent. nil (the default) costs one pointer
+	// comparison per pass.
+	Inspector LevelInspector
 }
 
 // DefaultOptions returns the configuration evaluated in the paper:
@@ -215,16 +223,20 @@ func (o Options) normalize() Options {
 	if o.MaxIterations <= 0 {
 		o.MaxIterations = 20
 	}
-	if o.Tolerance <= 0 {
+	// The comparisons are phrased positively (!(x > 0) rather than
+	// x <= 0) so NaN — for which every comparison is false — falls into
+	// the default branch instead of slipping through and poisoning every
+	// ΔQ downstream; the MaxFloat64 bound likewise rejects +Inf.
+	if !(o.Tolerance > 0 && o.Tolerance < math.MaxFloat64) {
 		o.Tolerance = 0.01
 	}
-	if o.ToleranceDrop < 1 {
+	if !(o.ToleranceDrop >= 1 && o.ToleranceDrop < math.MaxFloat64) {
 		o.ToleranceDrop = 10
 	}
-	if o.AggregationTolerance <= 0 || o.AggregationTolerance > 1 {
+	if !(o.AggregationTolerance > 0 && o.AggregationTolerance <= 1) {
 		o.AggregationTolerance = 0.8
 	}
-	if o.Resolution <= 0 {
+	if !(o.Resolution > 0 && o.Resolution < math.MaxFloat64) {
 		o.Resolution = 1
 	}
 	if o.Grain <= 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -113,5 +114,34 @@ func TestStatsZeroSafe(t *testing.T) {
 	s.Passes = append(s.Passes, PassStats{}) // zero-duration pass
 	if s.FirstPassFraction() != 0 {
 		t.Fatal("zero-duration pass must not divide by zero")
+	}
+}
+
+// TestNormalizeRejectsNonFinite is the regression test for normalize()
+// letting NaN and ±Inf numeric fields through: NaN fails every
+// comparison, so the old `x <= 0` guards kept it, and a NaN tolerance
+// poisoned every ΔQ comparison downstream. The guards are now written
+// in the `!(x > 0)` form so non-finite values fall back to defaults.
+func TestNormalizeRejectsNonFinite(t *testing.T) {
+	def := DefaultOptions().normalize()
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		o := DefaultOptions()
+		o.Tolerance = v
+		o.ToleranceDrop = v
+		o.AggregationTolerance = v
+		o.Resolution = v
+		n := o.normalize()
+		if n.Tolerance != def.Tolerance {
+			t.Errorf("Tolerance %g normalized to %g, want default %g", v, n.Tolerance, def.Tolerance)
+		}
+		if n.ToleranceDrop != def.ToleranceDrop {
+			t.Errorf("ToleranceDrop %g normalized to %g, want default %g", v, n.ToleranceDrop, def.ToleranceDrop)
+		}
+		if n.AggregationTolerance != def.AggregationTolerance {
+			t.Errorf("AggregationTolerance %g normalized to %g, want default %g", v, n.AggregationTolerance, def.AggregationTolerance)
+		}
+		if n.Resolution != def.Resolution {
+			t.Errorf("Resolution %g normalized to %g, want default %g", v, n.Resolution, def.Resolution)
+		}
 	}
 }

@@ -29,8 +29,15 @@ func NewBuilder(n int) *Builder {
 }
 
 // AddEdge records an undirected edge {u, v} with weight w. Self-loops
-// are allowed and kept as single arcs.
+// are allowed and kept as single arcs. Vertex ids must be below
+// MaxVertices: a larger id would wrap the uint32 vertex count (id
+// 2³²−1 used to silently produce a zero-vertex builder and an index
+// panic in placeArcs). The loaders validate ids before calling, so
+// tripping this panic indicates a caller bug, not bad input.
 func (b *Builder) AddEdge(u, v uint32, w float32) {
+	if u >= MaxVertices || v >= MaxVertices {
+		panic(fmt.Sprintf("graph: vertex id %d exceeds MaxVertices-1 (%d)", max32(u, v), uint32(MaxVertices-1)))
+	}
 	if u >= b.n {
 		b.n = u + 1
 	}
@@ -38,6 +45,13 @@ func (b *Builder) AddEdge(u, v uint32, w float32) {
 		b.n = v + 1
 	}
 	b.edges = append(b.edges, Edge{u, v, w})
+}
+
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // AddArc records a directed arc (u, v) with weight w. Build symmetrizes,

@@ -27,8 +27,11 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 		return nil, fmt.Errorf("graph: unsupported MatrixMarket header %q", sc.Text())
 	}
 	pattern := header[3] == "pattern"
-	// Skip comments; first non-comment line is the size line.
+	// Skip comments; first non-comment line is the size line. A file
+	// that ends before declaring its size (header-only input) is
+	// corrupt, not an empty graph.
 	var rows, cols, nnz int
+	haveSize := false
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
@@ -37,20 +40,31 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
 			return nil, fmt.Errorf("graph: bad MatrixMarket size line %q: %w", line, err)
 		}
+		haveSize = true
 		break
+	}
+	if !haveSize {
+		return nil, fmt.Errorf("graph: MatrixMarket input missing size line")
+	}
+	if rows < 0 || cols < 0 || nnz < 0 || rows > MaxVertices || cols > MaxVertices {
+		return nil, fmt.Errorf("graph: implausible MatrixMarket size line: %d %d %d", rows, cols, nnz)
 	}
 	n := rows
 	if cols > n {
 		n = cols
 	}
 	b := NewBuilder(n)
-	for i := 0; i < nnz; i++ {
+	for i := 0; i < nnz; {
 		if !sc.Scan() {
 			return nil, fmt.Errorf("graph: MatrixMarket input truncated at entry %d of %d", i, nnz)
 		}
-		fields := strings.Fields(sc.Text())
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue // blank and comment lines between entries are legal
+		}
+		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: bad MatrixMarket entry %q", sc.Text())
+			return nil, fmt.Errorf("graph: bad MatrixMarket entry %q", line)
 		}
 		u, err := strconv.ParseUint(fields[0], 10, 32)
 		if err != nil {
@@ -60,14 +74,23 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: bad column index %q: %w", fields[1], err)
 		}
+		// Coordinates are 1-based: 0 used to underflow to vertex 2³²−1
+		// and ids beyond the size line silently grew the vertex set.
+		if u < 1 || v < 1 || u > uint64(rows) || v > uint64(cols) {
+			return nil, fmt.Errorf("graph: MatrixMarket entry %d: coordinate (%d,%d) outside declared %d×%d matrix", i, u, v, rows, cols)
+		}
 		w := 1.0
 		if !pattern && len(fields) >= 3 {
 			w, err = strconv.ParseFloat(fields[2], 64)
 			if err != nil {
 				return nil, fmt.Errorf("graph: bad weight %q: %w", fields[2], err)
 			}
+			if err := checkWeight(w); err != nil {
+				return nil, fmt.Errorf("graph: MatrixMarket entry %d: %w", i, err)
+			}
 		}
 		b.AddEdge(uint32(u-1), uint32(v-1), float32(w)) // 1-based → 0-based
+		i++
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -132,10 +155,18 @@ func ReadEdgeList(r io.Reader) (*CSR, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: edge list line %d: %w", lineNo, err)
 		}
+		// Ids must stay below MaxVertices: 2³²−1 used to wrap the
+		// builder's vertex count to zero and panic during placement.
+		if u >= MaxVertices || v >= MaxVertices {
+			return nil, fmt.Errorf("graph: edge list line %d: vertex id %d exceeds %d", lineNo, max64(u, v), uint32(MaxVertices-1))
+		}
 		w := 1.0
 		if len(fields) >= 3 {
 			w, err = strconv.ParseFloat(fields[2], 64)
 			if err != nil {
+				return nil, fmt.Errorf("graph: edge list line %d: %w", lineNo, err)
+			}
+			if err := checkWeight(w); err != nil {
 				return nil, fmt.Errorf("graph: edge list line %d: %w", lineNo, err)
 			}
 		}
@@ -220,7 +251,11 @@ func ReadBinary(r io.Reader) (*CSR, error) {
 	}
 	weights := make([]float32, m)
 	for i, b := range weightBits {
-		weights[i] = math.Float32frombits(b)
+		w := math.Float32frombits(b)
+		if err := checkWeight(float64(w)); err != nil {
+			return nil, fmt.Errorf("graph: binary weight %d: %w", i, err)
+		}
+		weights[i] = w
 	}
 	g := &CSR{Offsets: offsets, Edges: edges, Weights: weights}
 	if err := g.Validate(); err != nil {
@@ -259,6 +294,27 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// checkWeight rejects edge weights that would poison every downstream
+// accumulation: NaN (which defeats even the symmetry validator, since
+// all NaN comparisons are false), ±Inf, and magnitudes that overflow
+// the float32 the CSR stores (float32(1e60) is +Inf).
+func checkWeight(w float64) error {
+	if math.IsNaN(w) {
+		return fmt.Errorf("weight is NaN")
+	}
+	if math.IsInf(w, 0) || math.Abs(w) > math.MaxFloat32 {
+		return fmt.Errorf("weight %g overflows float32 storage", w)
+	}
+	return nil
 }
 
 // LoadFile loads a graph from path, dispatching on extension: .mtx →

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -215,5 +216,95 @@ func TestLoadFileDispatch(t *testing.T) {
 
 	if _, err := LoadFile(filepath.Join(dir, "missing.mtx")); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// The cases below are regression tests for parser bugs surfaced by the
+// oracle fuzz harness (each input used to panic or silently mis-parse).
+
+func TestMatrixMarketHeaderCaseInsensitive(t *testing.T) {
+	in := "%%MATRIXMARKET MATRIX COORDINATE REAL GENERAL\n2 2 1\n1 2 1.5\n"
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("upper-case header rejected: %v", err)
+	}
+	if g.ArcWeight(0, 1) != 1.5 {
+		t.Fatal("entry lost")
+	}
+}
+
+func TestMatrixMarketBlankAndCommentLinesBetweenEntries(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n3 3 2\n\n1 2 1\n% interleaved comment\n\n2 3 2\n"
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("blank/comment lines between entries rejected: %v", err)
+	}
+	if g.NumUndirectedEdges() != 2 || g.ArcWeight(1, 2) != 2 {
+		t.Fatal("entries around blank lines mis-parsed")
+	}
+}
+
+func TestMatrixMarketRejectsBadCoordinates(t *testing.T) {
+	cases := map[string]string{
+		"zero row":         "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n",
+		"zero column":      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 0 1.0\n",
+		"row beyond size":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n",
+		"col beyond size":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 5 1.0\n",
+		"both beyond size": "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n",
+	}
+	for name, in := range cases {
+		if g, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted (n=%d)", name, g.NumVertices())
+		}
+	}
+}
+
+func TestMatrixMarketRejectsBadSizeLine(t *testing.T) {
+	cases := map[string]string{
+		"negative sizes":    "%%MatrixMarket matrix coordinate real general\n-1 -1 -1\n",
+		"missing size line": "%%MatrixMarket matrix coordinate real general\n",
+		"comments only":     "%%MatrixMarket matrix coordinate real general\n% nothing else\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParsersRejectNonFiniteWeights(t *testing.T) {
+	for _, in := range []string{"0 1 NaN\n", "0 1 +Inf\n", "0 1 -Inf\n", "0 1 1e60\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("edge list %q accepted", in)
+		}
+	}
+	for _, w := range []string{"NaN", "Inf", "1e60"} {
+		in := "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 " + w + "\n"
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("MatrixMarket weight %s accepted", w)
+		}
+	}
+}
+
+func TestEdgeListRejectsHugeIDs(t *testing.T) {
+	// 2³²−1 used to wrap Builder's vertex count to zero and panic;
+	// anything ≥ MaxVertices is out of the 32-bit id contract.
+	for _, in := range []string{"4294967295 1\n", "1 4294967295\n", "2147483648 0\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("edge list %q accepted", in)
+		}
+	}
+}
+
+func TestBinaryRejectsNonFiniteWeights(t *testing.T) {
+	var buf bytes.Buffer
+	g := FromAdjacency([][]uint32{{1}, {0}})
+	g.Weights[0] = float32(math.NaN())
+	g.Weights[1] = float32(math.NaN())
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("NaN weights accepted by ReadBinary")
 	}
 }

@@ -1,0 +1,68 @@
+package oracle
+
+import (
+	"gveleiden/internal/baseline"
+	"gveleiden/internal/core"
+	"gveleiden/internal/graph"
+	"gveleiden/internal/quality"
+)
+
+// DiffLeiden runs parallel core.Leiden against the sequential reference
+// baseline.SeqLeiden on the same graph and asserts modularity parity
+// within bound: two implementations of the same algorithm exploring the
+// same objective must land on partitions of comparable quality, in
+// either direction. It returns both modularities for reporting.
+func DiffLeiden(r *Report, g *graph.CSR, opt core.Options, bound float64) (par, seq float64) {
+	res := core.Leiden(g, opt)
+	ref := baseline.SeqLeiden(g, baseline.DefaultOptions())
+	par = quality.Modularity(g, res.Membership)
+	seq = quality.Modularity(g, ref)
+	r.Checks++
+	if par < seq-bound || par > seq+bound {
+		r.addf("differential-leiden", "parallel modularity %g vs sequential %g (gap %g exceeds bound %g)",
+			par, seq, par-seq, bound)
+	}
+	return par, seq
+}
+
+// DiffLouvain is DiffLeiden for core.Louvain vs baseline.SeqLouvain.
+func DiffLouvain(r *Report, g *graph.CSR, opt core.Options, bound float64) (par, seq float64) {
+	res := core.Louvain(g, opt)
+	ref := baseline.SeqLouvain(g, baseline.DefaultOptions())
+	par = quality.Modularity(g, res.Membership)
+	seq = quality.Modularity(g, ref)
+	r.Checks++
+	if par < seq-bound || par > seq+bound {
+		r.addf("differential-louvain", "parallel modularity %g vs sequential %g (gap %g exceeds bound %g)",
+			par, seq, par-seq, bound)
+	}
+	return par, seq
+}
+
+// CheckDeterministicParity verifies deterministic mode's contract: with
+// Options.Deterministic set, the partition is a pure function of the
+// graph and options, so runs with different thread counts must agree
+// exactly — same partition, bit-identical modularity.
+func CheckDeterministicParity(r *Report, g *graph.CSR, opt core.Options, threadCounts []int) {
+	opt.Deterministic = true
+	var first *core.Result
+	firstThreads := 0
+	for _, t := range threadCounts {
+		o := opt
+		o.Threads = t
+		res := core.Leiden(g, o)
+		if first == nil {
+			first, firstThreads = res, t
+			continue
+		}
+		r.Checks++
+		if !quality.SamePartition(first.Membership, res.Membership) {
+			r.addf("deterministic-parity", "threads=%d and threads=%d produce different partitions", firstThreads, t)
+			continue
+		}
+		if first.Modularity != res.Modularity {
+			r.addf("deterministic-parity", "threads=%d modularity %g vs threads=%d %g",
+				firstThreads, first.Modularity, t, res.Modularity)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package oracle
+
+import (
+	"testing"
+
+	"gveleiden/internal/core"
+	"gveleiden/internal/graph"
+)
+
+// TestAggregationWithIsolatedVertices runs the full pipeline — with
+// every level invariant attached — on graphs whose communities collapse
+// to degenerate super-vertices: isolated (degree-zero) vertices become
+// single-vertex communities that reserve zero slots in the holey CSR,
+// and a dominant hub community leaves most slots of its reservation
+// unused. Both shapes must aggregate into well-formed CSRs that
+// conserve total weight.
+func TestAggregationWithIsolatedVertices(t *testing.T) {
+	build := func(edges [][2]uint32, n int) *graph.CSR {
+		b := graph.NewBuilder(n)
+		for _, e := range edges {
+			b.AddEdge(e[0], e[1], 1)
+		}
+		return b.Build()
+	}
+	cases := []struct {
+		name string
+		g    *graph.CSR
+	}{
+		{"triangles-plus-isolated", build([][2]uint32{
+			{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5},
+		}, 10)}, // vertices 6-9 isolated
+		{"star-plus-isolated", build([][2]uint32{
+			{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}, {0, 7},
+		}, 12)}, // vertices 8-11 isolated
+		{"single-edge-many-isolated", build([][2]uint32{{0, 1}}, 50)},
+		{"all-isolated", build(nil, 8)},
+		{"self-loop-only", build([][2]uint32{{0, 0}, {1, 1}}, 4)},
+	}
+	for _, tc := range cases {
+		for _, det := range []bool{false, true} {
+			for _, leiden := range []bool{true, false} {
+				lc := &LevelChecks{R: &Report{}, Threads: 2}
+				opt := core.DefaultOptions()
+				opt.Threads = 2
+				opt.Deterministic = det
+				opt = lc.Attach(opt)
+				var res *core.Result
+				if leiden {
+					res = core.Leiden(tc.g, opt)
+				} else {
+					res = core.Louvain(tc.g, opt)
+				}
+				CheckRun(lc.R, tc.g, res, leiden, 2)
+				if err := lc.R.Err(); err != nil {
+					t.Errorf("%s det=%v leiden=%v: %v", tc.name, det, leiden, err)
+				}
+			}
+		}
+	}
+}

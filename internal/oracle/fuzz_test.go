@@ -1,0 +1,44 @@
+package oracle
+
+import (
+	"testing"
+
+	"gveleiden/internal/core"
+	"gveleiden/internal/graph"
+)
+
+// FuzzLeidenInvariants drives the full Leiden pipeline on arbitrary
+// byte-derived graphs with every level and run invariant attached: any
+// input whose run violates partition validity, refinement containment,
+// connectivity, CSR well-formedness or weight conservation crashes the
+// fuzzer. Vertex ids are folded into [0, 64) so the graphs stay tiny
+// and the fuzzer explores structure, not allocation size.
+func FuzzLeidenInvariants(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 0}, false)
+	f.Add([]byte{0, 1, 1, 2, 2, 0, 3, 4, 4, 5, 5, 3}, true)
+	f.Add([]byte{7, 7, 1, 2}, false) // self-loop plus an edge
+	f.Add([]byte{}, true)
+	f.Fuzz(func(t *testing.T, data []byte, det bool) {
+		b := graph.NewBuilder(0)
+		for i := 0; i+1 < len(data); i += 2 {
+			u := uint32(data[i]) % 64
+			v := uint32(data[i+1]) % 64
+			b.AddEdge(u, v, float32(1+i%3))
+		}
+		g := b.Build()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("builder produced invalid CSR: %v", err)
+		}
+
+		lc := &LevelChecks{R: &Report{}, Threads: 2}
+		opt := core.DefaultOptions()
+		opt.Threads = 2
+		opt.Deterministic = det
+		opt = lc.Attach(opt)
+		res := core.Leiden(g, opt)
+		CheckRun(lc.R, g, res, true, 2)
+		if err := lc.R.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package oracle
+
+import (
+	"math"
+
+	"gveleiden/internal/core"
+	"gveleiden/internal/graph"
+	"gveleiden/internal/quality"
+)
+
+// CheckPartition verifies that membership is a valid community
+// assignment for g: one label per vertex, every label in [0, n). With
+// dense set, labels must additionally cover [0, k) contiguously for
+// some k — the contract of every renumbered partition the algorithms
+// emit.
+func CheckPartition(r *Report, g *graph.CSR, membership []uint32, dense bool) {
+	r.Checks++
+	if err := quality.ValidatePartition(g, membership); err != nil {
+		r.addf("partition-validity", "%v", err)
+		return
+	}
+	if !dense || len(membership) == 0 {
+		return
+	}
+	max := uint32(0)
+	for _, c := range membership {
+		if c > max {
+			max = c
+		}
+	}
+	seen := make([]bool, max+1)
+	for _, c := range membership {
+		seen[c] = true
+	}
+	for c, ok := range seen {
+		if !ok {
+			r.addf("partition-validity", "labels not dense: %d unused but %d present", c, max)
+			return
+		}
+	}
+}
+
+// CheckRefinement verifies Algorithm 3's containment invariant: every
+// community of fine lies entirely inside one community of coarse.
+func CheckRefinement(r *Report, fine, coarse []uint32) {
+	r.Checks++
+	if len(fine) != len(coarse) {
+		r.addf("refinement-containment", "partition lengths differ: %d vs %d", len(fine), len(coarse))
+		return
+	}
+	if !quality.IsRefinementOf(fine, coarse) {
+		r.addf("refinement-containment", "a refined community spans multiple community bounds")
+	}
+}
+
+// CheckConnected verifies that no community of membership is internally
+// disconnected in g — the paper's headline guarantee for Leiden (it
+// deliberately does NOT hold for Louvain, the Figure 6d contrast).
+func CheckConnected(r *Report, g *graph.CSR, membership []uint32, threads int) {
+	r.Checks++
+	ds := quality.CountDisconnectedOn(nil, g, membership, threads)
+	if ds.Disconnected > 0 {
+		r.addf("connectivity", "%d of %d communities internally disconnected", ds.Disconnected, ds.Communities)
+	}
+}
+
+// CheckCSR verifies structural well-formedness of a (possibly holey)
+// CSR: monotone offsets, holey counts within their slots, in-range arc
+// targets, finite weights, and — after compaction — a symmetric
+// weighted arc multiset.
+func CheckCSR(r *Report, g *graph.CSR) {
+	r.Checks++
+	if err := g.Validate(); err != nil {
+		r.addf("csr-wellformed", "%v", err)
+		return
+	}
+	c := g.Compact()
+	if c != g {
+		// Validate checks symmetry only on compact graphs; a holey CSR
+		// gets it checked here via its compacted copy.
+		if err := c.Validate(); err != nil {
+			r.addf("csr-wellformed", "compacted: %v", err)
+			return
+		}
+	}
+	for i, w := range c.Weights {
+		if math.IsNaN(float64(w)) || math.IsInf(float64(w), 0) {
+			r.addf("csr-wellformed", "non-finite weight %g at arc %d", w, i)
+			return
+		}
+	}
+}
+
+// CheckWeightConservation verifies that aggregation preserved the total
+// edge weight: before and after must agree to within a relative
+// tolerance (float32 arc storage rounds each aggregated weight once; on
+// integer-weight graphs conservation is exact).
+func CheckWeightConservation(r *Report, before, after *graph.CSR, context string) {
+	r.Checks++
+	wb, wa := before.TotalWeight(), after.TotalWeight()
+	scale := math.Abs(wb)
+	if scale < 1 {
+		scale = 1
+	}
+	if math.Abs(wb-wa) > 1e-6*scale {
+		r.addf("weight-conservation", "%s: total weight %g before vs %g after aggregation", context, wb, wa)
+	}
+}
+
+// CheckDeltaQ verifies the ΔQ accounting of a finished run: starting
+// from the singleton partition, the per-pass local-moving gains
+// reported in res.Stats must telescope to the final quality,
+//
+//	Q_final = Q_singleton + Σ_pass ΔQ_pass,
+//
+// because each pass warm-starts from the previous pass's move partition
+// (refinement's internal gains cancel when the next pass regroups by
+// move labels). The check is asymmetric: the final quality may exceed
+// the prediction by the unreported gain of splitting disconnected
+// communities (a rare, strictly-positive correction), but reported
+// gains that the final quality cannot cash — the classic double-counted
+// parallel ΔQ bug — fail at tol; gross under-reporting fails at a loose
+// 0.05.
+//
+// Valid for Louvain and for Leiden with move-based labels (the
+// default); refine-based labels restart passes from singletons, which
+// breaks the telescope by design.
+func CheckDeltaQ(r *Report, g *graph.CSR, opt core.Options, res *core.Result, tol float64) {
+	r.Checks++
+	n := g.NumVertices()
+	singleton := make([]uint32, n)
+	for i := range singleton {
+		singleton[i] = uint32(i)
+	}
+	gamma := opt.Resolution
+	if !(gamma > 0) {
+		gamma = 1
+	}
+	var q0 float64
+	if opt.Objective == core.ObjectiveCPM {
+		q0 = quality.CPM(g, singleton, gamma)
+	} else {
+		q0 = quality.ModularityResolution(g, singleton, gamma)
+	}
+	var gain float64
+	for _, ps := range res.Stats.Passes {
+		gain += ps.DeltaQ
+	}
+	predicted := q0 + gain
+	if res.Quality < predicted-tol {
+		r.addf("delta-q-accounting", "reported gains overstate quality: singleton %g + ΣΔQ %g = %g, but final quality is %g (deficit %g)",
+			q0, gain, predicted, res.Quality, predicted-res.Quality)
+	} else if res.Quality > predicted+tol+0.05 {
+		r.addf("delta-q-accounting", "reported gains understate quality: singleton %g + ΣΔQ %g = %g, but final quality is %g",
+			q0, gain, predicted, res.Quality)
+	}
+}

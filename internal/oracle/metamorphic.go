@@ -1,0 +1,101 @@
+package oracle
+
+import (
+	"math"
+
+	"gveleiden/internal/graph"
+	"gveleiden/internal/prng"
+	"gveleiden/internal/quality"
+)
+
+// relabelTol absorbs the float64 rounding reordering introduces: on
+// integer-weight graphs every per-community sum is exact, and only the
+// final per-community reduction order differs.
+const relabelTol = 1e-9
+
+// RandomPermutation returns a seeded Fisher-Yates permutation of
+// [0, n).
+func RandomPermutation(n int, seed uint64) []uint32 {
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	rng := prng.NewXorshift32(seed)
+	for i := n - 1; i > 0; i-- {
+		j := rng.Uintn(uint32(i + 1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// CheckRelabelInvariance verifies the metamorphic relation that quality
+// scores are invariant under vertex relabeling: renaming vertex i to
+// perm[i] in both the graph and the membership must not change
+// modularity or CPM (the scores depend only on the partition structure,
+// never on vertex names).
+func CheckRelabelInvariance(r *Report, g *graph.CSR, membership []uint32, seed uint64) {
+	n := g.NumVertices()
+	perm := RandomPermutation(n, seed)
+	rg, err := graph.Relabel(g, perm)
+	r.Checks++
+	if err != nil {
+		r.addf("relabel-invariance", "relabel failed: %v", err)
+		return
+	}
+	rm := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		rm[perm[i]] = membership[i]
+	}
+	q, rq := quality.Modularity(g, membership), quality.Modularity(rg, rm)
+	if math.Abs(q-rq) > relabelTol {
+		r.addf("relabel-invariance", "modularity %g changed to %g under relabeling (seed %d)", q, rq, seed)
+	}
+	r.Checks++
+	h, rh := quality.CPM(g, membership, 1), quality.CPM(rg, rm, 1)
+	if math.Abs(h-rh) > relabelTol {
+		r.addf("relabel-invariance", "CPM %g changed to %g under relabeling (seed %d)", h, rh, seed)
+	}
+}
+
+// CheckEdgeOrderInvariance verifies that the builder is insensitive to
+// edge insertion order: feeding the same undirected edges in a permuted
+// order must produce the identical CSR (sorted adjacency, merged
+// duplicates) and therefore identical quality scores.
+func CheckEdgeOrderInvariance(r *Report, edges []graph.Edge, seed uint64) {
+	b1 := graph.NewBuilder(0)
+	for _, e := range edges {
+		b1.AddEdge(e.U, e.V, e.W)
+	}
+	g1 := b1.Build()
+
+	perm := RandomPermutation(len(edges), seed)
+	b2 := graph.NewBuilder(0)
+	for _, i := range perm {
+		e := edges[i]
+		b2.AddEdge(e.U, e.V, e.W)
+	}
+	g2 := b2.Build()
+
+	r.Checks++
+	if g1.NumVertices() != g2.NumVertices() || len(g1.Edges) != len(g2.Edges) {
+		r.addf("edge-order-invariance", "shapes differ: %d/%d vertices, %d/%d arcs",
+			g1.NumVertices(), g2.NumVertices(), len(g1.Edges), len(g2.Edges))
+		return
+	}
+	for i := range g1.Offsets {
+		if g1.Offsets[i] != g2.Offsets[i] {
+			r.addf("edge-order-invariance", "offsets differ at vertex %d", i)
+			return
+		}
+	}
+	for i := range g1.Edges {
+		if g1.Edges[i] != g2.Edges[i] {
+			r.addf("edge-order-invariance", "arc targets differ at slot %d", i)
+			return
+		}
+		if math.Abs(float64(g1.Weights[i])-float64(g2.Weights[i])) > 1e-6 {
+			r.addf("edge-order-invariance", "arc weights differ at slot %d: %g vs %g", i, g1.Weights[i], g2.Weights[i])
+			return
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package oracle
+
+import (
+	"testing"
+
+	"gveleiden/internal/core"
+	"gveleiden/internal/gen"
+	"gveleiden/internal/graph"
+	"gveleiden/internal/prng"
+)
+
+func TestRelabelInvarianceOnLeidenPartition(t *testing.T) {
+	g, _ := gen.SocialNetwork(1500, 10, 16, 0.25, 5)
+	opt := core.DefaultOptions()
+	opt.Deterministic = true
+	res := core.Leiden(g, opt)
+	var r Report
+	for seed := uint64(1); seed <= 3; seed++ {
+		CheckRelabelInvariance(&r, g, res.Membership, seed)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("quality not invariant under relabeling: %v", err)
+	}
+}
+
+func TestEdgeOrderInvariance(t *testing.T) {
+	rng := prng.NewXorshift32(99)
+	var edges []graph.Edge
+	for i := 0; i < 4000; i++ {
+		u, v := rng.Uintn(500), rng.Uintn(500)
+		edges = append(edges, graph.Edge{U: u, V: v, W: 1 + float32(i%5)})
+	}
+	var r Report
+	for seed := uint64(1); seed <= 3; seed++ {
+		CheckEdgeOrderInvariance(&r, edges, seed)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("builder sensitive to edge order: %v", err)
+	}
+}
+
+func TestRandomPermutationIsPermutation(t *testing.T) {
+	perm := RandomPermutation(1000, 42)
+	seen := make([]bool, 1000)
+	for _, p := range perm {
+		if seen[p] {
+			t.Fatalf("duplicate index %d", p)
+		}
+		seen[p] = true
+	}
+}

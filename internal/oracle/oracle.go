@@ -1,0 +1,95 @@
+// Package oracle is the repo's correctness net: reusable invariant
+// checkers, a differential oracle against the sequential baselines, and
+// metamorphic checks — callable from any test, from go test -fuzz
+// targets, or from the gveleiden CLI's -check flag.
+//
+// The paper's central quality claim is that Leiden's refinement phase
+// guarantees well-connected, well-separated communities; the parallel
+// literature (Staudt & Meyerhenke; Lu & Halappanavar) validates such
+// heuristics by cross-checking against sequential references and
+// structural invariants. This package does exactly that, continuously:
+//
+//   - partition validity (every vertex labeled, labels dense),
+//   - refinement containment (Algorithm 3: every refined community
+//     inside one move community),
+//   - connectivity (no internally-disconnected community after Leiden,
+//     per level and on the final flat partition),
+//   - CSR well-formedness after every aggregation pass (monotone
+//     offsets, in-range targets, symmetric finite weights),
+//   - total-weight conservation across hierarchy levels,
+//   - ΔQ accounting (the reported per-pass gains telescope to the final
+//     quality from the singleton partition),
+//   - parallel-vs-sequential quality parity and deterministic-mode
+//     exact parity,
+//   - quality-score invariance under vertex relabeling and edge-order
+//     permutation.
+//
+// See DESIGN.md §2e for the invariant catalog and the bugs this harness
+// surfaced.
+package oracle
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Violation is one failed invariant check.
+type Violation struct {
+	// Invariant is the short invariant name ("partition-validity",
+	// "connectivity", "weight-conservation", ...).
+	Invariant string
+	// Detail describes the violation with enough context to reproduce.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Report accumulates invariant evaluations and their violations. The
+// zero value is ready to use. A Report is not safe for concurrent use;
+// level inspectors run synchronously inside the algorithm's driver
+// goroutine, so one report per run needs no locking.
+type Report struct {
+	// Checks counts invariant evaluations (passed or failed).
+	Checks int
+	// Violations holds one entry per failed evaluation.
+	Violations []Violation
+}
+
+// addf records a violation.
+func (r *Report) addf(invariant, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{invariant, fmt.Sprintf(format, args...)})
+}
+
+// Ok reports whether every evaluated check passed.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// Err returns nil when every check passed, otherwise an error naming
+// every violation.
+func (r *Report) Err() error {
+	if r.Ok() {
+		return nil
+	}
+	return fmt.Errorf("oracle: %d of %d checks failed:\n%s", len(r.Violations), r.Checks, r.String())
+}
+
+// Scoped runs f and prefixes every violation it adds to r with context
+// — so a violation inside a 200-run sweep names the graph and
+// configuration that produced it.
+func Scoped(r *Report, context string, f func()) {
+	before := len(r.Violations)
+	f()
+	for i := before; i < len(r.Violations); i++ {
+		r.Violations[i].Detail = context + ": " + r.Violations[i].Detail
+	}
+}
+
+// String renders the violations one per line (empty when ok).
+func (r *Report) String() string {
+	var sb strings.Builder
+	for _, v := range r.Violations {
+		sb.WriteString("  ")
+		sb.WriteString(v.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,117 @@
+package oracle
+
+import (
+	"fmt"
+
+	"gveleiden/internal/core"
+	"gveleiden/internal/gen"
+	"gveleiden/internal/graph"
+)
+
+// Case is one seeded generated graph of the acceptance corpus.
+type Case struct {
+	Name  string
+	Graph *graph.CSR
+}
+
+// SuiteGraphs returns the seeded corpus every invariant must hold on:
+// one graph per generator class plus extra social-network seeds
+// (the class where the disconnected-community regression was found —
+// social seed 3 reproduced it).
+func SuiteGraphs() []Case {
+	var cases []Case
+	add := func(name string, g *graph.CSR) { cases = append(cases, Case{name, g}) }
+	for seed := uint64(1); seed <= 3; seed++ {
+		g, _ := gen.SocialNetwork(2500, 10, 32, 0.3, seed)
+		add(fmt.Sprintf("social-%d", seed), g)
+	}
+	w, _ := gen.WebGraph(2500, 12, 1)
+	add("web-1", w)
+	rd, _ := gen.RoadNetwork(2500, 1)
+	add("road-1", rd)
+	add("er-1", gen.ErdosRenyi(2000, 8000, 1))
+	add("ba-1", gen.BarabasiAlbert(2000, 4, 1))
+	s3, _ := gen.SocialNetwork(4000, 10, 32, 0.3, 3)
+	add("social-repro", s3) // the exact disconnected-community reproducer
+	return cases
+}
+
+// Config is one algorithm configuration of the acceptance matrix.
+type Config struct {
+	Name    string
+	Leiden  bool
+	Options core.Options
+}
+
+// Configs returns the acceptance matrix: Leiden and Louvain across the
+// light/medium/heavy variants, deterministic mode on and off.
+func Configs(threads int) []Config {
+	var out []Config
+	for _, algo := range []string{"leiden", "louvain"} {
+		for _, v := range []core.Variant{core.VariantLight, core.VariantMedium, core.VariantHeavy} {
+			for _, det := range []bool{false, true} {
+				opt := core.DefaultOptions()
+				opt.Variant = v
+				opt.Deterministic = det
+				opt.Threads = threads
+				out = append(out, Config{
+					Name:    fmt.Sprintf("%s/%v/det=%v", algo, v, det),
+					Leiden:  algo == "leiden",
+					Options: opt,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RunCase drives the full acceptance matrix on one graph with the
+// level inspector attached, then the whole-run, ΔQ-accounting,
+// differential, deterministic-parity and metamorphic checks.
+func RunCase(r *Report, g *graph.CSR, name string, threads int) {
+	for _, cfg := range Configs(threads) {
+		cfg := cfg
+		Scoped(r, name+" "+cfg.Name, func() {
+			lc := &LevelChecks{R: r, Threads: threads}
+			opt := lc.Attach(cfg.Options)
+			var res *core.Result
+			if cfg.Leiden {
+				res = core.Leiden(g, opt)
+			} else {
+				res = core.Louvain(g, opt)
+			}
+			CheckRun(r, g, res, cfg.Leiden, threads)
+			// ΔQ telescope: tight for deterministic/sequential runs,
+			// looser for asynchronous ones whose decision-time estimates
+			// may lag the applied state by a collision or two.
+			tol := 1e-3
+			if cfg.Options.Deterministic || threads == 1 {
+				tol = 1e-9
+			}
+			CheckDeltaQ(r, g, cfg.Options, res, tol)
+		})
+	}
+	Scoped(r, name, func() {
+		opt := core.DefaultOptions()
+		opt.Threads = threads
+		DiffLeiden(r, g, opt, 0.05)
+		DiffLouvain(r, g, opt, 0.05)
+		CheckDeterministicParity(r, g, core.DefaultOptions(), []int{1, threads})
+
+		det := core.DefaultOptions()
+		det.Deterministic = true
+		det.Threads = threads
+		res := core.Leiden(g, det)
+		CheckRelabelInvariance(r, g, res.Membership, 42)
+	})
+}
+
+// RunSuite runs RunCase over the whole seeded corpus and returns the
+// report (also usable incrementally via the r parameter of RunCase).
+func RunSuite(threads int) *Report {
+	r := &Report{}
+	for _, c := range SuiteGraphs() {
+		RunCase(r, c.Graph, c.Name, threads)
+	}
+	return r
+}

@@ -1,0 +1,34 @@
+package oracle
+
+import (
+	"testing"
+
+	"gveleiden/internal/gen"
+)
+
+// TestAcceptanceSuite is the PR's acceptance gate: every invariant must
+// hold for Leiden and Louvain across the light/medium/heavy variants
+// with deterministic mode on and off, on every seeded corpus graph —
+// including social-repro, the graph/seed pair that originally produced
+// internally-disconnected final communities.
+func TestAcceptanceSuite(t *testing.T) {
+	if testing.Short() {
+		// Trimmed corpus: one ordinary graph plus the regression
+		// reproducer still covers every config of the matrix.
+		r := &Report{}
+		g, _ := gen.SocialNetwork(2500, 10, 32, 0.3, 1)
+		RunCase(r, g, "social-1", 4)
+		repro, _ := gen.SocialNetwork(4000, 10, 32, 0.3, 3)
+		RunCase(r, repro, "social-repro", 4)
+		t.Logf("oracle: %d checks, %d violations", r.Checks, len(r.Violations))
+		if err := r.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	r := RunSuite(4)
+	t.Logf("oracle: %d checks, %d violations", r.Checks, len(r.Violations))
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -268,3 +268,46 @@ func TestCountDisconnectedManyCommunities(t *testing.T) {
 		t.Fatalf("all %d communities must be disconnected, got %d", ds.Communities, ds.Disconnected)
 	}
 }
+
+// Isolated (degree-zero) vertices are legal inputs: they contribute
+// nothing to any weight sum but must still be counted, validated and
+// connectivity-checked without dividing by zero or panicking.
+func TestMetricsOnIsolatedVertices(t *testing.T) {
+	// Two triangles plus three isolated vertices (6, 7, 8).
+	b := graph.NewBuilder(9)
+	for _, e := range [][2]uint32{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}} {
+		b.AddEdge(e[0], e[1], 1)
+	}
+	g := b.Build()
+	m := []uint32{0, 0, 0, 1, 1, 1, 2, 3, 4}
+	if err := ValidatePartition(g, m); err != nil {
+		t.Fatalf("partition with isolated singletons rejected: %v", err)
+	}
+	q := Modularity(g, m)
+	// Isolated singletons have Σ_c = 0, so they change nothing: the
+	// two-triangle partition alone scores 2·(6/12 − (6/12)²) = 0.5.
+	if math.Abs(q-0.5) > 1e-12 {
+		t.Fatalf("modularity with isolated vertices = %g, want 0.5", q)
+	}
+	h := CPM(g, m, 1)
+	if math.IsNaN(h) || math.IsInf(h, 0) {
+		t.Fatalf("CPM with isolated vertices = %g", h)
+	}
+	ds := CountDisconnected(g, m, 2)
+	if ds.Disconnected != 0 || ds.Communities != 5 {
+		t.Fatalf("disconnected stats = %+v, want 0 of 5", ds)
+	}
+
+	// A fully edgeless graph: every metric must stay finite.
+	empty := graph.NewBuilder(4).Build()
+	em := []uint32{0, 1, 2, 3}
+	if q := Modularity(empty, em); q != 0 {
+		t.Fatalf("modularity of edgeless graph = %g, want 0", q)
+	}
+	if h := CPM(empty, em, 1); math.IsNaN(h) || math.IsInf(h, 0) {
+		t.Fatalf("CPM of edgeless graph = %g", h)
+	}
+	if ds := CountDisconnected(empty, em, 1); ds.Disconnected != 0 {
+		t.Fatalf("edgeless graph reported disconnected communities: %+v", ds)
+	}
+}
