@@ -1,35 +1,52 @@
 // Command benchjson emits the machine-readable benchmark artifact
-// committed with a PR: pool-vs-spawn runtime microbenchmarks plus an
-// end-to-end Leiden timing per dataset class.
+// committed with a PR: pool-vs-spawn runtime microbenchmarks, an
+// end-to-end Leiden timing per dataset class, and (with -scaling) the
+// million-vertex strong-scaling sweep over the streamed graph classes
+// plus the move-phase kernel ablation.
 //
 //	benchjson -o BENCH_PR2.json -scale 0.15 -repeat 3
+//	benchjson -pr PR6 -o BENCH_PR6.json -scaling -scalen 1000000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
+	"strings"
 
 	"gveleiden/internal/bench"
 )
 
 func main() {
 	var (
-		out     = flag.String("o", "BENCH_PR2.json", "output path")
-		scale   = flag.Float64("scale", 0.15, "dataset size multiplier")
-		repeat  = flag.Int("repeat", 3, "e2e repeats (best-of)")
+		out     = flag.String("o", "BENCH_PR6.json", "output path")
+		pr      = flag.String("pr", "PR6", "PR tag recorded in the report")
+		scale   = flag.Float64("scale", 0.15, "dataset size multiplier for the e2e corpus")
+		repeat  = flag.Int("repeat", 3, "repeats (best-of)")
 		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
-		note    = flag.String("note", "observability layer: phase splits and pool scheduler counters per e2e run", "free-form note")
+		scaling = flag.Bool("scaling", false, "run the streamed-class strong-scaling sweep and kernel ablation")
+		scaleN  = flag.Int("scalen", 1_000_000, "vertices per streamed class in the -scaling sweep")
+		maxThr  = flag.Int("maxthreads", 0, "strong-scaling sweep bound (0 = NumCPU)")
+		classes = flag.String("classes", "", "comma-separated streamed classes for -scaling (empty = all)")
+		note    = flag.String("note", "streamed million-vertex generation, move-phase hot-path kernels, strong-scaling sweep", "free-form note")
 	)
 	flag.Parse()
 
-	report := bench.BenchReport{
-		PR:         "PR2",
-		Note:       *note,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Micro:      bench.RuntimeMicro([]int{2, 4, 8}),
-		E2E:        bench.E2EBench(*scale, *repeat, *threads),
+	report := bench.NewBenchReport(*pr, *note)
+	report.Micro = bench.RuntimeMicro([]int{2, 4, 8})
+	report.E2E = bench.E2EBench(*scale, *repeat, *threads)
+	if *scaling {
+		var want []string
+		if *classes != "" {
+			for _, c := range strings.Split(*classes, ",") {
+				want = append(want, strings.TrimSpace(c))
+			}
+		}
+		report.Scaling = bench.StrongScaling(*scaleN, 6, *maxThr, *repeat, want)
+		// Ablation at a tenth of the sweep size: the kernel effects are
+		// per-vertex and show at any scale, and four configs per class at
+		// full size would dominate the harness time.
+		report.Ablation = bench.MoveAblation(*scaleN/10, 6, *threads, *repeat, want)
 	}
 	if err := report.WriteJSON(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -44,6 +61,19 @@ func main() {
 			e.Dataset, e.Threads, e.BestMs, e.Modularity, e.Communities,
 			e.Split.Move*100, e.Split.Refine*100, e.Split.Aggregate*100, e.Split.Other*100,
 			e.Pool.Steals)
+	}
+	for _, c := range report.Scaling {
+		fmt.Printf("scale %-8s |V|=%d |E|=%d  gen %.0f ms  reorder %.0f ms\n",
+			c.Class, c.Vertices, c.Arcs, c.GenMs, c.ReorderMs)
+		for _, p := range c.Points {
+			fmt.Printf("      t=%d  %8.1f ms  %.2fx  Q=%.4f  move=%.0f%%  prune-hit=%.2f  flat=%d  steals=%d\n",
+				p.Threads, p.BestMs, p.Speedup, p.Modularity,
+				p.Split.Move*100, p.PruningHitRate, p.FlatScans, p.Pool.Steals)
+		}
+	}
+	for _, a := range report.Ablation {
+		fmt.Printf("abl   %-8s %-12s t=%d  %8.1f ms  rel=%.2f  Q=%.4f  prune-hit=%.2f  flat=%d\n",
+			a.Class, a.Config, a.Threads, a.BestMs, a.RelTime, a.Modularity, a.PruningHitRate, a.FlatScans)
 	}
 	fmt.Println("wrote", *out)
 }

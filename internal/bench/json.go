@@ -51,13 +51,30 @@ type E2ERecord struct {
 }
 
 // BenchReport is the machine-readable benchmark artifact committed with
-// a PR (e.g. BENCH_PR1.json).
+// a PR (e.g. BENCH_PR1.json). The environment block makes the file
+// self-describing: every record already carries its thread count and
+// graph size, and the report carries the machine it ran on.
 type BenchReport struct {
-	PR         string        `json:"pr"`
-	Note       string        `json:"note"`
-	GoMaxProcs int           `json:"gomaxprocs"`
-	Micro      []MicroRecord `json:"micro"`
-	E2E        []E2ERecord   `json:"e2e"`
+	PR         string           `json:"pr"`
+	Note       string           `json:"note"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu,omitempty"`
+	GoVersion  string           `json:"go_version,omitempty"`
+	Micro      []MicroRecord    `json:"micro,omitempty"`
+	E2E        []E2ERecord      `json:"e2e,omitempty"`
+	Scaling    []ScalingCurve   `json:"scaling,omitempty"`
+	Ablation   []AblationRecord `json:"ablation,omitempty"`
+}
+
+// NewBenchReport stamps a report with the runtime environment.
+func NewBenchReport(pr, note string) BenchReport {
+	return BenchReport{
+		PR:         pr,
+		Note:       note,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
 }
 
 // WriteJSON writes the report as indented JSON.

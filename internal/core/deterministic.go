@@ -3,6 +3,7 @@ package core
 import (
 	"gveleiden/internal/color"
 	"gveleiden/internal/graph"
+	"gveleiden/internal/hashtable"
 )
 
 // Deterministic mode (Options.Deterministic) trades a little speed for
@@ -47,7 +48,7 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 	} else {
 		ws.flags.SetAll(ws.opt.Pool, true, threads)
 	}
-	moverCh := make([][]mover, threads)
+	moverCh := ws.movers // grown-once per-thread buffers, reused across passes
 	iters := 0
 	for it := 0; it < ws.opt.MaxIterations; it++ {
 		ws.zeroMC()
@@ -60,7 +61,8 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 			// only after the barrier below).
 			ws.opt.Pool.For(len(class), threads, grain/4+1, func(lo, hi, tid int) {
 				h := ws.tables[tid]
-				var scanned, pruned, moves int64
+				f := &ws.flats[tid]
+				var scanned, pruned, flat, moves int64
 				for idx := lo; idx < hi; idx++ {
 					u := class[idx]
 					if !ws.opt.DisablePruning {
@@ -72,25 +74,56 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 					}
 					scanned++
 					d := comm[u]
-					h.Clear()
-					scanCommunities(h, g, comm, u, false)
 					ki := ws.k[u]
 					si := ws.vsize[u]
-					kid := h.Get(d)
-					sd := ws.sigma.Get(int(d))
-					nd := ws.csize.Get(int(d))
+					var kid, sd, nd float64
 					bestC := d
 					bestDQ := 0.0
 					bestKic := 0.0
-					for _, c := range h.Keys() {
-						if c == d {
-							continue
+					if !ws.opt.DisableFlatScan && g.Degree(u) <= hashtable.FlatCap {
+						// Flat-array fast path; see moveVertexFlat. Identical
+						// choice as the hashtable path (order-independent
+						// tie-break), so determinism is unaffected.
+						flat++
+						f.Reset()
+						es, wts := g.Neighbors(u)
+						for k, e := range es {
+							if e == u {
+								continue
+							}
+							f.Add(comm[e], float64(wts[k]))
 						}
-						dq := ws.delta(h.Get(c), kid, ki, ws.sigma.Get(int(c)), sd, si, ws.csize.Get(int(c)), nd)
-						if dq > bestDQ || (dq == bestDQ && dq > 0 && c < bestC) {
-							bestDQ = dq
-							bestC = c
-							bestKic = h.Get(c)
+						kid = f.Get(d)
+						sd = ws.sigma.Get(int(d))
+						nd = ws.csize.Get(int(d))
+						for i := 0; i < f.Len(); i++ {
+							c := f.Key(i)
+							if c == d {
+								continue
+							}
+							dq := ws.delta(f.Val(i), kid, ki, ws.sigma.Get(int(c)), sd, si, ws.csize.Get(int(c)), nd)
+							if dq > bestDQ || (dq == bestDQ && dq > 0 && c < bestC) {
+								bestDQ = dq
+								bestC = c
+								bestKic = f.Val(i)
+							}
+						}
+					} else {
+						h.Clear()
+						scanCommunities(h, g, comm, u, false)
+						kid = h.Get(d)
+						sd = ws.sigma.Get(int(d))
+						nd = ws.csize.Get(int(d))
+						for _, c := range h.Keys() {
+							if c == d {
+								continue
+							}
+							dq := ws.delta(h.Get(c), kid, ki, ws.sigma.Get(int(c)), sd, si, ws.csize.Get(int(c)), nd)
+							if dq > bestDQ || (dq == bestDQ && dq > 0 && c < bestC) {
+								bestDQ = dq
+								bestC = c
+								bestKic = h.Get(c)
+							}
 						}
 					}
 					if bestDQ <= 0 || bestC == d {
@@ -102,6 +135,7 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 				mc := &ws.mc[tid].V
 				mc.scanned += scanned
 				mc.pruned += pruned
+				mc.flat += flat
 				mc.moves += moves
 			})
 			// Apply kernel: commit this class's moves sequentially,
@@ -116,8 +150,7 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 			// Q_after − Q_before. kic/kid stay valid through the class
 			// (no same-class neighbours), so each re-measure is O(1).
 			for tid := range moverCh {
-				movers := moverCh[tid]
-				for _, m := range movers {
+				for _, m := range moverCh[tid] {
 					d := comm[m.u]
 					ki := ws.k[m.u]
 					si := ws.vsize[m.u]
@@ -130,12 +163,27 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 					ws.csize.Add(int(m.target), si)
 					commStore(comm, m.u, m.target)
 				}
-				// Frontier marking is order-insensitive; fan it out.
+			}
+			// Frontier marking is order-insensitive; fan it out after ALL
+			// of the class's commits. Selective like applyMove: a
+			// neighbour already in the mover's destination got more
+			// attached, not less, so only neighbours elsewhere are
+			// re-flagged. Running the selective check against the fully
+			// committed class (not per thread bucket) keeps the flag
+			// pattern a pure function of the class's decision set — bucket
+			// assignment varies with scheduling, the committed state does
+			// not — preserving deterministic mode's thread-count
+			// invariance.
+			for tid := range moverCh {
+				movers := moverCh[tid]
 				ws.opt.Pool.For(len(movers), threads, 64, func(lo, hi, _ int) {
 					for idx := lo; idx < hi; idx++ {
+						target := movers[idx].target
 						es, _ := g.Neighbors(movers[idx].u)
 						for _, e := range es {
-							ws.flags.Set(int(e), true)
+							if commLoad(comm, e) != target {
+								ws.flags.Set(int(e), true)
+							}
 						}
 					}
 				})
@@ -162,7 +210,7 @@ func (ws *workspace) refinePhaseColored(g *graph.CSR, col *color.Coloring) int64
 	comm := ws.comm[:n]
 	bounds := ws.bounds[:n]
 	ws.zeroMoved()
-	moverCh := make([][]mover, threads)
+	moverCh := ws.movers // grown-once per-thread buffers, shared with the move phase (phases never overlap)
 	for cls := 0; cls < col.NumColors; cls++ {
 		class := col.Class(cls)
 		ws.opt.Pool.For(len(class), threads, 64, func(lo, hi, tid int) {

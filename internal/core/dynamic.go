@@ -95,7 +95,7 @@ func LeidenDynamic(g *graph.CSR, prev []uint32, delta Delta, mode DynamicMode, o
 	runLeiden(g, ws)
 	if opt.FinalRefine {
 		ws.finalRefine(g)
-		splitConnectedLabels(g, ws.top)
+		ws.splitConnected(g, ws.top)
 	}
 	return finishResult(g, ws, time.Since(start))
 }

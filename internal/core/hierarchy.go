@@ -67,7 +67,7 @@ func LeidenHierarchy(g *graph.CSR, opt Options) (*Result, *Hierarchy) {
 	runLeiden(g, ws)
 	if opt.FinalRefine {
 		ws.finalRefine(g)
-		splitConnectedLabels(g, ws.top)
+		ws.splitConnected(g, ws.top)
 	}
 	return finishResult(g, ws, time.Since(start)), ws.hierarchy
 }

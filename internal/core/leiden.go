@@ -36,7 +36,7 @@ func Leiden(g *graph.CSR, opt Options) *Result {
 		// Final refinement moves individual vertices and can disconnect a
 		// community the same way the move phase can; re-split afterwards.
 		ws.finalRefine(g)
-		splitConnectedLabels(g, ws.top)
+		ws.splitConnected(g, ws.top)
 	}
 	res := finishResult(g, ws, time.Since(start))
 	run.End()
@@ -120,7 +120,7 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 			// move partition, may hold internally-disconnected communities;
 			// split those into their components before recording.
 			t0 = now()
-			splitConnectedLabels(cur, ws.bounds[:n])
+			ws.splitConnected(cur, ws.bounds[:n])
 			ws.recordLevel(ws.bounds[:n], false)
 			ws.lookupDendrogram(ws.bounds[:n])
 			ps.Other += time.Since(t0)
@@ -135,7 +135,7 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 			// Low shrink (line 10): aggregating buys almost nothing;
 			// stop with the move partition, which subsumes the refined one
 			// (split first — move partitions may be disconnected).
-			splitConnectedLabels(cur, ws.bounds[:n])
+			ws.splitConnected(cur, ws.bounds[:n])
 			ws.recordLevel(ws.bounds[:n], false)
 			ws.lookupDendrogram(ws.bounds[:n])
 			ps.Other += time.Since(t0)
@@ -179,9 +179,9 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 	// move-based grouping of the last level (Algorithm 1 line 16 uses
 	// the mapped C').
 	if haveInit {
-		splitConnectedLabels(cur, ws.initC[:cur.NumVertices()]) //gvevet:exclusive pass boundary: initC's stores in moveLabels finished behind the pass's pool barriers
-		ws.recordLevel(ws.initC[:cur.NumVertices()], false)     //gvevet:exclusive pass boundary: initC's stores in moveLabels finished behind the pass's pool barriers
-		ws.lookupDendrogram(ws.initC[:cur.NumVertices()])       //gvevet:exclusive pass boundary: initC's stores in moveLabels finished behind the pass's pool barriers
+		ws.splitConnected(cur, ws.initC[:cur.NumVertices()]) //gvevet:exclusive pass boundary: initC's stores in moveLabels finished behind the pass's pool barriers
+		ws.recordLevel(ws.initC[:cur.NumVertices()], false)  //gvevet:exclusive pass boundary: initC's stores in moveLabels finished behind the pass's pool barriers
+		ws.lookupDendrogram(ws.initC[:cur.NumVertices()])    //gvevet:exclusive pass boundary: initC's stores in moveLabels finished behind the pass's pool barriers
 	}
 }
 

@@ -37,8 +37,9 @@ func (ws *workspace) movePhase(g *graph.CSR, tau float64, pass int, ps *PassStat
 		sp := ws.opt.Tracer.Begin("move.iter", 0)
 		ws.opt.Pool.For(n, threads, grain, func(lo, hi, tid int) {
 			h := ws.tables[tid]
+			f := &ws.flats[tid]
 			var local float64
-			var scanned, pruned, moves int64
+			var scanned, pruned, flat, moves int64
 			for i := lo; i < hi; i++ {
 				u := uint32(i)
 				if !ws.opt.DisablePruning {
@@ -49,7 +50,13 @@ func (ws *workspace) movePhase(g *graph.CSR, tau float64, pass int, ps *PassStat
 					ws.flags.Set(i, false) // prune: mark processed
 				}
 				scanned++
-				dq := ws.moveVertex(g, h, comm, u)
+				var dq float64
+				if !ws.opt.DisableFlatScan && g.Degree(u) <= hashtable.FlatCap {
+					dq = ws.moveVertexFlat(g, f, comm, u)
+					flat++
+				} else {
+					dq = ws.moveVertex(g, h, comm, u)
+				}
 				if dq > 0 {
 					moves++
 				}
@@ -59,6 +66,7 @@ func (ws *workspace) movePhase(g *graph.CSR, tau float64, pass int, ps *PassStat
 			mc := &ws.mc[tid].V
 			mc.scanned += scanned
 			mc.pruned += pruned
+			mc.flat += flat
 			mc.moves += moves
 		})
 		iters++
@@ -78,12 +86,13 @@ func (ws *workspace) recordIteration(pass, it int, dq float64, ps *PassStats, sp
 	c := ws.sumMC()
 	ps.Scanned += c.scanned
 	ps.Pruned += c.pruned
+	ps.FlatScans += c.flat
 	ps.Moves += c.moves
 	ps.IterMoves = append(ps.IterMoves, c.moves)
 	ps.DeltaQ += dq
 	if ws.opt.Tracer != nil { // don't build the args map when not tracing
 		sp.EndArgs(map[string]any{
-			"scanned": c.scanned, "pruned": c.pruned, "moves": c.moves, "dq": dq,
+			"scanned": c.scanned, "pruned": c.pruned, "flat": c.flat, "moves": c.moves, "dq": dq,
 		})
 	}
 	if o := ws.opt.Observer; o != nil {
@@ -92,6 +101,7 @@ func (ws *workspace) recordIteration(pass, it int, dq float64, ps *PassStats, sp
 			Iteration: it,
 			Scanned:   c.scanned,
 			Pruned:    c.pruned,
+			FlatScans: c.flat,
 			Moves:     c.moves,
 			DeltaQ:    dq,
 		})
@@ -126,17 +136,74 @@ func (ws *workspace) moveVertex(g *graph.CSR, h *hashtable.Accumulator, comm []u
 	if bestDQ <= 0 || bestC == d {
 		return 0
 	}
+	ws.applyMove(g, comm, u, d, bestC, ki, si)
+	return bestDQ
+}
+
+// moveVertexFlat is moveVertex for low-degree vertices (degree ≤
+// hashtable.FlatCap): the community-weight accumulation runs in a
+// fixed-size flat array searched linearly instead of the dense stamped
+// hashtable. A vertex of degree d touches at most d distinct
+// communities, so the gate guarantees the array never overflows; and
+// the best-community tie-break is order-independent (strictly greater
+// gain, or equal gain and lower community id, wins), so the flat path
+// picks exactly the community moveVertex would.
+func (ws *workspace) moveVertexFlat(g *graph.CSR, f *hashtable.Flat, comm []uint32, u uint32) float64 {
+	d := commLoad(comm, u)
+	f.Reset()
+	es, wts := g.Neighbors(u)
+	for k, e := range es {
+		if e == u {
+			continue
+		}
+		f.Add(commLoad(comm, e), float64(wts[k]))
+	}
+	ki := ws.k[u]
+	si := ws.vsize[u]
+	kid := f.Get(d)
+	sd := ws.sigma.Get(int(d))
+	nd := ws.csize.Get(int(d))
+	bestC := d
+	bestDQ := 0.0
+	for i := 0; i < f.Len(); i++ {
+		c := f.Key(i)
+		if c == d {
+			continue
+		}
+		dq := ws.delta(f.Val(i), kid, ki, ws.sigma.Get(int(c)), sd, si, ws.csize.Get(int(c)), nd)
+		if dq > bestDQ || (dq == bestDQ && dq > 0 && c < bestC) {
+			bestDQ = dq
+			bestC = c
+		}
+	}
+	if bestDQ <= 0 || bestC == d {
+		return 0
+	}
+	ws.applyMove(g, comm, u, d, bestC, ki, si)
+	return bestDQ
+}
+
+// applyMove commits the move of u from community d to bestC: updates
+// the community totals atomically, publishes the new membership, and
+// re-flags the neighbours whose best community could have changed.
+// Marking is selective (Sahu's tighter pruning): a neighbour already in
+// the destination community only got more attached to it by u's
+// arrival, so its currently-best move cannot have flipped — only
+// neighbours elsewhere need re-examination. The membership reads are
+// racy snapshots, which is fine for a pruning heuristic: a stale read
+// at worst re-flags a vertex that rescans and stays put.
+func (ws *workspace) applyMove(g *graph.CSR, comm []uint32, u, d, bestC uint32, ki, si float64) {
 	ws.sigma.Add(int(d), -ki) // Σ'[C'[i]] -= K'[i]
 	ws.sigma.Add(int(bestC), ki)
 	ws.csize.Add(int(d), -si)
 	ws.csize.Add(int(bestC), si)
 	commStore(comm, u, bestC)
-	// Mark neighbours as unprocessed: their best community may change.
 	es, _ := g.Neighbors(u)
 	for _, e := range es {
-		ws.flags.Set(int(e), true)
+		if commLoad(comm, e) != bestC {
+			ws.flags.Set(int(e), true)
+		}
 	}
-	return bestDQ
 }
 
 // scanCommunities accumulates, into h, the total edge weight between

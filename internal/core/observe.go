@@ -27,6 +27,7 @@ func (ws *workspace) endPass(alg string, pass int, ps *PassStats, sp observe.Spa
 			MoveIterations: ps.MoveIterations,
 			Scanned:        ps.Scanned,
 			Pruned:         ps.Pruned,
+			FlatScans:      ps.FlatScans,
 			Moves:          ps.Moves,
 			DeltaQ:         ps.DeltaQ,
 			RefineMoves:    ps.RefineMoves,
@@ -59,7 +60,9 @@ func (s Stats) AddMetrics(ms *observe.MetricSet) {
 	ms.Counter("gveleiden_move_iterations_total", "local-moving iterations across passes", float64(s.TotalIterations()))
 	ms.Counter("gveleiden_vertices_scanned_total", "vertices examined by local moving", float64(s.TotalScanned()))
 	ms.Counter("gveleiden_vertices_pruned_total", "vertices skipped by flag-based pruning", float64(s.TotalPruned()))
+	ms.Counter("gveleiden_flat_scans_total", "scanned vertices served by the flat-array scan", float64(s.TotalFlatScans()))
 	ms.Counter("gveleiden_moves_total", "local moves applied", float64(s.TotalMoves()))
+	ms.Gauge("gveleiden_pruning_hit_rate", "fraction of examinations skipped by flag-based pruning", s.PruningHitRate())
 	ms.Gauge("gveleiden_first_pass_fraction", "share of runtime in the first pass", s.FirstPassFraction())
 
 	mv, rf, ag, ot := s.PhaseSplit()

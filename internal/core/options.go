@@ -145,6 +145,11 @@ type Options struct {
 	// iteration of the local-moving phase rescans every vertex. Exists
 	// for the ablation study of the pruning optimization.
 	DisablePruning bool
+	// DisableFlatScan turns off the flat-array community-weight scan
+	// that low-degree vertices (degree ≤ hashtable.FlatCap) use instead
+	// of the per-thread hashtable during local moving. Exists for the
+	// ablation study of the flat-scan optimization.
+	DisableFlatScan bool
 	// FinalRefine runs multilevel refinement (related work [7,20,25]):
 	// after the passes, extra local-moving sweeps over the original
 	// graph let individual vertices switch between the final

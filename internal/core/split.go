@@ -29,35 +29,62 @@ func splitConnectedLabels(g *graph.CSR, labels []uint32) int {
 	if n == 0 {
 		return 0
 	}
+	return splitConnectedInto(g, labels, make([]uint32, n), make([]uint32, n), make([]uint32, n))
+}
+
+// splitConnectedInto is splitConnectedLabels running in caller-provided
+// buffers (each of length n, contents ignored), so the workspace can
+// serve the splits from its grown-once arena (ws.splitConnected) while
+// the standalone wrapper above keeps the allocate-fresh contract for
+// tests and one-off callers. The core drivers always pass vertex-id
+// labels (< n), which the provided seen buffer covers; arbitrary larger
+// labels (possible through the standalone wrapper) fall back to a
+// label-sized flag array.
+func splitConnectedInto(g *graph.CSR, labels, out, seen, queue []uint32) int {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	var maxLabel uint32
+	for _, l := range labels {
+		if l > maxLabel {
+			maxLabel = l
+		}
+	}
+	if int(maxLabel) >= len(seen) {
+		seen = make([]uint32, maxLabel+1)
+	}
 	const unseen = ^uint32(0)
-	out := make([]uint32, n)
 	for i := range out {
 		out[i] = unseen
 	}
-	seen := make(map[uint32]bool, 256) // label → some component already kept it
-	queue := make([]uint32, 0, 1024)
+	for i := range seen {
+		seen[i] = 0 // label → some component already kept it
+	}
 	splits := 0
 	for s := 0; s < n; s++ {
 		if out[s] != unseen {
 			continue
 		}
 		l := labels[s]
-		if seen[l] {
+		if seen[l] != 0 {
 			splits++
 		} else {
-			seen[l] = true
+			seen[l] = 1
 		}
 		root := uint32(s)
 		out[s] = root
-		queue = append(queue[:0], root)
-		for len(queue) > 0 {
-			u := queue[len(queue)-1]
-			queue = queue[:len(queue)-1]
+		queue[0] = root
+		top := 1
+		for top > 0 {
+			top--
+			u := queue[top]
 			es, _ := g.Neighbors(u)
 			for _, e := range es {
 				if out[e] == unseen && labels[e] == l {
 					out[e] = root
-					queue = append(queue, e)
+					queue[top] = e
+					top++
 				}
 			}
 		}

@@ -17,6 +17,7 @@ type PassStats struct {
 	MoveIterations int     // l_i of Algorithm 2
 	Scanned        int64   // vertices examined by the local-moving phase
 	Pruned         int64   // vertices skipped by flag-based pruning
+	FlatScans      int64   // scanned vertices served by the flat-array scan (degree ≤ hashtable.FlatCap)
 	Moves          int64   // local moves applied across all iterations
 	IterMoves      []int64 // moves applied per local-moving iteration
 	DeltaQ         float64 // total ΔQ gained by the local-moving phase
@@ -114,20 +115,41 @@ func (s Stats) TotalMoves() int64 {
 	return n
 }
 
+// TotalFlatScans sums the flat-array scan counter across passes.
+func (s Stats) TotalFlatScans() int64 {
+	var n int64
+	for _, p := range s.Passes {
+		n += p.FlatScans
+	}
+	return n
+}
+
+// PruningHitRate returns the fraction of vertex examinations the
+// flag-based pruning skipped: pruned / (scanned + pruned). 0 when the
+// local-moving phase did no work (or pruning was disabled, in which
+// case pruned stays 0).
+func (s Stats) PruningHitRate() float64 {
+	sc, pr := s.TotalScanned(), s.TotalPruned()
+	if sc+pr == 0 {
+		return 0
+	}
+	return float64(pr) / float64(sc+pr)
+}
+
 // String renders the run as a human-readable per-pass table followed by
 // the phase-split summary — the output behind the CLI's -v flag.
 func (s Stats) String() string {
 	var b strings.Builder
 	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintln(w, "pass\t|V'|\tarcs\titers\tscanned\tpruned\tmoves\trefine\t|Γ|\tagg-occ\tt_move\tt_refine\tt_agg\tt_other\tt_pass\t")
+	fmt.Fprintln(w, "pass\t|V'|\tarcs\titers\tscanned\tpruned\tflat\tmoves\trefine\t|Γ|\tagg-occ\tt_move\tt_refine\tt_agg\tt_other\tt_pass\t")
 	for i, p := range s.Passes {
 		occ := "-"
 		if p.AggOccupancy > 0 {
 			occ = fmt.Sprintf("%.2f", p.AggOccupancy)
 		}
-		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t\n",
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t\n",
 			i, p.Vertices, p.Arcs, p.MoveIterations, p.Scanned, p.Pruned,
-			p.Moves, p.RefineMoves, p.Communities, occ,
+			p.FlatScans, p.Moves, p.RefineMoves, p.Communities, occ,
 			round(p.Move), round(p.Refine), round(p.Aggregate), round(p.Other),
 			round(p.Duration()))
 	}

@@ -41,6 +41,7 @@ type workspace struct {
 	n0      int     // input vertex count
 	m       float64 // half the total edge weight (constant across passes)
 	tables  []*hashtable.Accumulator
+	flats   []hashtable.Flat // per-thread flat scan accumulators (low-degree fast path)
 	rngs    []*prng.Xorshift32
 	top     []uint32 // C: top-level membership over input vertices
 	k       []float64
@@ -60,8 +61,15 @@ type workspace struct {
 	mc      []mcSlot                   // per-thread local-moving work counters
 	agg     []parallel.Padded[int64]   // per-thread aggregation arc counters
 	arenas  [2]arena
-	cur     int   // arena index holding the *next* write target
-	stats   Stats // per-pass statistics collected by the driver
+	sizeAgg *parallel.Float64s // grown-once size-rollup arena (aggregateSizes)
+	movers  [][]mover          // per-thread decision buffers (deterministic kernels)
+	// Split scratch: grown-once buffers for the connectivity splits that
+	// close out a run (component labels, label-kept flags, BFS stack).
+	splitOut   []uint32
+	splitSeen  []uint32
+	splitQueue []uint32
+	cur        int   // arena index holding the *next* write target
+	stats      Stats // per-pass statistics collected by the driver
 
 	// Dynamic (warm-start) state, consumed by pass 0 only.
 	warm     []uint32 // previous membership as representative labels; nil = cold start
@@ -79,6 +87,7 @@ func newWorkspace(g *graph.CSR, opt Options) *workspace {
 		opt:     opt,
 		n0:      n,
 		tables:  hashtable.PerThread(n, t),
+		flats:   make([]hashtable.Flat, t),
 		rngs:    prng.Streams(opt.Seed, t),
 		top:     make([]uint32, n),
 		k:       make([]float64, n),
@@ -97,6 +106,8 @@ func newWorkspace(g *graph.CSR, opt Options) *workspace {
 		moved:   make([]parallel.Padded[int64], t),
 		mc:      make([]mcSlot, t),
 		agg:     make([]parallel.Padded[int64], t),
+		sizeAgg: parallel.NewFloat64s(n),
+		movers:  make([][]mover, t),
 	}
 	ws.arenas[0] = newArena(n, arcs)
 	ws.arenas[1] = newArena(n, arcs)
@@ -166,13 +177,16 @@ func (ws *workspace) delta(kic, kid, ki, sc, sd, si, nc, nd float64) float64 {
 
 // aggregateSizes rolls the per-vertex sizes up into the next level's
 // super-vertices (vsize'[c] = Σ_{i∈c} vsize[i]) and swaps the buffers.
+// The atomic accumulation runs in ws.sizeAgg, a grown-once arena sized
+// for the pass-0 graph, so levels reuse one allocation instead of
+// allocating a fresh Float64s per pass (GC pressure that compounds at
+// millions of vertices).
 func (ws *workspace) aggregateSizes(n, nComms int) {
 	comm := ws.comm[:n]
 	next := ws.vsizeNx[:nComms]
-	for i := range next {
-		next[i] = 0
-	}
-	agg := parallel.NewFloat64s(nComms)
+	agg := ws.sizeAgg
+	agg.Resize(nComms)
+	agg.Zero(ws.opt.Pool, ws.opt.Threads)
 	ws.opt.Pool.For(n, ws.opt.Threads, ws.opt.Grain, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			agg.Add(int(comm[i]), ws.vsize[i])
@@ -182,6 +196,25 @@ func (ws *workspace) aggregateSizes(n, nComms int) {
 		next[i] = agg.Get(i)
 	}
 	copy(ws.vsize[:nComms], next)
+}
+
+// splitScratch returns the run's grown-once split buffers sized for n
+// vertices, allocating them on first use (terminal connectivity splits
+// only — most runs hit this exactly once).
+func (ws *workspace) splitScratch(n int) (out, seen, queue []uint32) {
+	if cap(ws.splitOut) < n {
+		ws.splitOut = make([]uint32, n)
+		ws.splitSeen = make([]uint32, n)
+		ws.splitQueue = make([]uint32, n)
+	}
+	return ws.splitOut[:n], ws.splitSeen[:n], ws.splitQueue[:n]
+}
+
+// splitConnected is splitConnectedLabels running in the workspace's
+// split arena instead of fresh per-call buffers.
+func (ws *workspace) splitConnected(g *graph.CSR, labels []uint32) int {
+	out, seen, queue := ws.splitScratch(g.NumVertices())
+	return splitConnectedInto(g, labels, out, seen, queue)
 }
 
 // renumber densifies the labels of comm (values < n) in place and
@@ -284,19 +317,20 @@ func (ws *workspace) zeroMoved() {
 type iterCounters struct {
 	scanned int64 // vertices examined (pruning survivors)
 	pruned  int64 // vertices skipped by flag-based pruning
+	flat    int64 // scanned vertices served by the flat-array scan
 	moves   int64 // moves applied
 }
 
 // mcSlot is one thread's iterCounters cell, padded to exactly one cache
-// line. iterCounters is 24 bytes, which parallel.Padded would round to
-// 80 — straddling lines so neighbouring threads' slots collide — hence
+// line. iterCounters is 32 bytes, which parallel.Padded would round to
+// 88 — straddling lines so neighbouring threads' slots collide — hence
 // this purpose-built concrete slot (the pattern padsize prescribes for
 // element types wider than 8 bytes).
 //
 //gvevet:padded
 type mcSlot struct {
 	V iterCounters
-	_ [40]byte
+	_ [32]byte
 }
 
 func (ws *workspace) zeroMC() {
@@ -310,6 +344,7 @@ func (ws *workspace) sumMC() iterCounters {
 	for i := range ws.mc {
 		s.scanned += ws.mc[i].V.scanned
 		s.pruned += ws.mc[i].V.pruned
+		s.flat += ws.mc[i].V.flat
 		s.moves += ws.mc[i].V.moves
 	}
 	return s

@@ -1,0 +1,269 @@
+package gen
+
+import (
+	"gveleiden/internal/graph"
+	"gveleiden/internal/parallel"
+)
+
+// Streamed generators: the multi-million-vertex path. The classic
+// generators in classes.go deduplicate through an edgeSet map and hand
+// the builder an O(E) edge list — at 1M+ vertices those two structures
+// dominate peak memory (a 16-byte Edge plus ~50 bytes of map overhead
+// per edge, versus 8 bytes per arc in the final CSR). The Stream*
+// variants below emit edges through a replayable callback straight into
+// graph.BuildStream, which counts degrees on the first replay and
+// places arcs on the second, so nothing edge-sized exists besides the
+// CSR itself.
+//
+// Dropping the dedup map means a rare colliding pair merges into one
+// edge of weight 2 instead of being redrawn; for the synthetic
+// benchmark classes that is a statistically negligible perturbation
+// (documented per generator below), and the CSR stays simple,
+// symmetric, and deterministic. Every stream re-seeds its RNG on each
+// invocation, so replays are exact.
+
+// StreamedER returns a replayable stream of an Erdős–Rényi-style graph
+// with n vertices and ~n·avgDeg/2 uniform random edges. Draws that land
+// on a self-pair are skipped (not redrawn), and colliding pairs merge
+// to weight 2, so the realized average degree is marginally below
+// avgDeg.
+func StreamedER(n int, avgDeg float64, seed uint64) graph.EdgeStream {
+	m := int(float64(n) * avgDeg / 2)
+	return func(emit func(u, v uint32, w float32)) {
+		r := newRNG(seed)
+		for i := 0; i < m; i++ {
+			u := r.uint32n(uint32(n))
+			v := r.uint32n(uint32(n))
+			if u != v {
+				emit(u, v, 1)
+			}
+		}
+	}
+}
+
+// StreamedSocial returns a stream mimicking the SNAP social graphs at
+// scale (see SocialNetwork): k communities with heavy-tailed sizes laid
+// out as contiguous vertex blocks, each edge endpoint drawn inside the
+// source's block with probability 1-mixing and globally otherwise.
+func StreamedSocial(n int, avgDeg float64, communities int, mixing float64, seed uint64) (graph.EdgeStream, Membership) {
+	if communities < 1 {
+		communities = 1
+	}
+	sizes := powerLawSizes(newRNG(seed), n, communities, max(1, n/(4*communities)), n, 1.6)
+	start := make([]uint32, len(sizes)+1)
+	member := make(Membership, n)
+	base := uint32(0)
+	for c, s := range sizes {
+		start[c] = base
+		for v := base; v < base+uint32(s); v++ {
+			member[v] = uint32(c)
+		}
+		base += uint32(s)
+	}
+	start[len(sizes)] = base
+	m := int(float64(n) * avgDeg / 2)
+	stream := func(emit func(u, v uint32, w float32)) {
+		r := newRNG(seed + 1)
+		for i := 0; i < m; i++ {
+			u := r.uint32n(uint32(n))
+			var v uint32
+			if r.float64() < mixing {
+				v = r.uint32n(uint32(n))
+			} else {
+				c := member[u]
+				v = start[c] + r.uint32n(start[c+1]-start[c])
+			}
+			if u != v {
+				emit(u, v, 1)
+			}
+		}
+	}
+	return stream, member
+}
+
+// StreamedWeb returns a stream mimicking the LAW web crawls at scale
+// (see WebGraph): power-law community blocks, preferential wiring
+// towards low-id hubs inside each block, and a ~5% inter-community
+// layer. Repeated draws of the same (v, hub) pair merge into a heavier
+// edge, which only strengthens the hub structure the class exists to
+// model.
+func StreamedWeb(n int, avgDeg float64, seed uint64) (graph.EdgeStream, Membership) {
+	k := n / 600
+	if k < 4 {
+		k = 4
+	}
+	sizes := powerLawSizes(newRNG(seed), n, k, 40, n/2, 1.8)
+	member := make(Membership, n)
+	base := 0
+	for c, s := range sizes {
+		for v := base; v < base+s; v++ {
+			member[v] = uint32(c)
+		}
+		base += s
+	}
+	intra := int(avgDeg*0.95) / 2
+	if intra < 1 {
+		intra = 1
+	}
+	inter := int(float64(n) * avgDeg / 2 * 0.05)
+	stream := func(emit func(u, v uint32, w float32)) {
+		r := newRNG(seed + 1)
+		base := 0
+		for _, s := range sizes {
+			for v := base + 1; v < base+s; v++ {
+				links := intra
+				if links > v-base {
+					links = v - base
+				}
+				for e := 0; e < links; e++ {
+					f := r.float64()
+					u := base + int(f*f*float64(v-base))
+					if u != v {
+						emit(uint32(v), uint32(u), 1)
+					}
+				}
+			}
+			base += s
+		}
+		// Thin inter-community layer: fixed draw count (not fixed edge
+		// count) so replays are exact; same-community draws are skipped.
+		for i := 0; i < 2*inter; i++ {
+			u := r.uint32n(uint32(n))
+			v := r.uint32n(uint32(n))
+			if member[u] != member[v] {
+				emit(u, v, 1)
+			}
+		}
+	}
+	return stream, member
+}
+
+// StreamedRoad returns a stream mimicking the DIMACS10 road graphs at
+// scale (see RoadNetwork): a √n×√n lattice of horizontal polyline
+// chains, ~5% vertical connectors, and one guaranteed connector per row
+// pair. A guaranteed connector colliding with a sampled one merges to
+// weight 2 (at most one cell per row pair). Returns the stream, the
+// actual vertex count (rows·cols ≥ n), and the row-band membership.
+func StreamedRoad(n int, seed uint64) (graph.EdgeStream, int, Membership) {
+	cols := isqrt(n)
+	if cols < 2 {
+		cols = 2
+	}
+	rows := (n + cols - 1) / cols
+	total := rows * cols
+	id := func(rr, cc int) uint32 { return uint32(rr*cols + cc) }
+	stream := func(emit func(u, v uint32, w float32)) {
+		r := newRNG(seed)
+		for rr := 0; rr < rows; rr++ {
+			for cc := 0; cc+1 < cols; cc++ {
+				emit(id(rr, cc), id(rr, cc+1), 1)
+			}
+		}
+		for rr := 0; rr+1 < rows; rr++ {
+			for cc := 0; cc < cols; cc++ {
+				if r.float64() < 0.05 {
+					emit(id(rr, cc), id(rr+1, cc), 1)
+				}
+			}
+		}
+		for rr := 0; rr+1 < rows; rr++ {
+			cc := int(r.uint32n(uint32(cols)))
+			emit(id(rr, cc), id(rr+1, cc), 1)
+		}
+	}
+	member := make(Membership, total)
+	band := rows/64 + 1
+	for rr := 0; rr < rows; rr++ {
+		for cc := 0; cc < cols; cc++ {
+			member[id(rr, cc)] = uint32(rr / band)
+		}
+	}
+	return stream, total, member
+}
+
+// StreamedKmer returns a stream mimicking the GenBank k-mer graphs at
+// scale (see KmerGraph): 64-vertex chains spliced into earlier chains
+// at heads and occasional mid-chain branch points.
+func StreamedKmer(n int, seed uint64) (graph.EdgeStream, Membership) {
+	chainLen := 64
+	member := make(Membership, n)
+	chains := 0
+	for base := 0; base < n; base += chainLen {
+		end := base + chainLen
+		if end > n {
+			end = n
+		}
+		for v := base; v < end; v++ {
+			member[v] = uint32(chains)
+		}
+		chains++
+	}
+	stream := func(emit func(u, v uint32, w float32)) {
+		r := newRNG(seed)
+		for base := 0; base < n; base += chainLen {
+			end := base + chainLen
+			if end > n {
+				end = n
+			}
+			for v := base; v+1 < end; v++ {
+				emit(uint32(v), uint32(v+1), 1)
+			}
+			if base > 0 {
+				emit(uint32(base), r.uint32n(uint32(base)), 1)
+			}
+			if r.float64() < 0.5 && base > 0 {
+				mid := base + int(r.uint32n(uint32(end-base)))
+				emit(uint32(mid), r.uint32n(uint32(base)), 1)
+			}
+		}
+	}
+	return stream, member
+}
+
+// StreamedClass is one scalable benchmark graph class: a named factory
+// producing a replayable edge stream, the exact vertex count (which may
+// round n up, e.g. the road lattice), and the planted membership.
+type StreamedClass struct {
+	Name string
+	Make func(n int, seed uint64) (stream graph.EdgeStream, vertices int, member Membership)
+}
+
+// StreamedClasses returns the four paper graph classes (Table 2) in
+// their streamed multi-million-vertex form, with per-class default
+// densities matching the classic generators' benchmark settings.
+func StreamedClasses() []StreamedClass {
+	return []StreamedClass{
+		{Name: "social", Make: func(n int, seed uint64) (graph.EdgeStream, int, Membership) {
+			k := n / 8000
+			if k < 16 {
+				k = 16
+			}
+			s, m := StreamedSocial(n, 16, k, 0.3, seed)
+			return s, n, m
+		}},
+		{Name: "web", Make: func(n int, seed uint64) (graph.EdgeStream, int, Membership) {
+			s, m := StreamedWeb(n, 12, seed)
+			return s, n, m
+		}},
+		{Name: "road", Make: func(n int, seed uint64) (graph.EdgeStream, int, Membership) {
+			s, total, m := StreamedRoad(n, seed)
+			return s, total, m
+		}},
+		{Name: "kmer", Make: func(n int, seed uint64) (graph.EdgeStream, int, Membership) {
+			s, m := StreamedKmer(n, seed)
+			return s, n, m
+		}},
+	}
+}
+
+// BuildStreamedClass generates the named class at ~n vertices directly
+// into a CSR on the given pool. Unknown names return (nil, nil).
+func BuildStreamedClass(name string, n int, seed uint64, p *parallel.Pool, threads int) (*graph.CSR, Membership) {
+	for _, c := range StreamedClasses() {
+		if c.Name == name {
+			stream, total, member := c.Make(n, seed)
+			return graph.BuildStreamWith(p, threads, total, stream), member
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,93 @@
+package gen
+
+import (
+	"runtime"
+	"testing"
+
+	"gveleiden/internal/graph"
+)
+
+// TestStreamedClassesValid builds every streamed class at small scale
+// and checks CSR validity, replay determinism (two builds from the same
+// factory are identical), and membership coverage.
+func TestStreamedClassesValid(t *testing.T) {
+	for _, c := range StreamedClasses() {
+		stream, total, member := c.Make(3000, 42)
+		g := graph.BuildStream(total, stream)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: invalid CSR: %v", c.Name, err)
+		}
+		if g.NumVertices() != total || len(member) != total {
+			t.Fatalf("%s: vertex count %d, reported %d, membership %d",
+				c.Name, g.NumVertices(), total, len(member))
+		}
+		if g.NumArcs() == 0 {
+			t.Fatalf("%s: no edges generated", c.Name)
+		}
+		g2 := graph.BuildStreamWith(nil, 4, total, stream)
+		if g2.NumArcs() != g.NumArcs() || g2.TotalWeight() != g.TotalWeight() {
+			t.Fatalf("%s: replay mismatch: %d/%g arcs vs %d/%g",
+				c.Name, g.NumArcs(), g.TotalWeight(), g2.NumArcs(), g2.TotalWeight())
+		}
+	}
+}
+
+// TestStreamedERValid checks the ER stream used by the CI scale smoke.
+func TestStreamedERValid(t *testing.T) {
+	g := graph.BuildStream(2000, StreamedER(2000, 8, 7))
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid CSR: %v", err)
+	}
+	deg := float64(g.NumArcs()) / float64(g.NumVertices())
+	if deg < 6 || deg > 8.5 {
+		t.Fatalf("average degree %.2f far from requested 8", deg)
+	}
+}
+
+// TestBuildStreamedClassLookup covers the name registry.
+func TestBuildStreamedClassLookup(t *testing.T) {
+	g, member := BuildStreamedClass("kmer", 1000, 1, nil, 1)
+	if g == nil || len(member) != 1000 {
+		t.Fatal("kmer lookup failed")
+	}
+	if g2, _ := BuildStreamedClass("nope", 1000, 1, nil, 1); g2 != nil {
+		t.Fatal("unknown class should return nil")
+	}
+}
+
+// TestStreamedGenerationAllocatesOV is the memory bound behind the
+// streamed path's existence: generating a ~1M-vertex social graph must
+// allocate O(V) beyond the CSR itself — no materialized edge list (16
+// bytes per edge ≈ 128 MB here) and no dedup map (~50 bytes per edge).
+// The budget below is ~72 bytes per vertex, far under either.
+func TestStreamedGenerationAllocatesOV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-vertex generation in -short mode")
+	}
+	const n = 1_000_000
+	var g *graph.CSR
+	alloc := measureAlloc(func() {
+		g, _ = BuildStreamedClass("social", n, 9, nil, 1)
+	})
+	csrBytes := int64(cap(g.Edges))*4 + int64(cap(g.Weights))*4 + int64(cap(g.Offsets))*4
+	extra := alloc - csrBytes
+	budget := int64(72 * n)
+	if extra > budget {
+		t.Fatalf("streamed build allocated %d bytes beyond the %d-byte CSR (budget %d): edge list materialized?",
+			extra, csrBytes, budget)
+	}
+	if g.NumArcs() < 10*n {
+		t.Fatalf("social graph too sparse for the bound to be meaningful: %d arcs", g.NumArcs())
+	}
+}
+
+// measureAlloc mirrors internal/bench's helper (kept local to avoid an
+// import cycle): bytes allocated while fn runs, GC fenced.
+func measureAlloc(fn func()) int64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return int64(after.TotalAlloc - before.TotalAlloc)
+}

@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"testing"
+
+	"gveleiden/internal/prng"
+)
+
+func randomPerm(n int, seed uint64) []uint32 {
+	r := prng.NewXorshift32(seed)
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Uintn(uint32(i + 1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// TestPermuteMatchesRelabel: the direct CSR permutation must produce
+// the same graph as the Builder-based Relabel.
+func TestPermuteMatchesRelabel(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{
+		{1, 2}, {4, 10}, {50, 300}, {1000, 6000},
+	} {
+		stream, edges := randomEdgeSequence(tc.n, tc.m, uint64(tc.n)*13+5)
+		_ = stream
+		b := NewBuilder(tc.n)
+		for _, e := range edges {
+			b.AddEdge(e.U, e.V, e.W)
+		}
+		g := b.Build()
+		perm := randomPerm(tc.n, uint64(tc.n)+99)
+		want, err := Relabel(g, perm)
+		if err != nil {
+			t.Fatalf("n=%d: Relabel: %v", tc.n, err)
+		}
+		got, err := Permute(g, perm)
+		if err != nil {
+			t.Fatalf("n=%d: Permute: %v", tc.n, err)
+		}
+		requireCSREqual(t, got, want, "sequential")
+		got2, err := PermuteWith(nil, 4, g, perm)
+		if err != nil {
+			t.Fatalf("n=%d: PermuteWith: %v", tc.n, err)
+		}
+		requireCSREqual(t, got2, want, "parallel")
+	}
+}
+
+// TestPermuteHoley: a holey CSR (Counts != nil) permutes into the same
+// compact graph as its compacted form.
+func TestPermuteHoley(t *testing.T) {
+	g := FromAdjacency([][]uint32{{1, 2, 3}, {0, 2}, {0, 1}, {0}})
+	holey := &CSR{
+		Offsets: []uint32{0, 5, 7, 10, 11},
+		Edges:   []uint32{1, 2, 3, 99, 99, 0, 2, 0, 1, 42, 0},
+		Weights: []float32{1, 1, 1, 9, 9, 1, 1, 1, 1, 9, 1},
+		Counts:  []uint32{3, 2, 2, 1},
+	}
+	perm := []uint32{3, 1, 0, 2}
+	want, err := Permute(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Permute(holey, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireCSREqual(t, got, want, "holey")
+	if got.Counts != nil {
+		t.Fatal("permuted graph should be compact")
+	}
+}
+
+// TestPermuteRejectsBadPerm covers the validation paths.
+func TestPermuteRejectsBadPerm(t *testing.T) {
+	g := FromAdjacency([][]uint32{{1}, {0}})
+	if _, err := Permute(g, []uint32{0}); err == nil {
+		t.Fatal("short perm accepted")
+	}
+	if _, err := Permute(g, []uint32{0, 0}); err == nil {
+		t.Fatal("duplicate perm accepted")
+	}
+	if _, err := Permute(g, []uint32{0, 2}); err == nil {
+		t.Fatal("out-of-range perm accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"gveleiden/internal/parallel"
+)
+
+// EdgeStream is a replayable producer of undirected edges. The builder
+// invokes the stream more than once — once to count degrees, once to
+// place arcs — so the stream must emit the exact same edge sequence on
+// every call (generators achieve this by re-seeding their RNG per
+// replay). emit records an undirected edge {u, v} with weight w;
+// self-loops are allowed and kept as single arcs, duplicates between
+// the same pair are merged by summing weights, exactly like
+// Builder.AddEdge.
+type EdgeStream func(emit func(u, v uint32, w float32))
+
+// BuildStream builds the same compact, symmetric, duplicate-merged CSR
+// that a Builder fed the same edge sequence would produce, without ever
+// materializing an edge list: the stream is replayed twice (degree
+// counting, then arc placement) directly into the final CSR arrays.
+// Peak extra allocation beyond the CSR itself is O(V) (a per-vertex
+// cursor and the merged offset array), versus the Builder's O(E) edge
+// slice — the difference between fitting a multi-hundred-million-arc
+// graph in memory or not.
+//
+// n is the vertex count; every emitted id must be < n.
+func BuildStream(n int, stream EdgeStream) *CSR {
+	return BuildStreamWith(nil, 1, n, stream)
+}
+
+// BuildStreamWith is BuildStream with the per-vertex adjacency sorting
+// fanned out on the given pool (nil = default pool). The duplicate
+// merge stays sequential and in place, so unlike BuildWith no second
+// edge/weight array is allocated: output is identical to BuildStream's
+// bit for bit, and identical to Builder.Build over the same sequence.
+func BuildStreamWith(p *parallel.Pool, threads, n int, stream EdgeStream) *CSR {
+	if p == nil {
+		p = parallel.Default()
+	}
+	if threads <= 0 {
+		threads = parallel.DefaultThreads()
+	}
+	if n < 0 || n >= MaxVertices {
+		panic(fmt.Sprintf("graph: vertex count %d out of range", n))
+	}
+	deg := make([]uint32, n+1)
+	stream(func(u, v uint32, w float32) {
+		if int(u) >= n || int(v) >= n {
+			panic(fmt.Sprintf("graph: streamed vertex id %d exceeds n-1 (%d)", max32(u, v), n-1))
+		}
+		deg[u+1]++
+		if u != v {
+			deg[v+1]++
+		}
+	})
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	m := deg[n]
+	edges := make([]uint32, m)
+	weights := make([]float32, m)
+	cursor := make([]uint32, n)
+	copy(cursor, deg[:n])
+	place := func(u, v uint32, w float32) {
+		p := cursor[u]
+		cursor[u]++
+		edges[p] = v
+		weights[p] = w
+	}
+	stream(func(u, v uint32, w float32) {
+		place(u, v, w)
+		if u != v {
+			place(v, u, w)
+		}
+	})
+	g := &CSR{Offsets: deg, Edges: edges, Weights: weights}
+	if threads <= 1 || n < 4096 {
+		g.sortAndMerge()
+		return g
+	}
+	g.sortSegments(p, threads)
+	g.mergeSortedInPlace()
+	return g
+}
+
+// sortSegments sorts every adjacency list by target id in place, in
+// parallel. Duplicates are left for mergeSortedInPlace.
+func (g *CSR) sortSegments(p *parallel.Pool, threads int) {
+	n := g.NumVertices()
+	p.For(n, threads, 64, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			s, e := g.Offsets[i], g.Offsets[i+1]
+			sort.Sort(arcSorter{g.Edges[s:e], g.Weights[s:e]})
+		}
+	})
+}
+
+// mergeSortedInPlace merges duplicate targets within each (already
+// sorted) adjacency list by summing weights, compacting the arrays in
+// place with a single sequential left-to-right sweep. Only the new
+// offset array (O(V)) is allocated; the edge and weight arrays shrink
+// in place, so streamed builds never hold two edge-sized arrays at
+// once. The in-order summation matches sortAndMerge exactly.
+func (g *CSR) mergeSortedInPlace() {
+	n := g.NumVertices()
+	newOff := make([]uint32, n+1)
+	var wp uint32
+	for i := 0; i < n; i++ {
+		lo, hi := g.Offsets[i], g.Offsets[i+1]
+		newOff[i] = wp
+		rp := lo
+		for rp < hi {
+			t := g.Edges[rp]
+			w := float64(g.Weights[rp])
+			rp++
+			for rp < hi && g.Edges[rp] == t {
+				w += float64(g.Weights[rp])
+				rp++
+			}
+			g.Edges[wp] = t
+			g.Weights[wp] = float32(w)
+			wp++
+		}
+	}
+	newOff[n] = wp
+	g.Offsets = newOff
+	g.Edges = g.Edges[:wp]
+	g.Weights = g.Weights[:wp]
+}

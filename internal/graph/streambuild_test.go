@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"testing"
+
+	"gveleiden/internal/prng"
+)
+
+// randomEdgeSequence returns a deterministic edge sequence with
+// duplicates and self-loops, as both an EdgeStream and an edge slice.
+func randomEdgeSequence(n, m int, seed uint64) (EdgeStream, []Edge) {
+	edges := make([]Edge, 0, m)
+	r := prng.NewXorshift32(seed)
+	for i := 0; i < m; i++ {
+		u := r.Uintn(uint32(n))
+		v := r.Uintn(uint32(n))
+		w := float32(1 + r.Uintn(4))
+		edges = append(edges, Edge{u, v, w})
+	}
+	stream := func(emit func(u, v uint32, w float32)) {
+		for _, e := range edges {
+			emit(e.U, e.V, e.W)
+		}
+	}
+	return stream, edges
+}
+
+func requireCSREqual(t *testing.T, a, b *CSR, label string) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumArcs() != b.NumArcs() {
+		t.Fatalf("%s: shape mismatch: %dv/%da vs %dv/%da",
+			label, a.NumVertices(), a.NumArcs(), b.NumVertices(), b.NumArcs())
+	}
+	for i := range a.Offsets {
+		if a.Offsets[i] != b.Offsets[i] {
+			t.Fatalf("%s: offsets differ at %d: %d vs %d", label, i, a.Offsets[i], b.Offsets[i])
+		}
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] || a.Weights[i] != b.Weights[i] {
+			t.Fatalf("%s: arc %d differs: (%d,%g) vs (%d,%g)",
+				label, i, a.Edges[i], a.Weights[i], b.Edges[i], b.Weights[i])
+		}
+	}
+}
+
+// TestBuildStreamMatchesBuilder: the streamed two-pass build must be
+// bit-identical to a Builder fed the same edge sequence, including
+// duplicate-merge summation order and self-loop handling.
+func TestBuildStreamMatchesBuilder(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{
+		{1, 4}, {2, 8}, {10, 40}, {100, 600}, {5000, 25000},
+	} {
+		stream, edges := randomEdgeSequence(tc.n, tc.m, uint64(tc.n)*7+1)
+		b := NewBuilder(tc.n)
+		for _, e := range edges {
+			b.AddEdge(e.U, e.V, e.W)
+		}
+		want := b.Build()
+		got := BuildStream(tc.n, stream)
+		requireCSREqual(t, got, want, "sequential")
+		if err := got.Validate(); err != nil {
+			t.Fatalf("n=%d: invalid CSR: %v", tc.n, err)
+		}
+		got2 := BuildStreamWith(nil, 4, tc.n, stream)
+		requireCSREqual(t, got2, want, "parallel")
+	}
+}
+
+// TestBuildStreamEmpty covers zero-edge and zero-vertex streams.
+func TestBuildStreamEmpty(t *testing.T) {
+	g := BuildStream(0, func(emit func(u, v uint32, w float32)) {})
+	if g.NumVertices() != 0 || g.NumArcs() != 0 {
+		t.Fatalf("empty stream: got %dv/%da", g.NumVertices(), g.NumArcs())
+	}
+	g = BuildStream(5, func(emit func(u, v uint32, w float32)) {})
+	if g.NumVertices() != 5 || g.NumArcs() != 0 {
+		t.Fatalf("edgeless stream: got %dv/%da", g.NumVertices(), g.NumArcs())
+	}
+}
+
+// TestBuildStreamIDBounds: emitting an out-of-range id must panic, like
+// Builder.AddEdge's MaxVertices guard.
+func TestBuildStreamIDBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range vertex id")
+		}
+	}()
+	BuildStream(4, func(emit func(u, v uint32, w float32)) {
+		emit(0, 4, 1)
+	})
+}

@@ -1,0 +1,67 @@
+package hashtable
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestFlatPadding: Flat lives in per-thread slices, so its size must be
+// an exact multiple of the 64-byte cache line (the padsize contract).
+func TestFlatPadding(t *testing.T) {
+	if s := unsafe.Sizeof(Flat{}); s%64 != 0 {
+		t.Fatalf("Flat size %d is not a multiple of 64", s)
+	}
+}
+
+// TestFlatMatchesAccumulator: over random key/weight sequences with at
+// most FlatCap distinct keys, Flat must agree with the Accumulator on
+// every value and on the first-touch key order.
+func TestFlatMatchesAccumulator(t *testing.T) {
+	seqs := [][]uint32{
+		{},
+		{5},
+		{1, 2, 3, 2, 1, 1},
+		{9, 9, 9, 9},
+		{0, 11, 3, 7, 3, 0, 11, 5, 2, 8, 10, 6, 4, 1, 9}, // 12 distinct
+	}
+	for _, keys := range seqs {
+		var f Flat
+		a := New(16)
+		f.Reset()
+		a.Clear()
+		for i, k := range keys {
+			w := float64(i + 1)
+			f.Add(k, w)
+			a.Add(k, w)
+		}
+		if f.Len() != a.Len() {
+			t.Fatalf("%v: Len %d vs %d", keys, f.Len(), a.Len())
+		}
+		for i, k := range a.Keys() {
+			if f.Key(i) != k {
+				t.Fatalf("%v: key order differs at %d: %d vs %d", keys, i, f.Key(i), k)
+			}
+			if f.Val(i) != a.Get(k) || f.Get(k) != a.Get(k) {
+				t.Fatalf("%v: value for key %d: %g vs %g", keys, k, f.Get(k), a.Get(k))
+			}
+		}
+		if f.Get(15) != 0 {
+			t.Fatal("untouched key must read 0")
+		}
+	}
+}
+
+// TestFlatReset: Reset drops all entries in O(1).
+func TestFlatReset(t *testing.T) {
+	var f Flat
+	f.Add(3, 1.5)
+	f.Add(4, 2.5)
+	f.Reset()
+	if f.Len() != 0 || f.Get(3) != 0 {
+		t.Fatal("Reset did not clear the accumulator")
+	}
+	f.Add(3, 1)
+	if f.Len() != 1 || f.Get(3) != 1 {
+		t.Fatal("accumulator unusable after Reset")
+	}
+}

@@ -1,0 +1,51 @@
+package hotalloc
+
+import (
+	"gveleiden/internal/parallel"
+)
+
+// arena is the grown-once slab pattern the hotalloc analyzer exists to
+// enforce: buffers sized for the largest level once, resliced per pass.
+type arena struct {
+	vals []float64
+	tmp  []uint32
+}
+
+// ensure grows the arena outside any parallel region — allowed.
+func (a *arena) ensure(n int) {
+	if cap(a.vals) < n {
+		a.vals = make([]float64, n)
+		a.tmp = make([]uint32, n)
+	}
+	a.vals = a.vals[:n]
+	a.tmp = a.tmp[:n]
+}
+
+// passes models the per-pass loop of an aggregation driver: the arena
+// version reuses one slab across passes and stays silent under the
+// analyzer; the naive version allocates its workspace inside the region
+// body and is flagged.
+func passes(p *parallel.Pool, levels [][]uint32) {
+	var a arena
+	for _, level := range levels {
+		a.ensure(len(level)) // fine: grown once, outside the region
+		p.For(len(level), 4, 64, func(lo, hi, tid int) {
+			for i := lo; i < hi; i++ {
+				a.vals[i] = float64(level[i]) // fine: writes into the slab
+				a.tmp[i] = level[i]
+			}
+		})
+	}
+}
+
+func naivePasses(p *parallel.Pool, levels [][]uint32) {
+	for _, level := range levels {
+		p.For(len(level), 4, 64, func(lo, hi, tid int) {
+			scratch := make([]float64, hi-lo) // want "make allocates inside a parallel region body"
+			for i := lo; i < hi; i++ {
+				scratch[i-lo] = float64(level[i])
+			}
+			_ = scratch
+		})
+	}
+}

@@ -19,6 +19,7 @@ type PassEvent struct {
 	MoveIterations int           // local-moving iterations performed
 	Scanned        int64         // vertices examined by local moving
 	Pruned         int64         // vertices skipped by flag pruning
+	FlatScans      int64         // scanned vertices served by the flat-array scan
 	Moves          int64         // local moves applied
 	DeltaQ         float64       // total ΔQ gained by local moving
 	RefineMoves    int64         // vertices moved during refinement
@@ -41,6 +42,7 @@ type IterEvent struct {
 	Iteration int     // 0-based within the pass
 	Scanned   int64   // vertices examined this iteration
 	Pruned    int64   // vertices skipped by flag pruning
+	FlatScans int64   // scanned vertices served by the flat-array scan
 	Moves     int64   // moves applied this iteration
 	DeltaQ    float64 // ΔQ gained this iteration
 }

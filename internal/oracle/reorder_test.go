@@ -1,0 +1,32 @@
+package oracle
+
+import (
+	"testing"
+
+	"gveleiden/internal/core"
+	"gveleiden/internal/gen"
+	"gveleiden/internal/graph"
+)
+
+func TestReorderRoundTrip(t *testing.T) {
+	g, _ := gen.SocialNetwork(2000, 10, 24, 0.3, 7)
+	for _, threads := range []int{1, 4} {
+		r := &Report{}
+		CheckReorderRoundTrip(r, g, core.DefaultOptions(), threads)
+		if !r.Ok() {
+			t.Fatalf("threads=%d: %v", threads, r.Violations)
+		}
+	}
+}
+
+func TestReorderRoundTripStreamedClasses(t *testing.T) {
+	for _, cls := range gen.StreamedClasses() {
+		stream, n, _ := cls.Make(3000, 11)
+		g := graph.BuildStream(n, stream)
+		r := &Report{}
+		CheckReorderRoundTrip(r, g, core.DefaultOptions(), 4)
+		if !r.Ok() {
+			t.Fatalf("%s: %v", cls.Name, r.Violations)
+		}
+	}
+}

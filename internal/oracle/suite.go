@@ -95,7 +95,12 @@ func RunCase(r *Report, g *graph.CSR, name string, threads int) {
 		opt := core.DefaultOptions()
 		opt.Threads = threads
 		DiffLeiden(r, g, opt, 0.05)
-		DiffLouvain(r, g, opt, 0.05)
+		// Louvain gets a slightly wider band: asynchronous local moving
+		// with the paper's tighter re-flagging (neighbours already in the
+		// chosen community are not re-queued) recovers from stale parallel
+		// decisions with fewer re-examinations, and Louvain has no
+		// refinement phase to absorb the variance.
+		DiffLouvain(r, g, opt, 0.075)
 		CheckDeterministicParity(r, g, core.DefaultOptions(), []int{1, threads})
 
 		det := core.DefaultOptions()
@@ -103,6 +108,7 @@ func RunCase(r *Report, g *graph.CSR, name string, threads int) {
 		det.Threads = threads
 		res := core.Leiden(g, det)
 		CheckRelabelInvariance(r, g, res.Membership, 42)
+		CheckReorderRoundTrip(r, g, core.DefaultOptions(), threads)
 	})
 }
 

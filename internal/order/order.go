@@ -49,6 +49,41 @@ func ByDegreeAsc(g *graph.CSR) []uint32 {
 	return perm
 }
 
+// ByDegreeDescCounting computes the exact same permutation as
+// ByDegreeDesc with a counting sort over the degree histogram: O(V +
+// maxDegree) time instead of O(V log V) comparison sorting, the
+// difference between a negligible and a noticeable pre-run reordering
+// cost at millions of vertices. Within one degree bucket vertices keep
+// ascending id order, matching SliceStable's tie behaviour.
+func ByDegreeDescCounting(g *graph.CSR) []uint32 {
+	n := g.NumVertices()
+	var maxDeg uint32
+	for v := 0; v < n; v++ {
+		if d := g.Degree(uint32(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// count[d] → number of vertices with degree d, then the first rank
+	// assigned to that bucket under the descending layout.
+	count := make([]uint32, maxDeg+2)
+	for v := 0; v < n; v++ {
+		count[g.Degree(uint32(v))]++
+	}
+	var rank uint32
+	for d := int(maxDeg); d >= 0; d-- {
+		c := count[d]
+		count[d] = rank
+		rank += c
+	}
+	perm := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		d := g.Degree(uint32(v))
+		perm[v] = count[d]
+		count[d]++
+	}
+	return perm
+}
+
 // BFS returns a breadth-first ordering from the given source (component
 // by component, unvisited sources in id order). BFS layouts give
 // neighbouring vertices nearby ids, the classic locality transform for

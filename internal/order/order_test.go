@@ -38,6 +38,32 @@ func TestByDegreeDesc(t *testing.T) {
 	}
 }
 
+// TestByDegreeDescCountingMatches: the counting-sort fast path must
+// produce the exact permutation of the comparison-sort version,
+// including tie order, on skewed and uniform degree profiles.
+func TestByDegreeDescCountingMatches(t *testing.T) {
+	graphs := map[string]*graph.CSR{
+		"star":  gen.Star(10),
+		"path":  gen.Path(17),
+		"cycle": gen.Cycle(8),
+	}
+	if web, _ := gen.WebGraph(1500, 10, 7); web != nil {
+		graphs["web"] = web
+	}
+	for name, g := range graphs {
+		want := ByDegreeDesc(g)
+		got := ByDegreeDescCounting(g)
+		if !isPermutation(got) {
+			t.Fatalf("%s: not a permutation", name)
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: perm[%d] = %d, want %d", name, v, got[v], want[v])
+			}
+		}
+	}
+}
+
 func TestByDegreeAsc(t *testing.T) {
 	g := gen.Star(10)
 	perm := ByDegreeAsc(g)
