@@ -1,13 +1,17 @@
 package gveleiden_test
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // End-to-end integration tests for the command-line tools: build each
@@ -126,6 +130,81 @@ func TestCLIBenchallSelectedExperiment(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(csvDir, "table2.csv")); err != nil {
 		t.Fatal("CSV not written")
+	}
+}
+
+// lockedBuffer lets the test poll a child process's output while the
+// exec copier goroutine is still appending to it.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestCLIServeInterrupt drives the long-running-service shape as a
+// black box: -serve with an unbounded -linger, interrupted by SIGINT.
+// The process must exit 130 with its -trace artifact flushed and
+// parseable — a killed run still yields its observability output.
+func TestCLIServeInterrupt(t *testing.T) {
+	bin := buildCLIs(t)
+	work := t.TempDir()
+	tracePath := filepath.Join(work, "trace.json")
+
+	cmd := exec.Command(filepath.Join(bin, "gveleiden"),
+		"-gen", "er", "-n", "2000", "-threads", "2",
+		"-serve", "127.0.0.1:0", "-linger", "-1s",
+		"-trace", tracePath, "-check-disconnected=false")
+	var stdout, stderr lockedBuffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait until the run is done and the process is lingering on the
+	// server (the "runs complete" line prints after all artifacts).
+	deadline := time.Now().Add(15 * time.Second)
+	for !strings.Contains(stdout.String(), "runs complete") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no 'runs complete' line:\nstdout:\n%s\nstderr:\n%s",
+				stdout.String(), stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !regexp.MustCompile(`serving on http://`).MatchString(stdout.String()) {
+		t.Fatalf("no serve line:\n%s", stdout.String())
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 130 {
+		t.Fatalf("exit after SIGINT = %v, want status 130\nstderr:\n%s", err, stderr.String())
+	}
+
+	// The tracer was flushed by the run loop (and the signal handler's
+	// Close is an idempotent no-op after that): the file must hold a
+	// complete JSON trace, not a truncated one.
+	data, rerr := os.ReadFile(tracePath)
+	if rerr != nil {
+		t.Fatalf("trace not written: %v", rerr)
+	}
+	if !strings.Contains(string(data), `"traceEvents"`) || !strings.HasSuffix(strings.TrimSpace(string(data)), "}") {
+		t.Fatalf("trace incomplete (%d bytes): %.200s", len(data), data)
 	}
 }
 

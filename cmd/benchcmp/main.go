@@ -1,0 +1,70 @@
+// Command benchcmp diffs two benchmark report artifacts (the
+// BENCH_*.json files benchjson emits) and exits nonzero when the new
+// report regresses on the old one — the gate CI runs against the
+// committed baseline.
+//
+//	benchcmp BENCH_PR6.json BENCH_NEW.json
+//	benchcmp -time-tolerance 3.0 old.json new.json   # lenient for shared runners
+//
+// Matching is by dataset name and graph size, so reports generated at
+// different -scale factors never compare different workloads. Timings
+// are compared only when thread counts match; modularity always is.
+// Exit status: 0 clean (with a warning if nothing was comparable),
+// 1 on regression or I/O error, 2 on usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gveleiden/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	timeTol := fs.Float64("time-tolerance", 0.25, "allowed fractional slowdown in best_ms (0.25 = 25%)")
+	qualTol := fs.Float64("quality-tolerance", 0.02, "allowed absolute modularity drop")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [flags] OLD.json NEW.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	old, err := bench.LoadReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		return 1
+	}
+	new, err := bench.LoadReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		return 1
+	}
+	d := bench.DiffReports(old, new, bench.DiffOptions{
+		TimeTolerance:    *timeTol,
+		QualityTolerance: *qualTol,
+	})
+	fmt.Printf("benchcmp %s (%s) vs %s (%s)\n", fs.Arg(0), old.PR, fs.Arg(1), new.PR)
+	d.Render(os.Stdout)
+	if !d.Comparable() {
+		fmt.Println("warning: no comparable e2e records between the reports")
+		return 0
+	}
+	if reg := d.Regressions(); len(reg) > 0 {
+		fmt.Printf("%d regression(s)\n", len(reg))
+		return 1
+	}
+	fmt.Printf("%d record(s) compared, no regressions\n", len(d.Entries))
+	return 0
+}

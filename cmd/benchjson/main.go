@@ -19,22 +19,28 @@ import (
 
 func main() {
 	var (
-		out     = flag.String("o", "BENCH_PR6.json", "output path")
-		pr      = flag.String("pr", "PR6", "PR tag recorded in the report")
-		scale   = flag.Float64("scale", 0.15, "dataset size multiplier for the e2e corpus")
-		repeat  = flag.Int("repeat", 3, "repeats (best-of)")
-		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
-		scaling = flag.Bool("scaling", false, "run the streamed-class strong-scaling sweep and kernel ablation")
-		scaleN  = flag.Int("scalen", 1_000_000, "vertices per streamed class in the -scaling sweep")
-		maxThr  = flag.Int("maxthreads", 0, "strong-scaling sweep bound (0 = NumCPU)")
-		classes = flag.String("classes", "", "comma-separated streamed classes for -scaling (empty = all)")
-		note    = flag.String("note", "streamed million-vertex generation, move-phase hot-path kernels, strong-scaling sweep", "free-form note")
+		out       = flag.String("o", "BENCH_PR6.json", "output path")
+		pr        = flag.String("pr", "PR6", "PR tag recorded in the report")
+		scale     = flag.Float64("scale", 0.15, "dataset size multiplier for the e2e corpus")
+		repeat    = flag.Int("repeat", 3, "repeats (best-of)")
+		threads   = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		scaling   = flag.Bool("scaling", false, "run the streamed-class strong-scaling sweep and kernel ablation")
+		scaleN    = flag.Int("scalen", 1_000_000, "vertices per streamed class in the -scaling sweep")
+		maxThr    = flag.Int("maxthreads", 0, "strong-scaling sweep bound (0 = NumCPU)")
+		classes   = flag.String("classes", "", "comma-separated streamed classes for -scaling (empty = all)")
+		telemetry = flag.Bool("telemetry", false, "measure the continuous-telemetry overhead (telemetry-on vs telemetry-off run)")
+		telN      = flag.Int("teln", 200_000, "vertices for the -telemetry probe graph")
+		note      = flag.String("note", "streamed million-vertex generation, move-phase hot-path kernels, strong-scaling sweep", "free-form note")
 	)
 	flag.Parse()
 
 	report := bench.NewBenchReport(*pr, *note)
 	report.Micro = bench.RuntimeMicro([]int{2, 4, 8})
 	report.E2E = bench.E2EBench(*scale, *repeat, *threads)
+	if *telemetry {
+		rec := bench.TelemetryOverhead(*telN, *repeat, *threads)
+		report.Telemetry = &rec
+	}
 	if *scaling {
 		var want []string
 		if *classes != "" {
@@ -74,6 +80,11 @@ func main() {
 	for _, a := range report.Ablation {
 		fmt.Printf("abl   %-8s %-12s t=%d  %8.1f ms  rel=%.2f  Q=%.4f  prune-hit=%.2f  flat=%d\n",
 			a.Class, a.Config, a.Threads, a.BestMs, a.RelTime, a.Modularity, a.PruningHitRate, a.FlatScans)
+	}
+	if report.Telemetry != nil {
+		tr := report.Telemetry
+		fmt.Printf("tel   n=%d t=%d  off %8.1f ms  on %8.1f ms  overhead %+.1f%%\n",
+			tr.Vertices, tr.Threads, tr.BaseMs, tr.TelemeteredMs, tr.OverheadPct)
 	}
 	fmt.Println("wrote", *out)
 }

@@ -18,6 +18,8 @@ package gveleiden
 
 import (
 	"io"
+	"log/slog"
+	"time"
 
 	"gveleiden/internal/core"
 	"gveleiden/internal/graph"
@@ -205,3 +207,74 @@ func AddRunMetrics(ms *MetricSet, s Stats) { s.AddMetrics(ms) }
 
 // AddPoolMetrics appends a pool counter snapshot to ms.
 func AddPoolMetrics(ms *MetricSet, c PoolCounters) { core.AddPoolMetrics(ms, c) }
+
+// Continuous telemetry. The types above observe a single run; the types
+// below aggregate across a process lifetime — histograms of phase
+// durations, a flight recorder of recent runs, a runtime-metrics
+// sampler, and an HTTP introspection server tying them together.
+
+// Histogram is a lock-free log-linear latency/value histogram with
+// padded per-worker shards; Observe is allocation-free and a nil
+// *Histogram discards observations.
+type Histogram = observe.Histogram
+
+// NewHistogram returns a histogram sharded for the current GOMAXPROCS.
+func NewHistogram() *Histogram { return observe.NewHistogram() }
+
+// HistogramSnapshot is a merged point-in-time view of a Histogram.
+type HistogramSnapshot = observe.HistogramSnapshot
+
+// Telemetry aggregates runs continuously: per-phase duration
+// histograms, pass/run/ΔQ histograms, pool region latencies, lifetime
+// counters, and a flight recorder. It implements Observer — set it as
+// Options.Observer and it accumulates every pass of every run.
+type Telemetry = observe.Telemetry
+
+// NewTelemetry returns a telemetry aggregator whose flight recorder
+// keeps the last flightSize runs (the default when <= 0).
+func NewTelemetry(flightSize int) *Telemetry { return observe.NewTelemetry(flightSize) }
+
+// FlightRecorder is a bounded ring of recent run records, dumpable as
+// JSON at any time with zero steady-state allocation.
+type FlightRecorder = observe.FlightRecorder
+
+// RunRecord is one completed run as the flight recorder remembers it.
+type RunRecord = observe.RunRecord
+
+// PhaseSeconds is the per-phase wall-time breakdown of one run.
+type PhaseSeconds = observe.PhaseSeconds
+
+// Sampler polls runtime/metrics (heap, goroutines, GC pauses,
+// scheduling latency) on an interval for exposition alongside the
+// algorithm's own telemetry.
+type Sampler = observe.Sampler
+
+// NewSampler returns a sampler polling every interval (the default
+// when <= 0). Call Start to begin and Stop to halt it.
+func NewSampler(interval time.Duration) *Sampler { return observe.NewSampler(interval) }
+
+// IntrospectionServer serves /metrics, /metrics.json, /healthz,
+// /debug/flight, /debug/vars, and /debug/pprof on one mux. The gather
+// callback assembles each scrape; Start binds synchronously and
+// Shutdown drains gracefully.
+type IntrospectionServer = observe.Server
+
+// NewIntrospectionServer builds an unstarted introspection server.
+func NewIntrospectionServer(addr string, gather func() *MetricSet, flight *FlightRecorder) *IntrospectionServer {
+	return observe.NewServer(addr, gather, flight)
+}
+
+// NewLogger builds a slog.Logger writing to w as "json" or text.
+func NewLogger(w io.Writer, format string, level slog.Level) *slog.Logger {
+	return observe.NewLogger(w, format, level)
+}
+
+// SlogObserver is an Observer emitting one structured log record per
+// pass — the structured-logging counterpart of Progress.
+type SlogObserver = observe.SlogObserver
+
+// NewSlogObserver returns an observer logging pass summaries to l.
+func NewSlogObserver(l *slog.Logger) *SlogObserver { return observe.NewSlogObserver(l) }
+
+// LogRun emits the standard run-summary record for a RunRecord.
+func LogRun(l *slog.Logger, r RunRecord) { observe.LogRun(l, r) }

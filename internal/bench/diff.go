@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// DiffOptions bounds how much two benchmark reports may diverge before
+// an entry counts as a regression.
+type DiffOptions struct {
+	// TimeTolerance is the allowed fractional slowdown of best_ms:
+	// 0.25 flags anything more than 25% slower. Timing comparisons
+	// require matching thread counts; entries measured at different
+	// thread counts are reported but never flagged on time.
+	TimeTolerance float64
+	// QualityTolerance is the allowed absolute modularity drop.
+	// Quality is hardware-independent, so it is compared whenever the
+	// dataset and size match, regardless of threads.
+	QualityTolerance float64
+}
+
+// DefaultDiffOptions matches CI use: generous on time (benchmarks on
+// shared runners are noisy), tight on quality.
+func DefaultDiffOptions() DiffOptions {
+	return DiffOptions{TimeTolerance: 0.25, QualityTolerance: 0.02}
+}
+
+// DiffEntry compares one e2e dataset present in both reports.
+type DiffEntry struct {
+	Dataset        string  `json:"dataset"`
+	Vertices       int     `json:"vertices"`
+	OldThreads     int     `json:"old_threads"`
+	NewThreads     int     `json:"new_threads"`
+	OldMs          float64 `json:"old_ms"`
+	NewMs          float64 `json:"new_ms"`
+	TimeRatio      float64 `json:"time_ratio"` // new/old; 0 when not comparable
+	TimeComparable bool    `json:"time_comparable"`
+	OldQ           float64 `json:"old_modularity"`
+	NewQ           float64 `json:"new_modularity"`
+	DeltaQ         float64 `json:"delta_modularity"` // new - old
+	Regression     bool    `json:"regression"`
+	Reason         string  `json:"reason,omitempty"`
+}
+
+// Diff is the comparison of two reports' e2e records.
+type Diff struct {
+	Entries []DiffEntry `json:"entries"`
+	OnlyOld []string    `json:"only_old,omitempty"` // datasets dropped in new
+	OnlyNew []string    `json:"only_new,omitempty"` // datasets added in new
+}
+
+// e2eKey matches records across reports: the dataset name plus the
+// graph size, so reports generated at different -scale factors never
+// silently compare different workloads.
+type e2eKey struct {
+	dataset  string
+	vertices int
+}
+
+// DiffReports compares the e2e records of two reports under opt.
+// Zero-valued tolerances take the defaults.
+func DiffReports(old, new BenchReport, opt DiffOptions) Diff {
+	if opt.TimeTolerance <= 0 {
+		opt.TimeTolerance = DefaultDiffOptions().TimeTolerance
+	}
+	if opt.QualityTolerance <= 0 {
+		opt.QualityTolerance = DefaultDiffOptions().QualityTolerance
+	}
+	oldBy := map[e2eKey]E2ERecord{}
+	for _, r := range old.E2E {
+		oldBy[e2eKey{r.Dataset, r.Vertices}] = r
+	}
+	var d Diff
+	seen := map[e2eKey]bool{}
+	for _, n := range new.E2E {
+		k := e2eKey{n.Dataset, n.Vertices}
+		o, ok := oldBy[k]
+		if !ok {
+			d.OnlyNew = append(d.OnlyNew, n.Dataset)
+			continue
+		}
+		seen[k] = true
+		e := DiffEntry{
+			Dataset: n.Dataset, Vertices: n.Vertices,
+			OldThreads: o.Threads, NewThreads: n.Threads,
+			OldMs: o.BestMs, NewMs: n.BestMs,
+			OldQ: o.Modularity, NewQ: n.Modularity,
+			DeltaQ:         n.Modularity - o.Modularity,
+			TimeComparable: o.Threads == n.Threads && o.BestMs > 0,
+		}
+		if e.TimeComparable {
+			e.TimeRatio = n.BestMs / o.BestMs
+			if e.TimeRatio > 1+opt.TimeTolerance {
+				e.Regression = true
+				e.Reason = fmt.Sprintf("%.0f%% slower (ratio %.2f > %.2f)",
+					(e.TimeRatio-1)*100, e.TimeRatio, 1+opt.TimeTolerance)
+			}
+		}
+		if e.DeltaQ < -opt.QualityTolerance {
+			e.Regression = true
+			reason := fmt.Sprintf("modularity dropped %.4f (> %.4f allowed)",
+				-e.DeltaQ, opt.QualityTolerance)
+			if e.Reason != "" {
+				e.Reason += "; " + reason
+			} else {
+				e.Reason = reason
+			}
+		}
+		d.Entries = append(d.Entries, e)
+	}
+	for k := range oldBy {
+		if !seen[k] {
+			d.OnlyOld = append(d.OnlyOld, k.dataset)
+		}
+	}
+	sort.Slice(d.Entries, func(i, j int) bool { return d.Entries[i].Dataset < d.Entries[j].Dataset })
+	sort.Strings(d.OnlyOld)
+	sort.Strings(d.OnlyNew)
+	return d
+}
+
+// Regressions returns the entries flagged as regressions.
+func (d Diff) Regressions() []DiffEntry {
+	var out []DiffEntry
+	for _, e := range d.Entries {
+		if e.Regression {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Comparable reports whether any entry was compared at all — a diff of
+// disjoint reports is a warning, not a pass.
+func (d Diff) Comparable() bool { return len(d.Entries) > 0 }
+
+// Render writes the human-readable comparison table.
+func (d Diff) Render(w io.Writer) {
+	for _, e := range d.Entries {
+		status := "ok"
+		if e.Regression {
+			status = "REGRESSION: " + e.Reason
+		}
+		if e.TimeComparable {
+			fmt.Fprintf(w, "%-18s t=%-3d %9.1f ms -> %9.1f ms (x%.2f)  Q %+.4f  %s\n",
+				e.Dataset, e.NewThreads, e.OldMs, e.NewMs, e.TimeRatio, e.DeltaQ, status)
+		} else {
+			fmt.Fprintf(w, "%-18s t=%d->%d  time not comparable  Q %+.4f  %s\n",
+				e.Dataset, e.OldThreads, e.NewThreads, e.DeltaQ, status)
+		}
+	}
+	for _, name := range d.OnlyOld {
+		fmt.Fprintf(w, "%-18s only in old report\n", name)
+	}
+	for _, name := range d.OnlyNew {
+		fmt.Fprintf(w, "%-18s only in new report\n", name)
+	}
+}
+
+// LoadReport reads a BenchReport JSON artifact from disk.
+func LoadReport(path string) (BenchReport, error) {
+	var r BenchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

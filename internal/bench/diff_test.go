@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(recs ...E2ERecord) BenchReport {
+	return BenchReport{PR: "test", E2E: recs}
+}
+
+func rec(dataset string, vertices, threads int, ms, q float64) E2ERecord {
+	return E2ERecord{
+		Dataset: dataset, Vertices: vertices, Threads: threads,
+		BestMs: ms, Modularity: q,
+	}
+}
+
+func TestDiffReportsClean(t *testing.T) {
+	old := report(rec("web", 1000, 4, 100, 0.90), rec("road", 2000, 4, 50, 0.95))
+	new := report(rec("web", 1000, 4, 110, 0.90), rec("road", 2000, 4, 45, 0.951))
+	d := DiffReports(old, new, DiffOptions{})
+	if !d.Comparable() || len(d.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(d.Entries))
+	}
+	if reg := d.Regressions(); len(reg) != 0 {
+		t.Fatalf("unexpected regressions: %+v", reg)
+	}
+}
+
+func TestDiffReportsTimeRegression(t *testing.T) {
+	old := report(rec("web", 1000, 4, 100, 0.90))
+	new := report(rec("web", 1000, 4, 140, 0.90)) // 40% slower > 25% default
+	d := DiffReports(old, new, DiffOptions{})
+	reg := d.Regressions()
+	if len(reg) != 1 || !strings.Contains(reg[0].Reason, "slower") {
+		t.Fatalf("regressions = %+v", reg)
+	}
+	// A wider tolerance absolves it.
+	d = DiffReports(old, new, DiffOptions{TimeTolerance: 0.5})
+	if len(d.Regressions()) != 0 {
+		t.Fatalf("0.5 tolerance still flags: %+v", d.Regressions())
+	}
+}
+
+func TestDiffReportsQualityRegression(t *testing.T) {
+	old := report(rec("web", 1000, 4, 100, 0.90))
+	new := report(rec("web", 1000, 4, 100, 0.85))
+	d := DiffReports(old, new, DiffOptions{})
+	reg := d.Regressions()
+	if len(reg) != 1 || !strings.Contains(reg[0].Reason, "modularity") {
+		t.Fatalf("regressions = %+v", reg)
+	}
+}
+
+func TestDiffReportsThreadMismatch(t *testing.T) {
+	// Different thread counts: time is not comparable (no flag even at
+	// 10x slower), but a quality drop still is.
+	old := report(rec("web", 1000, 8, 10, 0.90))
+	new := report(rec("web", 1000, 2, 100, 0.90))
+	d := DiffReports(old, new, DiffOptions{})
+	if len(d.Entries) != 1 || d.Entries[0].TimeComparable {
+		t.Fatalf("entries = %+v", d.Entries)
+	}
+	if len(d.Regressions()) != 0 {
+		t.Fatalf("time flagged across thread counts: %+v", d.Regressions())
+	}
+	new = report(rec("web", 1000, 2, 100, 0.80))
+	if d = DiffReports(old, new, DiffOptions{}); len(d.Regressions()) != 1 {
+		t.Fatalf("quality not flagged across thread counts")
+	}
+}
+
+func TestDiffReportsSizeMismatch(t *testing.T) {
+	// Same dataset at a different -scale: never compared.
+	old := report(rec("web", 1000, 4, 100, 0.90))
+	new := report(rec("web", 5000, 4, 900, 0.70))
+	d := DiffReports(old, new, DiffOptions{})
+	if d.Comparable() {
+		t.Fatalf("size-mismatched records compared: %+v", d.Entries)
+	}
+	if len(d.OnlyOld) != 1 || len(d.OnlyNew) != 1 {
+		t.Fatalf("only-old/only-new = %v / %v", d.OnlyOld, d.OnlyNew)
+	}
+}
+
+func TestDiffRender(t *testing.T) {
+	old := report(rec("web", 1000, 4, 100, 0.90))
+	new := report(rec("web", 1000, 4, 150, 0.90))
+	d := DiffReports(old, new, DiffOptions{})
+	var sb strings.Builder
+	d.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "web") {
+		t.Fatalf("render output:\n%s", out)
+	}
+}
+
+func TestTelemetryOverheadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := TelemetryOverhead(5000, 1, 2)
+	if r.BaseMs <= 0 || r.TelemeteredMs <= 0 {
+		t.Fatalf("non-positive timings: %+v", r)
+	}
+	if r.Vertices != 5000 || r.Threads != 2 {
+		t.Fatalf("metadata wrong: %+v", r)
+	}
+}

@@ -64,6 +64,10 @@ type BenchReport struct {
 	E2E        []E2ERecord      `json:"e2e,omitempty"`
 	Scaling    []ScalingCurve   `json:"scaling,omitempty"`
 	Ablation   []AblationRecord `json:"ablation,omitempty"`
+
+	// Telemetry is the telemetry-on vs telemetry-off overhead probe
+	// (benchjson -telemetry).
+	Telemetry *TelemetryOverheadRecord `json:"telemetry,omitempty"`
 }
 
 // NewBenchReport stamps a report with the runtime environment.

@@ -74,11 +74,13 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 			opt.Pool.FillFloat64(ws.vsize[:n], 1, opt.Threads)
 		}
 		ws.initialCommunities(n, haveInit)
+		ps.Other += time.Since(t0)
 		var coloring *color.Coloring
 		if opt.Deterministic {
+			t0 = now()
 			coloring = color.GreedyOn(opt.Pool, cur, opt.Threads)
+			ps.Color = time.Since(t0)
 		}
-		ps.Other += time.Since(t0)
 
 		t0 = now()
 		sp := opt.Tracer.Begin("move", 0)
@@ -121,6 +123,8 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 			// split those into their components before recording.
 			t0 = now()
 			ws.splitConnected(cur, ws.bounds[:n])
+			ps.Split = time.Since(t0)
+			t0 = now()
 			ws.recordLevel(ws.bounds[:n], false)
 			ws.lookupDendrogram(ws.bounds[:n])
 			ps.Other += time.Since(t0)
@@ -135,7 +139,11 @@ func runLeiden(g *graph.CSR, ws *workspace) {
 			// Low shrink (line 10): aggregating buys almost nothing;
 			// stop with the move partition, which subsumes the refined one
 			// (split first — move partitions may be disconnected).
+			ps.Other += time.Since(t0)
+			t0 = now()
 			ws.splitConnected(cur, ws.bounds[:n])
+			ps.Split = time.Since(t0)
+			t0 = now()
 			ws.recordLevel(ws.bounds[:n], false)
 			ws.lookupDendrogram(ws.bounds[:n])
 			ps.Other += time.Since(t0)

@@ -59,11 +59,13 @@ func runLouvain(g *graph.CSR, ws *workspace) {
 			opt.Pool.FillFloat64(ws.vsize[:n], 1, opt.Threads)
 		}
 		ws.initialCommunities(n, false) // Louvain passes start singleton
+		ps.Other += time.Since(t0)
 		var coloring *color.Coloring
 		if opt.Deterministic {
+			t0 = now()
 			coloring = color.GreedyOn(opt.Pool, cur, opt.Threads)
+			ps.Color = time.Since(t0)
 		}
-		ps.Other += time.Since(t0)
 
 		t0 = now()
 		sp := opt.Tracer.Begin("move", 0)

@@ -36,6 +36,8 @@ func (ws *workspace) endPass(alg string, pass int, ps *PassStats, sp observe.Spa
 			Move:           ps.Move,
 			Refine:         ps.Refine,
 			Aggregate:      ps.Aggregate,
+			Color:          ps.Color,
+			Split:          ps.Split,
 			Other:          ps.Other,
 		})
 	}
@@ -79,12 +81,32 @@ func (s Stats) AddMetrics(ms *observe.MetricSet) {
 		ms.Gauge("gveleiden_pass_seconds", passHelp, p.Refine.Seconds(), pl, observe.L("phase", "refine"))
 		ms.Gauge("gveleiden_pass_seconds", passHelp, p.Aggregate.Seconds(), pl, observe.L("phase", "aggregate"))
 		ms.Gauge("gveleiden_pass_seconds", passHelp, p.Other.Seconds(), pl, observe.L("phase", "other"))
+		if p.Color > 0 {
+			ms.Gauge("gveleiden_pass_seconds", passHelp, p.Color.Seconds(), pl, observe.L("phase", "color"))
+		}
+		if p.Split > 0 {
+			ms.Gauge("gveleiden_pass_seconds", passHelp, p.Split.Seconds(), pl, observe.L("phase", "split"))
+		}
 		ms.Gauge("gveleiden_pass_vertices", "graph size per pass", float64(p.Vertices), pl)
 		ms.Gauge("gveleiden_pass_communities", "communities after refinement per pass", float64(p.Communities), pl)
 		ms.Gauge("gveleiden_pass_refine_moves", "refinement moves per pass", float64(p.RefineMoves), pl)
 		if p.AggOccupancy > 0 {
 			ms.Gauge("gveleiden_pass_agg_occupancy", "aggregation hashtable slot occupancy per pass", p.AggOccupancy, pl)
 		}
+	}
+}
+
+// PhaseSeconds returns the run's six-way phase totals in seconds, in
+// the shape the flight recorder stores.
+func (s Stats) PhaseSeconds() observe.PhaseSeconds {
+	mv, rf, ag, co, sp, ot := s.PhaseTotals()
+	return observe.PhaseSeconds{
+		Move:      mv.Seconds(),
+		Refine:    rf.Seconds(),
+		Aggregate: ag.Seconds(),
+		Color:     co.Seconds(),
+		Split:     sp.Seconds(),
+		Other:     ot.Seconds(),
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"gveleiden/internal/gen"
 	"gveleiden/internal/graph"
 	"gveleiden/internal/observe"
+	"gveleiden/internal/parallel"
 )
 
 // nullObserver consumes events without storing them — isolates the
@@ -59,5 +60,32 @@ func BenchmarkLeidenTraced(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		opt.Tracer = observe.NewTracer()
 		Leiden(g, opt)
+	}
+}
+
+// BenchmarkLeidenTelemetered runs with the full continuous-telemetry
+// wiring: a Telemetry observer feeding phase histograms plus the pool
+// region-latency histogram. Compare against BenchmarkLeidenNilObserver
+// to measure the telemetry-on overhead (EXPERIMENTS.md records it
+// within run-to-run noise).
+func BenchmarkLeidenTelemetered(b *testing.B) {
+	g := observeBenchGraph()
+	tel := observe.NewTelemetry(64)
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	pool.SetRegionLatency(tel.Region())
+	opt := testOpts(4)
+	opt.Pool = pool
+	opt.Observer = tel
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Leiden(g, opt)
+		tel.RecordRun(observe.RunRecord{
+			Algorithm:   "leiden",
+			WallSeconds: res.Stats.Total.Seconds(),
+			Passes:      res.Passes,
+			Phases:      res.Stats.PhaseSeconds(),
+		})
 	}
 }

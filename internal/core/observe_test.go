@@ -279,3 +279,100 @@ func TestFinalRefineObserved(t *testing.T) {
 		t.Fatalf("last pass event should be final-refine, got %+v", rec.passes)
 	}
 }
+
+// TestTelemetryWiredRun: a Telemetry observer plus a pool region
+// histogram accumulate across repeated runs — the -serve/-repeat
+// continuous path, in-process.
+func TestTelemetryWiredRun(t *testing.T) {
+	g, _ := gen.WebGraph(2500, 12, 3)
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	tel := observe.NewTelemetry(8)
+	pool.SetRegionLatency(tel.Region())
+	opt := testOpts(4)
+	opt.Pool = pool
+	opt.Observer = tel
+	opt.Deterministic = true // exercises the coloring sub-phase
+
+	const runs = 3
+	var passes int
+	for i := 0; i < runs; i++ {
+		res := Leiden(g, opt)
+		passes += res.Passes
+		tel.RecordRun(observe.RunRecord{
+			Algorithm:   "leiden",
+			WallSeconds: res.Stats.Total.Seconds(),
+			Vertices:    g.NumVertices(),
+			Arcs:        g.NumArcs(),
+			Passes:      res.Passes,
+			Modularity:  res.Modularity,
+			Phases:      res.Stats.PhaseSeconds(),
+		})
+	}
+	if tel.Runs() != runs {
+		t.Fatalf("telemetry recorded %d runs, want %d", tel.Runs(), runs)
+	}
+	if got := len(tel.Flight().Records()); got != runs {
+		t.Fatalf("flight recorder holds %d records, want %d", got, runs)
+	}
+	if tel.Region().Snapshot().Count == 0 {
+		t.Fatal("pool region histogram saw no regions")
+	}
+
+	ms := observe.NewMetricSet()
+	tel.AddTo(ms)
+	var found bool
+	for _, m := range ms.Metrics() {
+		if m.Name == "gveleiden_phase_duration_seconds" && len(m.Labels) == 1 &&
+			m.Labels[0].Value == "move" {
+			found = true
+			if m.Count != uint64(passes) {
+				t.Errorf("move histogram count %d, want %d observed passes", m.Count, passes)
+			}
+		}
+		if m.Name == "gveleiden_phase_duration_seconds" && len(m.Labels) == 1 &&
+			m.Labels[0].Value == "color" && m.Count == 0 {
+			t.Error("deterministic run recorded no coloring durations")
+		}
+	}
+	if !found {
+		t.Fatal("phase histogram missing from telemetry exposition")
+	}
+}
+
+// TestPassStatsPhaseAccounting: the six-way totals cover the pass
+// duration exactly, and the color/split sub-phases are populated where
+// the options exercise them.
+func TestPassStatsPhaseAccounting(t *testing.T) {
+	g, _ := gen.SocialNetwork(2500, 14, 12, 0.35, 4)
+	opt := testOpts(4)
+	opt.Deterministic = true
+	res := Leiden(g, opt)
+	for i, ps := range res.Stats.Passes {
+		if got := ps.Move + ps.Refine + ps.Aggregate + ps.Color + ps.Split + ps.Other; got != ps.Duration() {
+			t.Errorf("pass %d: phases sum %v != Duration %v", i, got, ps.Duration())
+		}
+		if ps.Color <= 0 {
+			t.Errorf("pass %d: deterministic run has no coloring time", i)
+		}
+	}
+	mv, rf, ag, co, sp, ot := res.Stats.PhaseTotals()
+	if co <= 0 {
+		t.Error("PhaseTotals lost the coloring time")
+	}
+	secs := res.Stats.PhaseSeconds()
+	if secs.Color != co.Seconds() || secs.Move != mv.Seconds() ||
+		secs.Refine != rf.Seconds() || secs.Aggregate != ag.Seconds() ||
+		secs.Split != sp.Seconds() || secs.Other != ot.Seconds() {
+		t.Errorf("PhaseSeconds disagrees with PhaseTotals: %+v", secs)
+	}
+	// The four-way split folds color+split into other and still sums
+	// to 1.
+	m4, r4, a4, o4 := res.Stats.PhaseSplit()
+	if sum := m4 + r4 + a4 + o4; sum < 0.999 || sum > 1.001 {
+		t.Errorf("PhaseSplit sums to %v, want 1", sum)
+	}
+	if wantOther := float64(co+sp+ot) / float64(mv+rf+ag+co+sp+ot); o4 < wantOther*0.999 || o4 > wantOther*1.001 {
+		t.Errorf("PhaseSplit other = %v, want %v (color+split folded in)", o4, wantOther)
+	}
+}

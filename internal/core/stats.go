@@ -31,12 +31,14 @@ type PassStats struct {
 	Move         time.Duration // local-moving phase time
 	Refine       time.Duration // refinement phase time
 	Aggregate    time.Duration // aggregation phase time
+	Color        time.Duration // graph-coloring time (0 unless Deterministic)
+	Split        time.Duration // in-pass disconnected-community splitting
 	Other        time.Duration // init, renumber, dendrogram lookup, resets
 }
 
 // Duration returns the total wall time of the pass.
 func (p PassStats) Duration() time.Duration {
-	return p.Move + p.Refine + p.Aggregate + p.Other
+	return p.Move + p.Refine + p.Aggregate + p.Color + p.Split + p.Other
 }
 
 // Stats aggregates per-pass statistics for a whole run.
@@ -47,13 +49,15 @@ type Stats struct {
 
 // PhaseSplit returns the fraction of total runtime spent in the
 // local-moving, refinement, aggregation and other phases (Figure 7a).
+// The coloring and splitting sub-phases fold into "other" here, keeping
+// the paper's four-way split; PhaseTotals exposes them separately.
 func (s Stats) PhaseSplit() (move, refine, aggregate, other float64) {
 	var tm, tr, ta, to time.Duration
 	for _, p := range s.Passes {
 		tm += p.Move
 		tr += p.Refine
 		ta += p.Aggregate
-		to += p.Other
+		to += p.Color + p.Split + p.Other
 	}
 	tot := tm + tr + ta + to
 	if tot == 0 {
@@ -61,6 +65,21 @@ func (s Stats) PhaseSplit() (move, refine, aggregate, other float64) {
 	}
 	f := func(d time.Duration) float64 { return float64(d) / float64(tot) }
 	return f(tm), f(tr), f(ta), f(to)
+}
+
+// PhaseTotals returns the summed per-phase durations across passes with
+// the coloring and splitting sub-phases broken out — the six-way
+// breakdown behind the telemetry histograms and the flight recorder.
+func (s Stats) PhaseTotals() (move, refine, aggregate, color, split, other time.Duration) {
+	for _, p := range s.Passes {
+		move += p.Move
+		refine += p.Refine
+		aggregate += p.Aggregate
+		color += p.Color
+		split += p.Split
+		other += p.Other
+	}
+	return
 }
 
 // FirstPassFraction returns the share of runtime consumed by the first
@@ -150,8 +169,8 @@ func (s Stats) String() string {
 		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t\n",
 			i, p.Vertices, p.Arcs, p.MoveIterations, p.Scanned, p.Pruned,
 			p.FlatScans, p.Moves, p.RefineMoves, p.Communities, occ,
-			round(p.Move), round(p.Refine), round(p.Aggregate), round(p.Other),
-			round(p.Duration()))
+			round(p.Move), round(p.Refine), round(p.Aggregate),
+			round(p.Color+p.Split+p.Other), round(p.Duration()))
 	}
 	w.Flush()
 	mv, rf, ag, ot := s.PhaseSplit()

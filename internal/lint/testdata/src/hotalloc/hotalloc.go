@@ -7,7 +7,9 @@ package hotalloc
 
 import (
 	"fmt"
+	"time"
 
+	"gveleiden/internal/observe"
 	"gveleiden/internal/parallel"
 )
 
@@ -38,6 +40,21 @@ func regions(p *parallel.Pool, buf []int, out []any) {
 		_ = scratch
 		amortized := append([]int(nil), lo) //gvevet:ignore hotalloc fixture: amortized growth example
 		_ = amortized
+	})
+}
+
+// telemetry in a region body is clean: Histogram.Observe takes a
+// float64 (no boxing) and records via atomics into preallocated shards
+// (no allocation), so instrumenting a hot loop produces no findings.
+func observedRegion(p *parallel.Pool, h *observe.Histogram, buf []float64) {
+	p.For(len(buf), 4, 64, func(lo, hi, tid int) {
+		start := time.Now()
+		local := 0.0
+		for i := lo; i < hi; i++ {
+			local += buf[i]
+		}
+		h.Observe(local)
+		h.ObserveDuration(time.Since(start))
 	})
 }
 

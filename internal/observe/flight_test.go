@@ -1,0 +1,107 @@
+package observe
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestFlightRecorderRing: the ring keeps the last N records in order,
+// assigns monotonic sequence numbers, and evicts the oldest.
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Add(RunRecord{Algorithm: "leiden", Vertices: 100 + i})
+	}
+	if f.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", f.Total())
+	}
+	recs := f.Records()
+	if len(recs) != 4 {
+		t.Fatalf("retained %d records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		wantSeq := uint64(6 + i) // records 6..9 survive
+		if r.Seq != wantSeq || r.Vertices != 100+int(wantSeq) {
+			t.Errorf("record %d: seq=%d vertices=%d, want seq=%d", i, r.Seq, r.Vertices, wantSeq)
+		}
+	}
+}
+
+// TestFlightRecorderPartial: before the ring fills, Records returns
+// exactly what was added, oldest first.
+func TestFlightRecorderPartial(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Add(RunRecord{Vertices: 1})
+	f.Add(RunRecord{Vertices: 2})
+	recs := f.Records()
+	if len(recs) != 2 || recs[0].Vertices != 1 || recs[1].Vertices != 2 {
+		t.Fatalf("unexpected records: %+v", recs)
+	}
+}
+
+// TestFlightRecorderSteadyStateAlloc: once the ring is full, Add
+// overwrites in place and must not allocate.
+func TestFlightRecorderSteadyStateAlloc(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 4; i++ {
+		f.Add(RunRecord{})
+	}
+	if a := testing.AllocsPerRun(100, func() { f.Add(RunRecord{}) }); a != 0 {
+		t.Fatalf("steady-state Add allocates %v per call, want 0", a)
+	}
+}
+
+// TestFlightRecorderJSON: the dump parses, carries the envelope fields,
+// and round-trips record content.
+func TestFlightRecorderJSON(t *testing.T) {
+	f := NewFlightRecorder(4)
+	start := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	f.Add(RunRecord{
+		Algorithm: "leiden", Start: start, WallSeconds: 1.5,
+		Vertices: 1000, Arcs: 5000, Threads: 4, Passes: 3,
+		Modularity: 0.78, Check: "passed",
+		Phases: PhaseSeconds{Move: 0.9, Refine: 0.3, Aggregate: 0.2, Other: 0.1},
+	})
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Total    uint64      `json:"total"`
+		Capacity int         `json:"capacity"`
+		Records  []RunRecord `json:"records"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if dump.Total != 1 || dump.Capacity != 4 || len(dump.Records) != 1 {
+		t.Fatalf("envelope mismatch: %+v", dump)
+	}
+	r := dump.Records[0]
+	if r.Algorithm != "leiden" || !r.Start.Equal(start) || r.Check != "passed" ||
+		r.Phases.Move != 0.9 {
+		t.Errorf("record did not round-trip: %+v", r)
+	}
+}
+
+// TestFlightRecorderNil: a nil recorder discards and dumps empty.
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Add(RunRecord{})
+	if f.Total() != 0 || f.Records() != nil {
+		t.Fatal("nil recorder retained records")
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("nil dump is not valid JSON: %v", err)
+	}
+	if recs, ok := dump["records"].([]any); !ok || len(recs) != 0 {
+		t.Fatalf("nil dump records = %v, want empty array", dump["records"])
+	}
+}

@@ -1,0 +1,95 @@
+package observe
+
+import (
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a slog.Logger writing to w in the requested format:
+// "json" for machine ingestion, anything else (conventionally "text")
+// for humans. level follows slog's levels; slog.LevelInfo is the usual
+// choice.
+func NewLogger(w io.Writer, format string, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if strings.EqualFold(format, "json") {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// SlogObserver is an Observer emitting one structured log record per
+// pass (and, with Iterations set, per local-moving iteration) — the
+// structured-logging counterpart of Progress. A nil *SlogObserver or a
+// nil Logger disables emission.
+//
+//gvevet:nilsafe
+type SlogObserver struct {
+	Logger     *slog.Logger
+	Iterations bool
+}
+
+// NewSlogObserver returns an observer logging pass summaries to l.
+func NewSlogObserver(l *slog.Logger) *SlogObserver { return &SlogObserver{Logger: l} }
+
+// OnIteration implements Observer.
+func (o *SlogObserver) OnIteration(e IterEvent) {
+	if o == nil || o.Logger == nil || !o.Iterations {
+		return
+	}
+	o.Logger.Info("iteration",
+		slog.Int("pass", e.Pass),
+		slog.Int("iter", e.Iteration),
+		slog.Int64("scanned", e.Scanned),
+		slog.Int64("pruned", e.Pruned),
+		slog.Int64("moves", e.Moves),
+		slog.Float64("delta_q", e.DeltaQ),
+	)
+}
+
+// OnPass implements Observer.
+func (o *SlogObserver) OnPass(e PassEvent) {
+	if o == nil || o.Logger == nil {
+		return
+	}
+	o.Logger.Info("pass",
+		slog.String("algorithm", e.Algorithm),
+		slog.Int("pass", e.Pass),
+		slog.Int("vertices", e.Vertices),
+		slog.Int64("arcs", e.Arcs),
+		slog.Int("iterations", e.MoveIterations),
+		slog.Int64("moves", e.Moves),
+		slog.Int64("refine_moves", e.RefineMoves),
+		slog.Int("communities", e.Communities),
+		slog.Float64("delta_q", e.DeltaQ),
+		slog.Duration("move", e.Move),
+		slog.Duration("refine", e.Refine),
+		slog.Duration("aggregate", e.Aggregate),
+		slog.Duration("total", e.Duration()),
+	)
+}
+
+// LogRun emits the run-summary record matching a RunRecord — shared by
+// the CLI's normal and -serve paths so both log the same shape.
+func LogRun(l *slog.Logger, r RunRecord) {
+	if l == nil {
+		return
+	}
+	attrs := []any{
+		slog.Uint64("seq", r.Seq),
+		slog.String("algorithm", r.Algorithm),
+		slog.Time("start", r.Start),
+		slog.Float64("wall_seconds", r.WallSeconds),
+		slog.Int("vertices", r.Vertices),
+		slog.Int64("arcs", r.Arcs),
+		slog.Int("threads", r.Threads),
+		slog.Int("passes", r.Passes),
+		slog.Int64("moves", r.Moves),
+		slog.Int("communities", r.Communities),
+		slog.Float64("modularity", r.Modularity),
+	}
+	if r.Check != "" {
+		attrs = append(attrs, slog.String("check", r.Check))
+	}
+	l.Info("run", attrs...)
+}

@@ -11,8 +11,9 @@ import (
 
 // Metric types, following the Prometheus exposition format.
 const (
-	TypeCounter = "counter"
-	TypeGauge   = "gauge"
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
 )
 
 // Label is one name="value" metric label.
@@ -24,13 +25,28 @@ type Label struct {
 // L is shorthand for constructing a Label.
 func L(name, value string) Label { return Label{Name: name, Value: value} }
 
+// Bucket is one cumulative histogram bucket. LE is the pre-formatted
+// upper bound ("+Inf" for the last bucket) so the Prometheus text and
+// JSON forms render the identical string.
+type Bucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"` // cumulative: observations ≤ LE
+}
+
 // Metric is one sample: a name, optional labels, and a float64 value.
+// Histogram-typed samples carry cumulative buckets plus the sum and
+// count instead of Value.
 type Metric struct {
 	Name   string  `json:"name"`
 	Help   string  `json:"help,omitempty"`
 	Type   string  `json:"type"`
 	Labels []Label `json:"labels,omitempty"`
 	Value  float64 `json:"value"`
+
+	// Histogram-only fields (Type == TypeHistogram).
+	Buckets []Bucket `json:"buckets,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Count   uint64   `json:"count,omitempty"`
 }
 
 // MetricSet is an ordered collection of samples with Prometheus
@@ -61,6 +77,25 @@ func (ms *MetricSet) Counter(name, help string, value float64, labels ...Label) 
 // Gauge appends a gauge sample.
 func (ms *MetricSet) Gauge(name, help string, value float64, labels ...Label) {
 	ms.Add(name, TypeGauge, help, value, labels...)
+}
+
+// Histogram appends a histogram sample built from a snapshot. Buckets
+// are converted to the Prometheus cumulative form; Count is recomputed
+// from the buckets so `_count` always equals the +Inf bucket.
+func (ms *MetricSet) Histogram(name, help string, snap HistogramSnapshot, labels ...Label) {
+	m := Metric{Name: name, Help: help, Type: TypeHistogram, Labels: labels, Sum: snap.Sum}
+	m.Buckets = make([]Bucket, NumHistogramBuckets)
+	var cum uint64
+	for i, c := range snap.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(histBounds) {
+			le = formatValue(histBounds[i])
+		}
+		m.Buckets[i] = Bucket{LE: le, Count: cum}
+	}
+	m.Count = cum
+	ms.metrics = append(ms.metrics, m)
 }
 
 // Len returns the number of samples.
@@ -96,6 +131,12 @@ func (ms *MetricSet) WritePrometheus(w io.Writer) error {
 			return err
 		}
 		for _, m := range g {
+			if m.Type == TypeHistogram {
+				if err := writeHistogram(w, name, m); err != nil {
+					return err
+				}
+				continue
+			}
 			if _, err := fmt.Fprintf(w, "%s%s %s\n",
 				name, formatLabels(m.Labels), formatValue(m.Value)); err != nil {
 				return err
@@ -103,6 +144,28 @@ func (ms *MetricSet) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// writeHistogram emits the three-series exposition of one histogram
+// sample: `name_bucket{le="..."}` lines in ascending bound order ending
+// at +Inf, then `name_sum` and `name_count`.
+func writeHistogram(w io.Writer, name string, m Metric) error {
+	for _, b := range m.Buckets {
+		labels := make([]Label, 0, len(m.Labels)+1)
+		labels = append(labels, m.Labels...)
+		labels = append(labels, L("le", b.LE))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, formatLabels(labels), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		name, formatLabels(m.Labels), formatValue(m.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+		name, formatLabels(m.Labels), m.Count)
+	return err
 }
 
 // WriteJSON writes the samples as an indented JSON array, in insertion

@@ -1,0 +1,208 @@
+package observe
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func sampleSnapshot(t *testing.T) HistogramSnapshot {
+	t.Helper()
+	h := NewHistogram()
+	for _, v := range []float64{1e-12, 0.001, 0.001, 0.25, 3, 1e9} {
+		h.Observe(v)
+	}
+	return h.Snapshot()
+}
+
+// TestHistogramExposition: the rendered histogram has ascending le
+// bounds ending in +Inf, non-decreasing cumulative counts, and
+// _count equal to the +Inf bucket.
+func TestHistogramExposition(t *testing.T) {
+	ms := NewMetricSet()
+	ms.Histogram("req_seconds", "request latency", sampleSnapshot(t), L("phase", "move"))
+	var buf bytes.Buffer
+	if err := ms.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	if !strings.Contains(out, "# TYPE req_seconds histogram\n") {
+		t.Fatalf("missing histogram TYPE header:\n%s", out)
+	}
+
+	bucketRe := regexp.MustCompile(`req_seconds_bucket\{le="([^"]+)",phase="move"\} (\d+)`)
+	matches := bucketRe.FindAllStringSubmatch(out, -1)
+	if len(matches) != NumHistogramBuckets {
+		t.Fatalf("got %d bucket lines, want %d", len(matches), NumHistogramBuckets)
+	}
+	var prevLE float64
+	var prevCount uint64
+	for i, m := range matches {
+		var le float64
+		if m[1] == "+Inf" {
+			if i != len(matches)-1 {
+				t.Fatalf("+Inf bucket at position %d, want last", i)
+			}
+		} else {
+			var err error
+			le, err = strconv.ParseFloat(m[1], 64)
+			if err != nil {
+				t.Fatalf("unparsable le %q: %v", m[1], err)
+			}
+			if i > 0 && le <= prevLE {
+				t.Fatalf("le not ascending at %d: %g after %g", i, le, prevLE)
+			}
+			prevLE = le
+		}
+		count, _ := strconv.ParseUint(m[2], 10, 64)
+		if count < prevCount {
+			t.Fatalf("cumulative count decreased at le=%s: %d after %d", m[1], count, prevCount)
+		}
+		prevCount = count
+	}
+
+	countRe := regexp.MustCompile(`req_seconds_count\{phase="move"\} (\d+)`)
+	cm := countRe.FindStringSubmatch(out)
+	if cm == nil {
+		t.Fatalf("missing _count line:\n%s", out)
+	}
+	if count, _ := strconv.ParseUint(cm[1], 10, 64); count != prevCount {
+		t.Fatalf("_count %d ≠ +Inf bucket %d", count, prevCount)
+	}
+	if count, _ := strconv.ParseUint(cm[1], 10, 64); count != 6 {
+		t.Fatalf("_count = %d, want 6 observations", count)
+	}
+
+	sumRe := regexp.MustCompile(`req_seconds_sum\{phase="move"\} ([0-9.e+-]+)`)
+	sm := sumRe.FindStringSubmatch(out)
+	if sm == nil {
+		t.Fatalf("missing _sum line:\n%s", out)
+	}
+	sum, err := strconv.ParseFloat(sm[1], 64)
+	if err != nil || sum < 3.25 || sum > 1.1e9 {
+		t.Fatalf("_sum = %q (%g), want ≈ 1e9+3.252", sm[1], sum)
+	}
+}
+
+// TestHistogramExpositionEmpty: an empty histogram still renders the
+// full bucket ladder with zero counts — scrapers need stable series.
+func TestHistogramExpositionEmpty(t *testing.T) {
+	ms := NewMetricSet()
+	ms.Histogram("empty_seconds", "", HistogramSnapshot{})
+	var buf bytes.Buffer
+	if err := ms.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "empty_seconds_bucket{"); n != NumHistogramBuckets {
+		t.Fatalf("empty histogram rendered %d buckets, want %d", n, NumHistogramBuckets)
+	}
+	for _, want := range []string{
+		`empty_seconds_bucket{le="+Inf"} 0`,
+		"empty_seconds_sum 0",
+		"empty_seconds_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLabelEscapingRoundTrip: an adversarial label value survives the
+// exposition escape and unescapes back to the original.
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	hostile := "a\"b\\c\nd\te\\\"f"
+	ms := NewMetricSet()
+	ms.Counter("esc_total", "", 1, L("path", hostile))
+	var buf bytes.Buffer
+	if err := ms.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	re := regexp.MustCompile(`esc_total\{path="((?:[^"\\]|\\.)*)"\} 1`)
+	m := re.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no parsable escaped sample in:\n%s", out)
+	}
+	// Unescape per the exposition format: \\ → \, \" → ", \n → newline.
+	var b strings.Builder
+	esc := false
+	for _, r := range m[1] {
+		if esc {
+			switch r {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteRune(r)
+			}
+			esc = false
+			continue
+		}
+		if r == '\\' {
+			esc = true
+			continue
+		}
+		b.WriteRune(r)
+	}
+	if got := b.String(); got != hostile {
+		t.Fatalf("round-trip mismatch:\n got %q\nwant %q", got, hostile)
+	}
+	// The emitted line must also stay a single line (raw newline would
+	// corrupt the exposition).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "esc_total{") && strings.Count(line, `"`) < 2 {
+			t.Fatalf("escaped sample split across lines:\n%s", out)
+		}
+	}
+}
+
+// TestHistogramJSONPrometheusParity: the same MetricSet renders the
+// same buckets, sum, and count through both writers — including the
+// +Inf bound, which JSON cannot represent as a number.
+func TestHistogramJSONPrometheusParity(t *testing.T) {
+	snap := sampleSnapshot(t)
+	ms := NewMetricSet()
+	ms.Histogram("par_seconds", "parity check", snap, L("phase", "move"))
+	ms.Counter("par_total", "plain counter for parity", 7)
+
+	var jsonBuf, promBuf bytes.Buffer
+	if err := ms.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.WritePrometheus(&promBuf); err != nil {
+		t.Fatal(err)
+	}
+	var back []Metric
+	if err := json.Unmarshal(jsonBuf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("got %d metrics, want 2", len(back))
+	}
+	h := back[0]
+	if h.Type != TypeHistogram || len(h.Buckets) != NumHistogramBuckets {
+		t.Fatalf("histogram did not round-trip: type=%s buckets=%d", h.Type, len(h.Buckets))
+	}
+	if h.Buckets[len(h.Buckets)-1].LE != "+Inf" {
+		t.Fatalf("last JSON bucket le = %q, want +Inf", h.Buckets[len(h.Buckets)-1].LE)
+	}
+	if h.Count != snap.Count || h.Sum != snap.Sum {
+		t.Fatalf("JSON count/sum = %d/%g, want %d/%g", h.Count, h.Sum, snap.Count, snap.Sum)
+	}
+	// Every JSON bucket appears verbatim in the Prometheus text: same
+	// le string, same cumulative count.
+	prom := promBuf.String()
+	for _, b := range h.Buckets {
+		line := `par_seconds_bucket{le="` + b.LE + `",phase="move"} ` + strconv.FormatUint(b.Count, 10) + "\n"
+		if !strings.Contains(prom, line) {
+			t.Fatalf("Prometheus text missing JSON bucket line %q", line)
+		}
+	}
+	if !strings.Contains(prom, "par_total 7\n") {
+		t.Fatalf("plain counter lost in mixed set:\n%s", prom)
+	}
+}

@@ -3,7 +3,7 @@
 // through the parallel runtime, the core algorithm phases, and the
 // command-line tools.
 //
-// It provides three independent pieces:
+// It provides two layers. The per-run layer:
 //
 //   - Tracer — span-based tracing. Every pass, phase, and local-moving
 //     iteration of a run opens a span; the recorded spans serialize to
@@ -18,6 +18,23 @@
 //     text-format and JSON writers, used by the CLIs' -metrics flag and
 //     by cmd/benchjson to export phase timings, algorithm counters, and
 //     parallel.Pool scheduler counters machine-readably.
+//
+// And the continuous layer, for processes that outlive a single run:
+//
+//   - Histogram — fixed-layout log-linear latency histograms with
+//     lock-free padded shards, feeding MetricSet's Prometheus histogram
+//     exposition.
+//
+//   - Telemetry — the process-lifetime aggregator: per-phase duration
+//     histograms, ΔQ and run-time distributions, work counters, and a
+//     FlightRecorder ring of recent RunRecords for post-hoc debugging.
+//
+//   - Sampler — a runtime/metrics poller turning heap, GC, goroutine,
+//     and scheduler-latency readings into gauges.
+//
+//   - Server — the introspection endpoint consolidating /metrics,
+//     /metrics.json, /healthz, /debug/flight, /debug/vars, and
+//     /debug/pprof on one gracefully-shutdownable mux.
 //
 // The package deliberately depends only on the standard library, so
 // every other layer (internal/parallel, internal/core, the commands)

@@ -28,12 +28,14 @@ type PassEvent struct {
 	Move           time.Duration // local-moving phase time
 	Refine         time.Duration // refinement phase time
 	Aggregate      time.Duration // aggregation phase time
+	Color          time.Duration // graph-coloring time (0 unless -color)
+	Split          time.Duration // in-pass disconnected-community splitting
 	Other          time.Duration // init, renumber, dendrogram, resets
 }
 
 // Duration returns the total wall time of the pass.
 func (e PassEvent) Duration() time.Duration {
-	return e.Move + e.Refine + e.Aggregate + e.Other
+	return e.Move + e.Refine + e.Aggregate + e.Color + e.Split + e.Other
 }
 
 // IterEvent describes one completed local-moving iteration.

@@ -1,0 +1,205 @@
+package observe
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// samplerMetric maps one runtime/metrics sample onto the exposition:
+// the runtime name, the exported metric name, its type, and help text.
+type samplerMetric struct {
+	runtime string
+	name    string
+	typ     string
+	help    string
+}
+
+// samplerMetrics is the fixed set the sampler polls. Histogram-kinded
+// runtime metrics (GC pauses, scheduler latencies) are exported as
+// quantile gauges plus an event counter rather than full histograms:
+// the runtime's bucket layout differs from ours and changes across Go
+// versions, so quantiles are the stable surface.
+var samplerMetrics = []samplerMetric{
+	{"/memory/classes/heap/objects:bytes", "gveleiden_runtime_heap_objects_bytes", TypeGauge, "bytes of live heap objects"},
+	{"/memory/classes/total:bytes", "gveleiden_runtime_memory_total_bytes", TypeGauge, "total bytes mapped by the Go runtime"},
+	{"/sched/goroutines:goroutines", "gveleiden_runtime_goroutines", TypeGauge, "live goroutines"},
+	{"/gc/cycles/total:gc-cycles", "gveleiden_runtime_gc_cycles_total", TypeCounter, "completed GC cycles"},
+	{"/gc/heap/allocs:bytes", "gveleiden_runtime_heap_allocs_bytes_total", TypeCounter, "cumulative bytes allocated on the heap"},
+	{"/gc/pauses:seconds", "gveleiden_runtime_gc_pause_seconds", TypeGauge, "stop-the-world GC pause quantiles"},
+	{"/sched/latencies:seconds", "gveleiden_runtime_sched_latency_seconds", TypeGauge, "goroutine scheduling latency quantiles"},
+}
+
+// Sampler polls runtime/metrics on a fixed interval from a background
+// goroutine and exposes the latest snapshot as gauges/counters via
+// AddTo — the process-health half of the telemetry subsystem (the
+// algorithm half lives in Telemetry). A nil *Sampler contributes
+// nothing, so wiring it is optional at every call site.
+//
+//gvevet:nilsafe
+type Sampler struct {
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+
+	mu      sync.Mutex
+	samples []metrics.Sample // latest poll, guarded by mu
+	polls   uint64
+	started bool
+	stopped bool
+}
+
+// DefaultSampleInterval is the poll interval used for non-positive
+// intervals.
+const DefaultSampleInterval = time.Second
+
+// NewSampler returns a sampler polling every interval once started.
+func NewSampler(interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	s := &Sampler{
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		samples:  make([]metrics.Sample, len(samplerMetrics)),
+	}
+	for i := range s.samples {
+		s.samples[i].Name = samplerMetrics[i].runtime
+	}
+	return s
+}
+
+// Start launches the polling goroutine after taking one synchronous
+// sample, so gauges are populated before the first tick. Idempotent.
+func (s *Sampler) Start() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.poll()
+	s.mu.Unlock()
+	go s.loop()
+}
+
+// Stop terminates the polling goroutine and waits for it to exit.
+// Idempotent; Stop before Start is a no-op.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.started || s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+}
+
+func (s *Sampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			s.poll()
+			s.mu.Unlock()
+		}
+	}
+}
+
+// poll reads the runtime metrics in place. Caller holds s.mu.
+func (s *Sampler) poll() {
+	metrics.Read(s.samples)
+	s.polls++
+}
+
+// Polls returns the number of completed polls (≥1 once started).
+func (s *Sampler) Polls() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.polls
+}
+
+// AddTo appends the latest runtime sample to ms. Unsupported metrics
+// (KindBad on an older runtime) are skipped.
+func (s *Sampler) AddTo(ms *MetricSet) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, m := range samplerMetrics {
+		v := s.samples[i].Value
+		switch v.Kind() {
+		case metrics.KindUint64:
+			ms.Add(m.name, m.typ, m.help, float64(v.Uint64()))
+		case metrics.KindFloat64:
+			ms.Add(m.name, m.typ, m.help, v.Float64())
+		case metrics.KindFloat64Histogram:
+			addRuntimeHistogram(ms, m, v.Float64Histogram())
+		}
+	}
+	ms.Counter("gveleiden_runtime_sampler_polls_total", "runtime/metrics polls completed", float64(s.polls))
+}
+
+// addRuntimeHistogram condenses a runtime Float64Histogram to p50, p99
+// and max quantile gauges plus a _total event counter.
+func addRuntimeHistogram(ms *MetricSet, m samplerMetric, h *metrics.Float64Histogram) {
+	if h == nil {
+		return
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	ms.Counter(m.name+"_events_total", m.help+" (event count)", float64(total))
+	if total == 0 {
+		return
+	}
+	for _, q := range []struct {
+		q     float64
+		label string
+	}{{0.5, "0.5"}, {0.99, "0.99"}, {1, "1"}} {
+		ms.Gauge(m.name, m.help, runtimeQuantile(h, total, q.q), L("quantile", q.label))
+	}
+}
+
+// runtimeQuantile returns the upper bound of the bucket containing the
+// q-quantile observation of h. Infinite bounds are clamped to the
+// nearest finite neighbour.
+func runtimeQuantile(h *metrics.Float64Histogram, total uint64, q float64) float64 {
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > rank {
+			// Bucket i spans Buckets[i] .. Buckets[i+1].
+			hi := h.Buckets[i+1]
+			if !math.IsInf(hi, 0) {
+				return hi
+			}
+			return h.Buckets[i]
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -1,0 +1,79 @@
+package observe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSamplerLifecycle: Start takes a synchronous first sample, the
+// gauges appear in the exposition, and Start/Stop are idempotent.
+func TestSamplerLifecycle(t *testing.T) {
+	s := NewSampler(time.Hour) // ticker never fires; first poll is sync
+	s.Start()
+	s.Start() // idempotent
+	if s.Polls() < 1 {
+		t.Fatal("Start did not take a synchronous first sample")
+	}
+	ms := NewMetricSet()
+	s.AddTo(ms)
+	var buf bytes.Buffer
+	if err := ms.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE gveleiden_runtime_goroutines gauge",
+		"gveleiden_runtime_heap_objects_bytes",
+		"gveleiden_runtime_memory_total_bytes",
+		"# TYPE gveleiden_runtime_gc_cycles_total counter",
+		"gveleiden_runtime_sampler_polls_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sampler exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Goroutine count is a positive small integer — sanity that values
+	// flow through, not just names.
+	if strings.Contains(out, "gveleiden_runtime_goroutines 0\n") {
+		t.Error("goroutine gauge is zero")
+	}
+	s.Stop()
+	s.Stop() // idempotent
+}
+
+// TestSamplerPolling: with a short interval the background goroutine
+// keeps polling until Stop.
+func TestSamplerPolling(t *testing.T) {
+	s := NewSampler(time.Millisecond)
+	s.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Polls() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	if s.Polls() < 3 {
+		t.Fatalf("only %d polls in 2s at 1ms interval", s.Polls())
+	}
+	after := s.Polls()
+	time.Sleep(5 * time.Millisecond)
+	if s.Polls() != after {
+		t.Fatal("sampler kept polling after Stop")
+	}
+}
+
+// TestSamplerNil: a nil sampler is inert.
+func TestSamplerNil(t *testing.T) {
+	var s *Sampler
+	s.Start()
+	s.Stop()
+	if s.Polls() != 0 {
+		t.Fatal("nil sampler polled")
+	}
+	ms := NewMetricSet()
+	s.AddTo(ms)
+	if ms.Len() != 0 {
+		t.Fatalf("nil sampler added %d metrics", ms.Len())
+	}
+}

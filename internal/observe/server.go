@@ -1,0 +1,133 @@
+package observe
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the introspection endpoint of a long-running process: one
+// mux serving the Prometheus scrape (/metrics), its JSON twin
+// (/metrics.json), liveness (/healthz), the flight-recorder dump
+// (/debug/flight), expvar (/debug/vars), and the pprof family
+// (/debug/pprof/...). Start binds synchronously — a bad address fails
+// immediately instead of inside a goroutine — and Shutdown drains
+// gracefully, fixing the leaked ListenAndServe goroutine the bare
+// -pprof flag used to spawn.
+//
+// The gather callback is invoked per scrape and must be safe to call
+// concurrently with runs in flight; histogram snapshots make that safe
+// by construction.
+type Server struct {
+	gather func() *MetricSet
+	flight *FlightRecorder
+
+	srv *http.Server
+	ln  net.Listener
+	err chan error
+}
+
+// NewServer builds an unstarted server. gather assembles the scrape
+// response and may be nil (an empty set is served); flight may be nil
+// (/debug/flight serves an empty dump).
+func NewServer(addr string, gather func() *MetricSet, flight *FlightRecorder) *Server {
+	s := &Server{gather: gather, flight: flight, err: make(chan error, 1)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/healthz", handleHealthz)
+	mux.HandleFunc("/debug/flight", s.handleFlight)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Start binds the listener (reporting bind failures synchronously) and
+// serves in a background goroutine until Shutdown.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.srv.Addr)
+	if err != nil {
+		return fmt.Errorf("observe: listen %s: %w", s.srv.Addr, err)
+	}
+	s.ln = ln
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.err <- err
+		}
+		close(s.err)
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start) — with
+// ":0" this is how callers learn the assigned port.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown gracefully drains in-flight requests and stops the server.
+// It returns the first serve error, if any, once the serve goroutine
+// has exited.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.ln == nil {
+		return nil // never started
+	}
+	err := s.srv.Shutdown(ctx)
+	if serveErr, ok := <-s.err; ok && err == nil {
+		err = serveErr
+	}
+	return err
+}
+
+func (s *Server) metricSet() *MetricSet {
+	if s.gather == nil {
+		return NewMetricSet()
+	}
+	if ms := s.gather(); ms != nil {
+		return ms
+	}
+	return NewMetricSet()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metricSet().WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.metricSet().WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.flight.WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}

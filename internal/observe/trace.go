@@ -21,8 +21,11 @@ import (
 type Tracer struct {
 	base time.Time
 
-	mu     sync.Mutex
-	events []Event
+	mu       sync.Mutex
+	events   []Event
+	sink     io.Writer // flushed and closed by Close; may be nil
+	closed   bool
+	closeErr error
 }
 
 // Event is one recorded trace event. The JSON field names follow the
@@ -134,8 +137,49 @@ func (t *Tracer) Counter(name string, tid int, values map[string]any) {
 
 func (t *Tracer) record(e Event) {
 	t.mu.Lock()
-	t.events = append(t.events, e)
+	if !t.closed {
+		t.events = append(t.events, e)
+	}
 	t.mu.Unlock()
+}
+
+// SetOutput registers w as the tracer's sink: Close flushes the
+// recorded events to it as trace-event JSON and, if w is an io.Closer,
+// closes it. Registering a sink lets a signal handler salvage a
+// readable trace from a killed run with one Close call.
+func (t *Tracer) SetOutput(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = w
+	t.mu.Unlock()
+}
+
+// Close flushes the events to the registered sink (if any), closes the
+// sink when it is an io.Closer, and stops recording: spans ending after
+// Close are silently dropped rather than racing the flush. Idempotent —
+// concurrent and repeated calls are safe, and later calls return the
+// first call's error.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return t.closeErr
+	}
+	t.closed = true
+	if t.sink != nil {
+		t.closeErr = t.writeLocked(t.sink)
+		if c, ok := t.sink.(io.Closer); ok {
+			if err := c.Close(); err != nil && t.closeErr == nil {
+				t.closeErr = err
+			}
+		}
+	}
+	return t.closeErr
 }
 
 // Len returns the number of recorded events.
@@ -174,10 +218,23 @@ type traceFile struct {
 // object. Events are sorted by timestamp; spans record at End, so sort
 // order is also a valid load order for streaming viewers.
 func (t *Tracer) Write(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.writeLocked(w)
+}
+
+// writeLocked is Write's body; the caller holds t.mu.
+func (t *Tracer) writeLocked(w io.Writer) error {
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(traceFile{
-		TraceEvents:     t.Events(),
+		TraceEvents:     out,
 		DisplayTimeUnit: "ms",
 	})
 }

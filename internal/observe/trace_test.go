@@ -157,3 +157,112 @@ func TestTracerConcurrent(t *testing.T) {
 		t.Fatal("concurrent trace output is not valid JSON")
 	}
 }
+
+// closeCountingBuffer records whether Close was called on the sink.
+type closeCountingBuffer struct {
+	bytes.Buffer
+	closes int
+}
+
+func (c *closeCountingBuffer) Close() error {
+	c.closes++
+	return nil
+}
+
+// TestTracerCloseFlushes: Close writes the recorded events to the
+// registered sink as valid trace JSON and closes it exactly once, even
+// under repeated Close calls.
+func TestTracerCloseFlushes(t *testing.T) {
+	tr := NewTracer()
+	sink := &closeCountingBuffer{}
+	tr.SetOutput(sink)
+	tr.Begin("work", 0).End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if sink.closes != 1 {
+		t.Fatalf("sink closed %d times, want 1", sink.closes)
+	}
+	var file struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(sink.Bytes(), &file); err != nil {
+		t.Fatalf("flushed trace is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) != 1 || file.TraceEvents[0].Name != "work" {
+		t.Fatalf("flushed events = %+v, want the one recorded span", file.TraceEvents)
+	}
+	// Spans ending after Close are dropped, not recorded.
+	tr.Begin("late", 0).End()
+	if tr.Len() != 1 {
+		t.Fatalf("events recorded after Close: len=%d", tr.Len())
+	}
+}
+
+// TestTracerCloseWithoutSink: Close with no registered output is a
+// clean no-op (and nil tracers close cleanly too).
+func TestTracerCloseWithoutSink(t *testing.T) {
+	tr := NewTracer()
+	tr.Begin("x", 0).End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var nilTr *Tracer
+	if err := nilTr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	nilTr.SetOutput(&bytes.Buffer{})
+}
+
+// TestTracerConcurrentClose: goroutines keep emitting spans while Close
+// runs — the SIGINT-during-run scenario. Under -race this must be
+// clean, the flushed JSON valid, and every call must agree on the
+// error.
+func TestTracerConcurrentClose(t *testing.T) {
+	tr := NewTracer()
+	sink := &closeCountingBuffer{}
+	tr.SetOutput(sink)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					sp := tr.Begin("work", tid)
+					tr.Instant("tick", tid, nil)
+					sp.End()
+				}
+			}
+		}(w)
+	}
+	time.Sleep(2 * time.Millisecond)
+	var closers sync.WaitGroup
+	for i := 0; i < 3; i++ { // concurrent double-close
+		closers.Add(1)
+		go func() {
+			defer closers.Done()
+			if err := tr.Close(); err != nil {
+				t.Errorf("concurrent close: %v", err)
+			}
+		}()
+	}
+	closers.Wait()
+	close(stop)
+	wg.Wait()
+
+	if sink.closes != 1 {
+		t.Fatalf("sink closed %d times, want 1", sink.closes)
+	}
+	if !json.Valid(sink.Bytes()) {
+		t.Fatal("trace flushed during concurrent emission is not valid JSON")
+	}
+}

@@ -1,0 +1,70 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+
+	"gveleiden/internal/observe"
+)
+
+// TestRegionLatencyHistogram: an attached histogram receives one
+// observation per scheduled (non-inline) region, on both the pooled and
+// the spawn-fallback paths, and detaching stops the flow.
+func TestRegionLatencyHistogram(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	h := observe.NewHistogram()
+	p.SetRegionLatency(h)
+
+	const regions = 5
+	var sum int64
+	var mu sync.Mutex
+	for r := 0; r < regions; r++ {
+		p.For(10000, 4, 64, func(lo, hi, tid int) {
+			local := int64(0)
+			for i := lo; i < hi; i++ {
+				local += int64(i)
+			}
+			mu.Lock()
+			sum += local
+			mu.Unlock()
+		})
+	}
+	if snap := h.Snapshot(); snap.Count != regions {
+		t.Fatalf("pooled path: %d observations, want %d", snap.Count, regions)
+	}
+	if want := int64(10000) * 9999 / 2 * regions; sum != want {
+		t.Fatalf("region work corrupted: sum = %d, want %d", sum, want)
+	}
+
+	// A nested region falls back to spawn mode — it must be timed too.
+	p.For(10000, 2, 64, func(lo, hi, tid int) {
+		if lo == 0 {
+			p.For(5000, 2, 64, func(lo, hi, tid int) {})
+		}
+	})
+	if snap := h.Snapshot(); snap.Count != regions+2 {
+		t.Fatalf("after nested region: %d observations, want %d", snap.Count, regions+2)
+	}
+
+	// The inline fast path stays untimed.
+	p.For(10, 4, 64, func(lo, hi, tid int) {})
+	p.For(10000, 1, 64, func(lo, hi, tid int) {})
+	if snap := h.Snapshot(); snap.Count != regions+2 {
+		t.Fatalf("inline regions were timed: %d observations", snap.Count)
+	}
+
+	p.SetRegionLatency(nil)
+	p.For(10000, 4, 64, func(lo, hi, tid int) {})
+	if snap := h.Snapshot(); snap.Count != regions+2 {
+		t.Fatalf("detached histogram still observed: %d", snap.Count)
+	}
+}
+
+// TestRegionLatencyDefaultOff: a fresh pool has no histogram attached
+// and pays nothing.
+func TestRegionLatencyDefaultOff(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.For(10000, 2, 64, func(lo, hi, tid int) {})
+}

@@ -3,6 +3,9 @@ package parallel
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"gveleiden/internal/observe"
 )
 
 // Pool is a persistent work-stealing worker pool — the Go equivalent of
@@ -54,6 +57,19 @@ type Pool struct {
 	wakes         int64
 	inlineRegions atomic.Int64
 	spawnRegions  atomic.Int64
+
+	// latency, when set, receives the wall time of every scheduled
+	// region (pooled and spawn paths; the inline fast path stays
+	// untimed — it is a plain function call and a clock read would be
+	// its dominant cost). Swappable at any time, including mid-run.
+	latency atomic.Pointer[observe.Histogram]
+}
+
+// SetRegionLatency registers h to receive per-region wall-time
+// observations; nil detaches. Safe to call concurrently with regions
+// in flight — attachment is a single atomic pointer swap.
+func (p *Pool) SetRegionLatency(h *observe.Histogram) {
+	p.latency.Store(h)
 }
 
 // paddedRange is one participant's claimable range, packed lo<<32|hi in
@@ -173,11 +189,25 @@ func (p *Pool) For(n, threads, grain int, body func(lo, hi, tid int)) {
 		body(0, n, 0)
 		return
 	}
+	h := p.latency.Load()
+	var start time.Time
+	if h != nil {
+		start = time.Now()
+	}
 	if n >= maxPackedN || p.closed.Load() || !p.mu.TryLock() {
 		p.noteSpawn()
 		forSpawn(n, threads, grain, body)
-		return
+	} else {
+		p.forLocked(n, threads, grain, body)
 	}
+	if h != nil {
+		h.ObserveDuration(time.Since(start))
+	}
+}
+
+// forLocked runs one region on the persistent workers; the caller holds
+// p.mu, which forLocked releases when the region completes.
+func (p *Pool) forLocked(n, threads, grain int, body func(lo, hi, tid int)) {
 	defer p.mu.Unlock()
 	if threads > p.width {
 		p.grow(threads)
