@@ -1,70 +1,137 @@
 // Command gvevet runs this repository's concurrency-invariant analyzer
 // suite (internal/lint) over Go packages and reports findings in the
-// familiar file:line:col format. It exits 0 when the tree is clean, 1
-// when any finding survives suppression, and 2 on load or usage errors,
-// so CI can gate merges on it:
+// familiar file:line:col format. Its exit code is a contract CI relies
+// on:
 //
-//	go run ./cmd/gvevet ./...
+//	0  the tree is clean
+//	1  at least one finding survived suppression
+//	2  load, build, or usage error (the analysis could not run)
 //
-// Flags:
+// Modes:
 //
-//	-json   emit findings as a JSON array instead of text
-//	-list   print the analyzer suite and exit
-//	-tests  include _test.go files in the analysis
+//	gvevet ./...              full static suite (default)
+//	gvevet -callgraph ./...   only the interprocedural analyzers
+//	                          (atomic-mix, goleak, padcopy)
+//	gvevet -contracts ./...   only //gvevet:contract enforcement against
+//	                          `go build -gcflags='-m=2 -d=ssa/check_bce'`
+//	                          optimizer diagnostics
+//
+// -contracts and -callgraph combine; with both set the two suites run
+// together. Flags:
+//
+//	-json         emit findings as a JSON array instead of text
+//	-list         print the analyzer suite and exit
+//	-tests        include _test.go files in the analysis
+//	-facts FILE   (with -contracts) write the parsed optimizer facts as
+//	              JSON — the CI artifact diffed across PRs
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"gveleiden/internal/lint"
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
-	list := flag.Bool("list", false, "print the analyzer suite and exit")
-	tests := flag.Bool("tests", false, "include _test.go files")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: gvevet [flags] [packages]\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process boundary removed, so the exit-code
+// contract is table-testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gvevet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "print the analyzer suite and exit")
+	tests := fs.Bool("tests", false, "include _test.go files")
+	contracts := fs.Bool("contracts", false, "enforce //gvevet:contract against compiler optimizer diagnostics")
+	callgraph := fs.Bool("callgraph", false, "run only the interprocedural (call-graph) analyzers")
+	factsOut := fs.String("facts", "", "with -contracts: write parsed optimizer facts to this JSON file")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: gvevet [flags] [packages]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	analyzers := lint.All()
+	if *callgraph {
+		analyzers = lint.Interprocedural()
+	}
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	prog, err := lint.Load(lint.LoadConfig{Patterns: patterns, Tests: *tests})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "gvevet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "gvevet: %v\n", err)
+		return 2
 	}
 
-	findings := lint.Run(prog, analyzers)
+	var findings []lint.Finding
+	runStatic := !*contracts || *callgraph
+	if runStatic {
+		findings = lint.Run(prog, analyzers)
+	}
+	if *contracts {
+		facts, err := lint.CompileFacts("", patterns)
+		if err != nil {
+			fmt.Fprintf(stderr, "gvevet: %v\n", err)
+			return 2
+		}
+		if *factsOut != "" {
+			if err := writeFacts(*factsOut, facts); err != nil {
+				fmt.Fprintf(stderr, "gvevet: %v\n", err)
+				return 2
+			}
+		}
+		_, contractFindings := lint.CheckContracts(prog, facts)
+		findings = append(findings, contractFindings...)
+		lint.SortFindings(findings)
+	}
+
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(findings); err != nil {
-			fmt.Fprintf(os.Stderr, "gvevet: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "gvevet: %v\n", err)
+			return 2
 		}
 	} else {
 		for _, f := range findings {
-			fmt.Println(f)
+			fmt.Fprintln(stdout, f)
 		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "gvevet: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "gvevet: %d finding(s)\n", len(findings))
+		return 1
 	}
+	return 0
+}
+
+// writeFacts dumps the optimizer facts as indented JSON.
+func writeFacts(path string, facts []lint.Fact) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(facts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

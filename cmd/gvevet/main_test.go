@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestExitCodeContract pins the exit codes CI relies on: 0 clean, 1
+// findings, 2 load/usage error — across the static, callgraph and
+// contracts modes.
+func TestExitCodeContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks fixture packages")
+	}
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean tree", []string{"./testdata/clean"}, 0},
+		{"findings", []string{"./testdata/dirty"}, 1},
+		{"findings as json", []string{"-json", "./testdata/dirty"}, 1},
+		{"callgraph mode clean", []string{"-callgraph", "./testdata/clean"}, 0},
+		{"contracts mode clean", []string{"-contracts", "./testdata/clean"}, 0},
+		// padsize is not in the interprocedural subset, so the dirty
+		// fixture is clean under -contracts -callgraph.
+		{"contracts with callgraph subset", []string{"-contracts", "-callgraph", "./testdata/dirty"}, 0},
+		{"load error", []string{"./testdata/nosuchpkg"}, 2},
+		{"usage error", []string{"-nosuchflag"}, 2},
+		{"list", []string{"-list"}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(tc.args, &stdout, &stderr)
+			if got != tc.want {
+				t.Errorf("run(%v) = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					tc.args, got, tc.want, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+// TestDirtyFindingShape checks the text and JSON renderings of a
+// finding agree on position and analyzer.
+func TestDirtyFindingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks fixture packages")
+	}
+	var text, jsonBuf, stderr bytes.Buffer
+	if got := run([]string{"./testdata/dirty"}, &text, &stderr); got != 1 {
+		t.Fatalf("text run exited %d, want 1 (stderr: %s)", got, stderr.String())
+	}
+	if !strings.Contains(text.String(), "padsize") || !strings.Contains(text.String(), "dirty.go") {
+		t.Errorf("text output missing analyzer or file: %q", text.String())
+	}
+	if got := run([]string{"-json", "./testdata/dirty"}, &jsonBuf, &stderr); got != 1 {
+		t.Fatalf("json run exited %d, want 1", got)
+	}
+	var findings []struct {
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(jsonBuf.Bytes(), &findings); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, jsonBuf.String())
+	}
+	if len(findings) == 0 || findings[0].Analyzer != "padsize" {
+		t.Errorf("json findings = %+v, want a padsize finding", findings)
+	}
+}
+
+// TestListNamesAllAnalyzers: -list must enumerate the full suite.
+func TestListNamesAllAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-list"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("-list exited %d", got)
+	}
+	for _, name := range []string{"atomic-mix", "goleak", "hotalloc", "nilrecv", "padcopy", "padsize", "nodeterm"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, stdout.String())
+		}
+	}
+}

@@ -1,0 +1,8 @@
+// Package clean is a gvevet exit-code fixture: no findings, exit 0.
+package clean
+
+// Answer is deliberately boring code the full suite has nothing to say
+// about.
+func Answer() int {
+	return 42
+}

@@ -1,0 +1,16 @@
+// Package dirty is a gvevet exit-code fixture: it violates the padsize
+// invariant (an annotated padded type whose size is not a multiple of
+// the cache line), so gvevet must exit 1 on it.
+package dirty
+
+// bad claims to be a per-worker padded slot but is 8 bytes.
+//
+//gvevet:padded
+type bad struct {
+	n int64
+}
+
+// Use keeps the type referenced.
+func Use(b *bad) int64 {
+	return b.n
+}

@@ -94,5 +94,5 @@ func LabelPropagation(g *graph.CSR, opt Options) []uint32 {
 			break
 		}
 	}
-	return densify(labels)
+	return densify(labels) //gvevet:exclusive parallel rounds are over: densify runs sequentially after the final region barrier
 }

@@ -41,7 +41,7 @@ func (ws *workspace) aggregate(g *graph.CSR, nComms int) (*graph.CSR, float64) {
 	pool.FillUint32(commOff, 0, threads)
 	pool.For(n, threads, grain, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
-			atomic.AddUint32(&commOff[comm[i]], 1)
+			atomic.AddUint32(&commOff[comm[i]], 1) //gvevet:exclusive frozen comm: local moving committed behind a barrier before aggregation
 		}
 	})
 	pool.ExclusiveScanUint32(commOff, threads)
@@ -50,7 +50,7 @@ func (ws *workspace) aggregate(g *graph.CSR, nComms int) (*graph.CSR, float64) {
 	commVtx := a.commVtx[:n]
 	pool.For(n, threads, grain, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
-			p := atomic.AddUint32(&cursor[comm[i]], 1) - 1
+			p := atomic.AddUint32(&cursor[comm[i]], 1) - 1 //gvevet:exclusive frozen comm: local moving committed behind a barrier before aggregation
 			commVtx[p] = uint32(i)
 		}
 	})
@@ -60,7 +60,7 @@ func (ws *workspace) aggregate(g *graph.CSR, nComms int) (*graph.CSR, float64) {
 	pool.FillUint32(superOff, 0, threads)
 	pool.For(n, threads, grain, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
-			atomic.AddUint32(&superOff[comm[i]], g.Degree(uint32(i)))
+			atomic.AddUint32(&superOff[comm[i]], g.Degree(uint32(i))) //gvevet:exclusive frozen comm: local moving committed behind a barrier before aggregation
 		}
 	})
 	capacity := pool.ExclusiveScanUint32(superOff, threads)

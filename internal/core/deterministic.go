@@ -73,7 +73,7 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 						ws.flags.Set(int(u), false)
 					}
 					scanned++
-					d := comm[u]
+					d := comm[u] //gvevet:exclusive frozen comm: same-class vertices are never adjacent, so no membership read here changes mid-class
 					ki := ws.k[u]
 					si := ws.vsize[u]
 					var kid, sd, nd float64
@@ -91,7 +91,7 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 							if e == u {
 								continue
 							}
-							f.Add(comm[e], float64(wts[k]))
+							f.Add(comm[e], float64(wts[k])) //gvevet:exclusive frozen comm: e is never in u's class, so its membership is fixed for this class round
 						}
 						kid = f.Get(d)
 						sd = ws.sigma.Get(int(d))
@@ -151,7 +151,7 @@ func (ws *workspace) movePhaseColored(g *graph.CSR, tau float64, col *color.Colo
 			// (no same-class neighbours), so each re-measure is O(1).
 			for tid := range moverCh {
 				for _, m := range moverCh[tid] {
-					d := comm[m.u]
+					d := comm[m.u] //gvevet:exclusive sequential apply: runs after the class's region barrier, no concurrent writers
 					ki := ws.k[m.u]
 					si := ws.vsize[m.u]
 					realized += ws.delta(m.kic, m.kid, ki,
@@ -217,7 +217,7 @@ func (ws *workspace) refinePhaseColored(g *graph.CSR, col *color.Coloring) int64
 			h := ws.tables[tid]
 			for idx := lo; idx < hi; idx++ {
 				u := class[idx]
-				c := comm[u]
+				c := comm[u] //gvevet:exclusive frozen comm: bounded-refine classes freeze memberships behind region barriers
 				ki := ws.k[u]
 				if ws.sigma.Get(int(c)) != ki {
 					continue
@@ -234,7 +234,7 @@ func (ws *workspace) refinePhaseColored(g *graph.CSR, col *color.Coloring) int64
 		for tid := range moverCh {
 			movers := moverCh[tid]
 			for _, m := range movers {
-				c := comm[m.u]
+				c := comm[m.u] //gvevet:exclusive sequential apply: runs after the class's region barrier, CAS arbitrates cross-class races
 				ki := ws.k[m.u]
 				if !ws.sigma.CAS(int(c), ki, 0) {
 					continue // another class's move intervened

@@ -112,6 +112,8 @@ func (ws *workspace) recordIteration(pass, it int, dq float64, ps *PassStats, sp
 // (excluding the self-loop), picks the best move, and applies it
 // atomically. Returns the delta-modularity gained (0 when the vertex
 // stays).
+//
+//gvevet:contract noescape
 func (ws *workspace) moveVertex(g *graph.CSR, h *hashtable.Accumulator, comm []uint32, u uint32) float64 {
 	d := commLoad(comm, u)
 	h.Clear()
@@ -148,6 +150,8 @@ func (ws *workspace) moveVertex(g *graph.CSR, h *hashtable.Accumulator, comm []u
 // the best-community tie-break is order-independent (strictly greater
 // gain, or equal gain and lower community id, wins), so the flat path
 // picks exactly the community moveVertex would.
+//
+//gvevet:contract noescape
 func (ws *workspace) moveVertexFlat(g *graph.CSR, f *hashtable.Flat, comm []uint32, u uint32) float64 {
 	d := commLoad(comm, u)
 	f.Reset()
@@ -192,6 +196,8 @@ func (ws *workspace) moveVertexFlat(g *graph.CSR, f *hashtable.Flat, comm []uint
 // neighbours elsewhere need re-examination. The membership reads are
 // racy snapshots, which is fine for a pruning heuristic: a stale read
 // at worst re-flags a vertex that rescans and stays put.
+//
+//gvevet:contract noescape
 func (ws *workspace) applyMove(g *graph.CSR, comm []uint32, u, d, bestC uint32, ki, si float64) {
 	ws.sigma.Add(int(d), -ki) // Σ'[C'[i]] -= K'[i]
 	ws.sigma.Add(int(bestC), ki)
@@ -210,6 +216,8 @@ func (ws *workspace) applyMove(g *graph.CSR, comm []uint32, u, d, bestC uint32, 
 // vertex u and each community adjacent to it (Algorithm 2, lines 17-21).
 // With self=false the self-loop is skipped (local moving / refinement);
 // with self=true it is included (aggregation).
+//
+//gvevet:contract noescape
 func scanCommunities(h *hashtable.Accumulator, g *graph.CSR, comm []uint32, u uint32, self bool) {
 	es, wts := g.Neighbors(u)
 	for k, e := range es {

@@ -27,6 +27,11 @@ type Flat struct {
 	_    [44]byte
 }
 
+// errFlatOverflow is pre-boxed at package level: a literal panic
+// argument would count as an escape inside Add and break its noescape
+// contract.
+var errFlatOverflow any = "hashtable: Flat overflow: more than FlatCap distinct keys (degree gate violated)"
+
 // Reset clears the accumulator. O(1): only the length is dropped.
 func (f *Flat) Reset() { f.n = 0 }
 
@@ -41,22 +46,40 @@ func (f *Flat) Val(i int) float64 { return f.vals[i] }
 
 // Add accumulates w into key k by linear search — for the ≤ FlatCap
 // entries the gate permits, a handful of in-cache comparisons beats the
-// Accumulator's stamped random-access loads.
+// Accumulator's stamped random-access loads. The entry count is clamped
+// to FlatCap before the scan so the prover can discharge every index
+// (n ≤ FlatCap = len(f.keys)); overflow panics explicitly instead of
+// through an implicit bounds check.
+//
+//gvevet:contract inline noescape nobounds
 func (f *Flat) Add(k uint32, w float64) {
-	for i := int32(0); i < f.n; i++ {
+	n := int(f.n)
+	if n > FlatCap {
+		n = FlatCap
+	}
+	for i := 0; i < n; i++ {
 		if f.keys[i] == k {
 			f.vals[i] += w
 			return
 		}
 	}
-	f.keys[f.n] = k
-	f.vals[f.n] = w
-	f.n++
+	if uint(n) >= FlatCap {
+		panic(errFlatOverflow)
+	}
+	f.keys[n] = k
+	f.vals[n] = w
+	f.n = int32(n + 1)
 }
 
 // Get returns the accumulated value for key k (0 if untouched).
+//
+//gvevet:contract inline noescape nobounds
 func (f *Flat) Get(k uint32) float64 {
-	for i := int32(0); i < f.n; i++ {
+	n := int(f.n)
+	if n > FlatCap {
+		n = FlatCap
+	}
+	for i := 0; i < n; i++ {
 		if f.keys[i] == k {
 			return f.vals[i]
 		}

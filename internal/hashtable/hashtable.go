@@ -9,8 +9,6 @@
 // One table is allocated per worker thread, each with its own backing
 // arrays, so the tables are well separated in memory and never share
 // cache lines (the paper's O(TN) space term).
-//
-//gvevet:hotpath
 package hashtable
 
 // Accumulator is a dense keyed float64 accumulator over keys in [0, n).

@@ -20,23 +20,193 @@ import (
 // field, or slice must carry a //gvevet:exclusive annotation (on the
 // statement or the enclosing function) saying why it is safe.
 //
-// Scope and soundness: the analyzer tracks struct fields and
-// package-level variables package-wide, and function-local variables
-// (including parameters) within their function, when their address —
-// or the address of one of their elements — is passed to a sync/atomic
-// function. Passing a tracked slice itself to another function is not
-// reported (aliasing is beyond a single-package analysis); composite
-// literals and len/cap are exempt because they cannot race with
-// element accesses on a still-private or length-stable slice.
+// The analysis is interprocedural: per-function summaries record which
+// parameters a function accesses atomically or plainly (directly or
+// through further calls), and the summaries propagate to fixpoint over
+// the whole-program call graph. A variable passed whole (v, &v, *p) to
+// a helper that atomic-accesses the parameter becomes tracked at the
+// caller; a tracked variable passed to a helper that plain-accesses the
+// parameter is a finding at the call site, citing the helper's access —
+// atomic discipline follows the data through helpers instead of
+// stopping at the function boundary. Callees with no source (export
+// data, func values, interfaces) stay opaque and are exempt, so the
+// summaries only ever add precision over the old per-function pass.
 var AtomicMix = &Analyzer{
 	Name: "atomic-mix",
-	Doc:  "flags plain access to memory that is elsewhere accessed via sync/atomic",
+	Doc:  "flags plain access to memory that is elsewhere accessed via sync/atomic, following helper calls",
 	Run:  runAtomicMix,
+}
+
+// plainEvidence is one summarized plain access to a parameter: where,
+// and the //gvevet:exclusive directive covering it, if any (a blessed
+// access propagates the blessing — a tracked object flowing into it is
+// fine and marks the directive live).
+type plainEvidence struct {
+	pos     token.Pos
+	blessed *Directive
+}
+
+// atomicSummaries are the per-function parameter summaries, keyed by
+// (*types.Func).FullName() and parameter index (receiver = -1).
+type atomicSummaries struct {
+	atomic map[string]map[int]token.Pos
+	plain  map[string]map[int]plainEvidence
+}
+
+// summaries returns the program's atomic-access summaries, building
+// them to fixpoint on first use.
+func (prog *Program) summaries() *atomicSummaries {
+	if prog.sums == nil {
+		prog.sums = buildSummaries(prog)
+	}
+	return prog.sums
+}
+
+func buildSummaries(prog *Program) *atomicSummaries {
+	g := prog.CallGraph()
+	s := &atomicSummaries{
+		atomic: map[string]map[int]token.Pos{},
+		plain:  map[string]map[int]plainEvidence{},
+	}
+	setAtomic := func(key string, idx int, pos token.Pos) bool {
+		m := s.atomic[key]
+		if m == nil {
+			m = map[int]token.Pos{}
+			s.atomic[key] = m
+		}
+		if _, ok := m[idx]; ok {
+			return false
+		}
+		m[idx] = pos
+		return true
+	}
+	// setPlain keeps the most dangerous evidence: an unblessed access
+	// overrides a blessed one, never the reverse (two-level lattice, so
+	// the fixpoint below terminates).
+	setPlain := func(key string, idx int, ev plainEvidence) bool {
+		m := s.plain[key]
+		if m == nil {
+			m = map[int]plainEvidence{}
+			s.plain[key] = m
+		}
+		old, ok := m[idx]
+		if ok && (old.blessed == nil || ev.blessed != nil) {
+			return false
+		}
+		m[idx] = ev
+		return true
+	}
+
+	// Direct evidence: what each function does to its own parameters.
+	for _, node := range g.funcs {
+		info := node.pkg.Info
+		params := paramObjects(node)
+		parents := node.pkg.ParentMap(node.file)
+		known := knownCalleeFn(info, g)
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !isAtomicCall(info, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					obj := accessBase(info, un.X)
+					if idx, ok := params[obj]; ok && idx >= 0 {
+						setAtomic(node.key, idx, un.Pos())
+					}
+				}
+			case *ast.Ident:
+				obj := info.Uses[n]
+				idx, ok := params[obj]
+				if !ok || idx < 0 {
+					return true
+				}
+				if report, _ := classifyPlainAccess(info, parents, known, n); report {
+					setPlain(node.key, idx, plainEvidence{
+						pos:     n.Pos(),
+						blessed: node.pkg.Directives.matchNoMark(kindExclusive, n.Pos()),
+					})
+				}
+			}
+			return true
+		})
+	}
+
+	// Propagate through whole-variable argument passing until nothing
+	// changes: f's parameter i handed to g's parameter j inherits what
+	// g (transitively) does to j.
+	for changed := true; changed; {
+		changed = false
+		for _, node := range g.funcs {
+			info := node.pkg.Info
+			params := paramObjects(node)
+			for _, cs := range node.calls {
+				callee := g.node(cs.callee)
+				if callee == nil {
+					continue
+				}
+				for j, arg := range calleeArgs(cs) {
+					root := argRoot(info, arg)
+					if root == nil {
+						continue
+					}
+					i, ok := params[root]
+					if !ok || i < 0 {
+						continue
+					}
+					if pos, ok := s.atomic[callee.key][j]; ok && setAtomic(node.key, i, pos) {
+						changed = true
+					}
+					if ev, ok := s.plain[callee.key][j]; ok && setPlain(node.key, i, ev) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// calleeArgs returns the call's arguments paired positionally with the
+// callee's fixed parameters: variadic tails are dropped (an element
+// slipped into a ...T parameter is a fresh slice at the callee, not an
+// alias of the caller's variable).
+func calleeArgs(cs callSite) []ast.Expr {
+	sig, ok := cs.callee.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	n := sig.Params().Len()
+	if sig.Variadic() {
+		n--
+	}
+	if n > len(cs.call.Args) {
+		n = len(cs.call.Args)
+	}
+	return cs.call.Args[:n]
+}
+
+// knownCalleeFn returns a predicate reporting whether a call resolves
+// to a function with source in the program — one the summaries cover.
+func knownCalleeFn(info *types.Info, g *callGraph) func(*ast.CallExpr) bool {
+	return func(call *ast.CallExpr) bool {
+		fn, _ := resolveCallee(info, call)
+		return g.node(fn) != nil
+	}
 }
 
 func runAtomicMix(pass *Pass) {
 	info := pass.Info
-	// Collect: variables whose storage is atomically accessed.
+	g := pass.Prog.CallGraph()
+	sums := pass.Prog.summaries()
+
+	// Collect: variables whose storage is atomically accessed — directly
+	// (address passed to sync/atomic here), or transitively (passed
+	// whole to a function whose summary atomic-accesses the parameter).
 	tracked := map[types.Object]token.Pos{}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -58,12 +228,36 @@ func runAtomicMix(pass *Pass) {
 			return true
 		})
 	}
+	for _, node := range g.funcs {
+		if node.pkg != pass.Package {
+			continue
+		}
+		for _, cs := range node.calls {
+			callee := g.node(cs.callee)
+			if callee == nil {
+				continue
+			}
+			for j, arg := range calleeArgs(cs) {
+				pos, ok := sums.atomic[callee.key][j]
+				if !ok {
+					continue
+				}
+				if obj := argRoot(info, arg); obj != nil {
+					if _, seen := tracked[obj]; !seen {
+						tracked[obj] = pos
+					}
+				}
+			}
+		}
+	}
 	if len(tracked) == 0 {
 		return
 	}
 
+	// Report: plain accesses to tracked objects in this package.
 	for _, f := range pass.Files {
-		parents := parentMap(f)
+		parents := pass.ParentMap(f)
+		known := knownCalleeFn(info, g)
 		ast.Inspect(f, func(n ast.Node) bool {
 			var obj types.Object
 			switch n := n.(type) {
@@ -92,7 +286,7 @@ func runAtomicMix(pass *Pass) {
 			if !ok {
 				return true
 			}
-			report, what := classifyPlainAccess(info, parents, n)
+			report, what := classifyPlainAccess(info, parents, known, n)
 			if !report {
 				return true
 			}
@@ -104,6 +298,46 @@ func runAtomicMix(pass *Pass) {
 				what, obj.Name(), pass.Prog.Fset.Position(first))
 			return true
 		})
+	}
+
+	// Report: tracked objects passed whole into helpers whose summaries
+	// plain-access the parameter. A blessed summary access is the
+	// helper's own exclusive phase — flowing into it is fine and marks
+	// the helper's directive live.
+	for _, node := range g.funcs {
+		if node.pkg != pass.Package {
+			continue
+		}
+		for _, cs := range node.calls {
+			callee := g.node(cs.callee)
+			if callee == nil {
+				continue
+			}
+			for j, arg := range calleeArgs(cs) {
+				obj := argRoot(info, arg)
+				if obj == nil {
+					continue
+				}
+				first, isTracked := tracked[obj]
+				if !isTracked {
+					continue
+				}
+				ev, ok := sums.plain[callee.key][j]
+				if !ok {
+					continue
+				}
+				if ev.blessed != nil {
+					ev.blessed.used = true
+					continue
+				}
+				if pass.Directives.Exclusive(arg.Pos()) {
+					continue
+				}
+				pass.Report(arg.Pos(),
+					"%s is accessed atomically (e.g. %s) but passed to %s, which accesses it plainly at %s; use sync/atomic in the callee or annotate its exclusive phase with //gvevet:exclusive",
+					obj.Name(), pass.Prog.Fset.Position(first), cs.callee.Name(), pass.Prog.Fset.Position(ev.pos))
+			}
+		}
 	}
 }
 
@@ -142,8 +376,11 @@ func accessBase(info *types.Info, e ast.Expr) types.Object {
 
 // classifyPlainAccess decides whether the reference node ref (an Ident
 // or field SelectorExpr of a tracked object) is a plain access worth
-// reporting, and describes it.
-func classifyPlainAccess(info *types.Info, parents map[ast.Node]ast.Node, ref ast.Node) (bool, string) {
+// reporting, and describes it. knownCallee reports whether a call
+// resolves to a summarized function: passing the object (or its
+// address) to one of those is never reported here — the summary pass
+// judges the callee's actual behavior instead.
+func classifyPlainAccess(info *types.Info, parents map[ast.Node]ast.Node, knownCallee func(*ast.CallExpr) bool, ref ast.Node) (bool, string) {
 	// Grow the access expression outward: x → x[i] → x[i:j] ...
 	maximal := ast.Expr(ref.(ast.Expr))
 	indexed := false
@@ -189,10 +426,14 @@ func classifyPlainAccess(info *types.Info, parents map[ast.Node]ast.Node, ref as
 	switch p := parents[maximal].(type) {
 	case *ast.UnaryExpr:
 		if p.Op == token.AND {
-			// &x or &x[i]: exempt inside a sync/atomic argument,
-			// otherwise the alias escapes atomic discipline.
-			if call, ok := parents[p].(*ast.CallExpr); ok && isAtomicCall(info, call) {
-				return false, ""
+			// &x or &x[i]: exempt inside a sync/atomic argument or as
+			// an argument to a summarized callee (the summary pass
+			// checks what the callee does with it); otherwise the
+			// alias escapes atomic discipline.
+			if call, ok := parents[p].(*ast.CallExpr); ok {
+				if isAtomicCall(info, call) || knownCallee(call) {
+					return false, ""
+				}
 			}
 			return true, "address-of that escapes sync/atomic"
 		}
@@ -210,7 +451,7 @@ func classifyPlainAccess(info *types.Info, parents map[ast.Node]ast.Node, ref as
 				return false, ""
 			}
 			if !indexed {
-				return false, "" // aliasing: the callee is responsible
+				return false, "" // whole-value argument: the summary pass judges the callee
 			}
 			return true, "plain read"
 		}

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// callGraph is a lightweight whole-program call graph over the loaded
+// packages, built from go/types resolution only: nodes are function and
+// method declarations with bodies, edges are direct (statically
+// resolved) call sites. Calls through function values, interfaces, and
+// into packages loaded only as export data have no node and resolve to
+// nil — the interprocedural analyzers treat such callees as opaque,
+// exactly as the intraprocedural passes did, so the graph only ever
+// adds precision.
+//
+// Functions are keyed by (*types.Func).FullName(), which is stable
+// between an object seen from source and the same object seen through a
+// caller's import (e.g. "(*gveleiden/internal/parallel.Pool).ForEach").
+type callGraph struct {
+	funcs map[string]*funcNode
+}
+
+// funcNode is one declared function or method.
+type funcNode struct {
+	key  string
+	pkg  *Package
+	file *ast.File
+	decl *ast.FuncDecl
+	fn   *types.Func
+	// calls are the direct call sites inside decl (including inside
+	// nested function literals — the literal runs with the enclosing
+	// function's bindings, so for summary purposes its calls belong to
+	// the declaration).
+	calls []callSite
+}
+
+// callSite is one statically resolved call expression.
+type callSite struct {
+	call   *ast.CallExpr
+	callee *types.Func
+	// recv is the receiver expression for method calls (x in x.M(...)),
+	// nil for plain function calls.
+	recv ast.Expr
+}
+
+// CallGraph returns the program's call graph, building it on first use.
+func (prog *Program) CallGraph() *callGraph {
+	if prog.graph == nil {
+		prog.graph = buildCallGraph(prog)
+	}
+	return prog.graph
+}
+
+func buildCallGraph(prog *Program) *callGraph {
+	g := &callGraph{funcs: map[string]*funcNode{}}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &funcNode{key: fn.FullName(), pkg: pkg, file: f, decl: fd, fn: fn}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee, recv := resolveCallee(pkg.Info, call); callee != nil {
+						node.calls = append(node.calls, callSite{call: call, callee: callee, recv: recv})
+					}
+					return true
+				})
+				g.funcs[node.key] = node
+			}
+		}
+	}
+	return g
+}
+
+// node returns the declaration node for fn, or nil when fn was not
+// loaded from source (export data, builtins, func values).
+func (g *callGraph) node(fn *types.Func) *funcNode {
+	if fn == nil {
+		return nil
+	}
+	return g.funcs[fn.FullName()]
+}
+
+// resolveCallee statically resolves a call expression to the called
+// *types.Func, plus the receiver expression for method calls. Calls it
+// cannot resolve (func values, builtins, conversions) return nil.
+func resolveCallee(info *types.Info, call *ast.CallExpr) (*types.Func, ast.Expr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn, nil
+		}
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return nil, nil
+		}
+		if sel := info.Selections[fun]; sel != nil && sel.Kind() == types.MethodVal {
+			return fn, fun.X
+		}
+		return fn, nil // package-qualified function
+	case *ast.IndexExpr:
+		// Generic instantiation: f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if fn, ok := info.Uses[id].(*types.Func); ok {
+				return fn, nil
+			}
+		}
+	case *ast.IndexListExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if fn, ok := info.Uses[id].(*types.Func); ok {
+				return fn, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// paramIndex maps the parameter objects of node's signature to their
+// index. The receiver, when present, is index -1.
+func paramObjects(node *funcNode) map[types.Object]int {
+	sig, ok := node.fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	m := map[types.Object]int{}
+	if r := sig.Recv(); r != nil {
+		m[r] = -1
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		m[params.At(i)] = i
+	}
+	return m
+}
+
+// argRoot resolves a call argument to the local variable or parameter
+// it names: a bare identifier, possibly wrapped in & / * / parens. An
+// argument that is any other expression (an element, a field, a fresh
+// value) returns nil — summaries only propagate through whole-variable
+// passing, where the callee's accesses alias the caller's storage.
+func argRoot(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && !v.IsField() {
+			return v
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return argRoot(info, e.X)
+		}
+	case *ast.StarExpr:
+		return argRoot(info, e.X)
+	}
+	return nil
+}

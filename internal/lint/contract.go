@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ContractResult is the checked state of one (function, outcome) pair
+// pinned by a //gvevet:contract directive.
+type ContractResult struct {
+	// Func is the contracted function's full name
+	// ("gveleiden/internal/hashtable.(*Flat).Add").
+	Func string `json:"func"`
+	// Kind is the contracted outcome: inline, noescape, or nobounds.
+	Kind string `json:"kind"`
+	OK   bool   `json:"ok"`
+	// Detail carries the compiler's reason when violated, and the
+	// inlining cost when an inline contract holds.
+	Detail string         `json:"detail,omitempty"`
+	Pos    token.Position `json:"pos"`
+}
+
+// contractKindOrder fixes the reporting order within one function.
+var contractKindOrder = map[string]int{"inline": 0, "noescape": 1, "nobounds": 2}
+
+// CheckContracts enforces every //gvevet:contract directive in prog
+// against the compiler facts, returning the per-contract results and
+// the findings for violated contracts. A violation's message is the
+// compiler's own reason string — the finding tells you what the
+// optimizer decided, not just that it disagreed.
+func CheckContracts(prog *Program, facts []Fact) ([]ContractResult, []Finding) {
+	byFile := map[string][]Fact{}
+	for _, f := range facts {
+		byFile[f.File] = append(byFile[f.File], f)
+	}
+
+	var results []ContractResult
+	var findings []Finding
+	for _, pkg := range prog.Packages {
+		for _, dir := range pkg.Directives.contracts() {
+			decl, ok := dir.node.(*ast.FuncDecl)
+			if !ok {
+				continue // malformed; validateDirectives reports it
+			}
+			fn, ok := pkg.Info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			dir.used = true
+			start := prog.Fset.Position(decl.Pos())
+			end := prog.Fset.Position(decl.End())
+			scoped := factsInRange(byFile[start.Filename], start.Line, end.Line)
+			for _, kind := range dedupContractKinds(dir.Args) {
+				if !contractKinds[kind] {
+					continue // unknown outcome; validateDirectives reports it
+				}
+				res := checkOne(prog, fn, kind, localFuncName(fn), scoped)
+				res.Pos = start
+				results = append(results, res)
+				if !res.OK {
+					findings = append(findings, Finding{
+						Pos:      start,
+						Analyzer: "contract",
+						Message:  fmt.Sprintf("//gvevet:contract %s violated on %s: %s", kind, localFuncName(fn), res.Detail),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Func != results[j].Func {
+			return results[i].Func < results[j].Func
+		}
+		return contractKindOrder[results[i].Kind] < contractKindOrder[results[j].Kind]
+	})
+	SortFindings(findings)
+	return results, findings
+}
+
+// checkOne evaluates one contracted outcome against the facts scoped to
+// the function's line range.
+func checkOne(prog *Program, fn *types.Func, kind, localName string, scoped []Fact) ContractResult {
+	res := ContractResult{Func: fn.FullName(), Kind: kind}
+	switch kind {
+	case "inline":
+		var decided bool
+		for _, f := range scoped {
+			if f.Name != localName {
+				continue
+			}
+			switch f.Kind {
+			case FactCanInline:
+				res.OK, decided = true, true
+				if f.Cost > 0 {
+					res.Detail = fmt.Sprintf("cost %d", f.Cost)
+				}
+			case FactCannotInline:
+				decided = true
+				res.Detail = f.Msg
+			}
+			if decided {
+				break
+			}
+		}
+		if !decided {
+			res.Detail = "the compiler emitted no inlining decision for this function (renamed, or generic with no instantiation in the build?)"
+		}
+	case "noescape":
+		var violations []string
+		for _, f := range scoped {
+			if f.Kind == FactEscape {
+				violations = append(violations, fmt.Sprintf("%s:%d:%d: %s", relPath(f.File), f.Line, f.Col, f.Msg))
+			}
+		}
+		res.OK = len(violations) == 0
+		res.Detail = strings.Join(violations, "; ")
+	case "nobounds":
+		var violations []string
+		for _, f := range scoped {
+			if f.Kind == FactBounds {
+				violations = append(violations, fmt.Sprintf("%s:%d:%d: %s", relPath(f.File), f.Line, f.Col, f.Msg))
+			}
+		}
+		res.OK = len(violations) == 0
+		res.Detail = strings.Join(violations, "; ")
+	}
+	return res
+}
+
+// factsInRange selects the facts between two lines of one file.
+func factsInRange(facts []Fact, startLine, endLine int) []Fact {
+	var out []Fact
+	for _, f := range facts {
+		if f.Line >= startLine && f.Line <= endLine {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// dedupContractKinds drops repeated outcome kinds while preserving
+// order.
+func dedupContractKinds(kinds []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, k := range kinds {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// localFuncName strips the package path from a function's full name,
+// yielding the form the compiler prints ("(*Flat).Add", "bucketIndex").
+// For methods the path sits inside the receiver parens
+// ("(*gveleiden/internal/hashtable.Flat).Add"), so a plain prefix cut
+// is not enough.
+func localFuncName(fn *types.Func) string {
+	full := fn.FullName()
+	if fn.Pkg() != nil {
+		return strings.Replace(full, fn.Pkg().Path()+".", "", 1)
+	}
+	return full
+}
+
+// relPath shortens an absolute path to its last two elements for
+// messages (stable across checkouts, still unambiguous in this tree).
+func relPath(p string) string {
+	dir, file := strings.TrimSuffix(p, "/"), ""
+	for i := 0; i < 2; i++ {
+		j := strings.LastIndexByte(dir, '/')
+		if j < 0 {
+			return p
+		}
+		if file == "" {
+			file = dir[j+1:]
+		} else {
+			file = dir[j+1:] + "/" + file
+		}
+		dir = dir[:j]
+	}
+	return file
+}
+
+// FormatContracts renders results as the golden contract file: one line
+// per contracted function, statuses per outcome, no line numbers or
+// costs (those drift across edits and Go versions; the *status* is the
+// contract).
+func FormatContracts(results []ContractResult) string {
+	byFunc := map[string][]ContractResult{}
+	var order []string
+	for _, r := range results {
+		if _, ok := byFunc[r.Func]; !ok {
+			order = append(order, r.Func)
+		}
+		byFunc[r.Func] = append(byFunc[r.Func], r)
+	}
+	sort.Strings(order)
+	var b strings.Builder
+	for _, fn := range order {
+		b.WriteString(fn)
+		b.WriteString(":")
+		rs := byFunc[fn]
+		sort.Slice(rs, func(i, j int) bool {
+			return contractKindOrder[rs[i].Kind] < contractKindOrder[rs[j].Kind]
+		})
+		for _, r := range rs {
+			status := "ok"
+			if !r.OK {
+				status = "VIOLATED"
+			}
+			fmt.Fprintf(&b, " %s=%s", r.Kind, status)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

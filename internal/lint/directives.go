@@ -14,13 +14,24 @@ const (
 	kindPadded        = "padded"
 	kindDeterministic = "deterministic"
 	kindHotPath       = "hotpath"
+	kindContract      = "contract"
+	kindOwned         = "owned"
 )
+
+// contractKinds are the valid //gvevet:contract arguments: the three
+// optimizer outcomes a hot function can pin.
+var contractKinds = map[string]bool{
+	"noescape": true, // no value declared in the function escapes to the heap
+	"inline":   true, // the function must stay inlinable
+	"nobounds": true, // no retained bounds check inside the function
+}
 
 // Directive is one parsed //gvevet:<kind> comment.
 type Directive struct {
 	Kind     string
-	Analyzer string // ignore only: the analyzer being suppressed
-	Reason   string // ignore/exclusive: the human justification
+	Analyzer string   // ignore only: the analyzer being suppressed
+	Reason   string   // ignore/exclusive/owned: the human justification
+	Args     []string // contract only: the contracted outcomes
 	Pos      token.Pos
 	File     string
 
@@ -32,6 +43,12 @@ type Directive struct {
 	// attaches to (NoPos..NoPos when it resolved to no node, in which
 	// case only the line rule applies).
 	scopeStart, scopeEnd token.Pos
+	// node is the resolved statement or declaration, when any.
+	node ast.Node
+	// used records whether the directive suppressed or asserted
+	// anything during a run; the stale-directive phase reports the
+	// ones that did not.
+	used bool
 }
 
 // covers reports whether pos falls inside the directive's attached
@@ -48,35 +65,79 @@ type Directives struct {
 	// Deterministic/HotPath are the package-level opt-ins.
 	Deterministic bool
 	HotPath       bool
+	hotPathDir    *Directive
 
 	// nilSafe/padded hold the annotated type names of this package.
-	nilSafe map[string]bool // type name → true
-	padded  map[string]bool
+	nilSafe map[string]*Directive // type name → directive
+	padded  map[string]*Directive
 }
 
 // NilSafeType reports whether the named type (declared in this package)
-// is annotated //gvevet:nilsafe.
-func (d *Directives) NilSafeType(name string) bool { return d.nilSafe[name] }
+// is annotated //gvevet:nilsafe, marking the annotation as exercised.
+func (d *Directives) NilSafeType(name string) bool {
+	if dir := d.nilSafe[name]; dir != nil {
+		dir.used = true
+		return true
+	}
+	return false
+}
 
 // PaddedType reports whether the named type (declared in this package)
-// is annotated //gvevet:padded.
-func (d *Directives) PaddedType(name string) bool { return d.padded[name] }
+// is annotated //gvevet:padded, marking the annotation as exercised.
+func (d *Directives) PaddedType(name string) bool {
+	if dir := d.padded[name]; dir != nil {
+		dir.used = true
+		return true
+	}
+	return false
+}
+
+// noteHotPath marks the package's hotpath directive as exercised (a
+// parallel region body was found and checked).
+func (d *Directives) noteHotPath() {
+	if d.hotPathDir != nil {
+		d.hotPathDir.used = true
+	}
+}
+
+// match returns the first directive of the given kind whose line or
+// attached scope covers pos, marking it used.
+func (d *Directives) match(kind string, pos token.Pos) *Directive {
+	dir := d.matchNoMark(kind, pos)
+	if dir != nil {
+		dir.used = true
+	}
+	return dir
+}
+
+// matchNoMark is match without the liveness side effect — for summary
+// construction, where a directive is only truly exercised once a
+// tracked object actually flows into its scope.
+func (d *Directives) matchNoMark(kind string, pos token.Pos) *Directive {
+	line := d.fset.Position(pos).Line
+	file := d.fset.Position(pos).Filename
+	for _, dir := range d.list {
+		if dir.Kind != kind || dir.File != file {
+			continue
+		}
+		if dir.covers(pos) || dir.targetLine == line {
+			return dir
+		}
+	}
+	return nil
+}
 
 // Exclusive reports whether pos is blessed by a //gvevet:exclusive
 // directive: inside an annotated function or statement, or on an
 // annotated line.
 func (d *Directives) Exclusive(pos token.Pos) bool {
-	line := d.fset.Position(pos).Line
-	file := d.fset.Position(pos).Filename
-	for _, dir := range d.list {
-		if dir.Kind != kindExclusive || dir.File != file {
-			continue
-		}
-		if dir.covers(pos) || dir.targetLine == line {
-			return true
-		}
-	}
-	return false
+	return d.match(kindExclusive, pos) != nil
+}
+
+// OwnedGo reports whether the go statement at pos is blessed by a
+// //gvevet:owned directive.
+func (d *Directives) OwnedGo(pos token.Pos) bool {
+	return d.match(kindOwned, pos) != nil
 }
 
 // suppressed reports whether finding f is covered by a matching
@@ -87,12 +148,14 @@ func (d *Directives) suppressed(f Finding) bool {
 			continue
 		}
 		if dir.targetLine == f.Pos.Line {
+			dir.used = true
 			return true
 		}
 		if dir.scopeStart.IsValid() {
 			start := d.fset.Position(dir.scopeStart)
 			end := d.fset.Position(dir.scopeEnd)
 			if start.Filename == f.Pos.Filename && start.Line <= f.Pos.Line && f.Pos.Line <= end.Line {
+				dir.used = true
 				return true
 			}
 		}
@@ -100,13 +163,27 @@ func (d *Directives) suppressed(f Finding) bool {
 	return false
 }
 
+// contracts returns the package's //gvevet:contract directives paired
+// with the function declarations they annotate. Directives that did not
+// attach to a function come back with a nil decl (the validator flags
+// them).
+func (d *Directives) contracts() []*Directive {
+	var out []*Directive
+	for _, dir := range d.list {
+		if dir.Kind == kindContract {
+			out = append(out, dir)
+		}
+	}
+	return out
+}
+
 // parseDirectives scans the files of one package for gvevet directives
 // and resolves what each one attaches to.
 func parseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 	d := &Directives{
 		fset:    fset,
-		nilSafe: map[string]bool{},
-		padded:  map[string]bool{},
+		nilSafe: map[string]*Directive{},
+		padded:  map[string]*Directive{},
 	}
 	for _, f := range files {
 		docOwner := docComments(f)
@@ -133,8 +210,10 @@ func parseOne(text string, pos token.Pos, file string) *Directive {
 	case kindIgnore:
 		dir.Analyzer, dir.Reason, _ = strings.Cut(strings.TrimSpace(rest), " ")
 		dir.Reason = strings.TrimSpace(dir.Reason)
-	case kindExclusive:
+	case kindExclusive, kindOwned:
 		dir.Reason = strings.TrimSpace(rest)
+	case kindContract:
+		dir.Args = strings.Fields(rest)
 	}
 	return dir
 }
@@ -150,17 +229,21 @@ func (d *Directives) attach(dir *Directive, f *ast.File, c *ast.Comment, owner a
 		return
 	case kindHotPath:
 		d.HotPath = true
+		if d.hotPathDir == nil {
+			d.hotPathDir = dir
+		}
 		return
 	}
 	if owner != nil {
 		dir.scopeStart, dir.scopeEnd = owner.Pos(), owner.End()
 		dir.targetLine = d.fset.Position(owner.Pos()).Line
+		dir.node = owner
 		if name := specName(owner); name != "" {
 			switch dir.Kind {
 			case kindNilSafe:
-				d.nilSafe[name] = true
+				d.nilSafe[name] = dir
 			case kindPadded:
-				d.padded[name] = true
+				d.padded[name] = dir
 			}
 		}
 		return
@@ -171,11 +254,13 @@ func (d *Directives) attach(dir *Directive, f *ast.File, c *ast.Comment, owner a
 	if n := stmtOnLine(d.fset, f, line, c.Pos()); n != nil {
 		dir.scopeStart, dir.scopeEnd = n.Pos(), n.End()
 		dir.targetLine = line
+		dir.node = n
 		return
 	}
 	dir.targetLine = line + 1
 	if n := stmtOnLine(d.fset, f, line+1, token.NoPos); n != nil {
 		dir.scopeStart, dir.scopeEnd = n.Pos(), n.End()
+		dir.node = n
 	}
 }
 

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Fact is one structured optimizer diagnostic: the compiler's own
+// judgment about an escape, an inlining decision, or a retained bounds
+// check, tied to a source position. Facts are what //gvevet:contract
+// directives are enforced against, and what CI archives for diffing
+// across PRs.
+type Fact struct {
+	File string `json:"file"` // absolute path
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Kind classifies the diagnostic:
+	//
+	//	can-inline     "can inline F with cost N as: ..."
+	//	cannot-inline  "cannot inline F: <reason>"
+	//	inline-call    "inlining call to F"
+	//	escape         "x escapes to heap", "moved to heap: x"
+	//	noescape       "x does not escape"
+	//	leak           "leaking param: x"
+	//	bounds         "Found IsInBounds" / "Found IsSliceInBounds"
+	//	other          anything else the compiler emits
+	Kind string `json:"kind"`
+	// Name is the function name for inline kinds, as the compiler
+	// prints it ("bucketIndex", "(*Flat).Add").
+	Name string `json:"name,omitempty"`
+	// Cost is the inlining cost for can-inline facts (0 when the
+	// compiler's output format did not carry one).
+	Cost int `json:"cost,omitempty"`
+	// Msg is the compiler's message, verbatim.
+	Msg string `json:"msg"`
+}
+
+// Fact kinds.
+const (
+	FactCanInline    = "can-inline"
+	FactCannotInline = "cannot-inline"
+	FactInlineCall   = "inline-call"
+	FactEscape       = "escape"
+	FactNoEscape     = "noescape"
+	FactLeak         = "leak"
+	FactBounds       = "bounds"
+	FactOther        = "other"
+)
+
+// CompileFacts shells out to
+//
+//	go build -gcflags='-m=2 -d=ssa/check_bce' <patterns>
+//
+// in dir and parses the optimizer diagnostics into Facts. The gcflags
+// apply to the command-line-named packages only, so dependency noise is
+// limited, and the Go build cache replays the diagnostics verbatim on
+// cache hits — the harness needs no cache-defeating tricks, and a
+// dedicated GOCACHE (as the CI contracts job uses) keeps the
+// -gcflags object files from evicting the normal test cache.
+//
+// A build failure is returned as an error (cmd/gvevet maps it to exit
+// code 2: the tree must compile before contracts mean anything).
+func CompileFacts(dir string, patterns []string) ([]Fact, error) {
+	args := append([]string{"build", "-gcflags=-m=2 -d=ssa/check_bce"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags: %v\n%s", err, stderr.String())
+	}
+	abs := dir
+	if abs == "" {
+		abs = "."
+	}
+	abs, err := filepath.Abs(abs)
+	if err != nil {
+		return nil, err
+	}
+	return parseDiagnostics(stderr.String(), abs), nil
+}
+
+// parseDiagnostics turns the compiler's stderr into Facts. The parser
+// is deliberately tolerant of format drift across Go versions: lines it
+// cannot place become FactOther (position-less lines are dropped), an
+// inline fact without a parsable cost keeps cost 0, and unknown
+// messages at known positions are preserved verbatim rather than
+// rejected — a new compiler phrasing degrades a contract check into a
+// miss, never into a crash.
+func parseDiagnostics(out, dir string) []Fact {
+	var facts []Fact
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue // "# importpath" group headers
+		}
+		file, ln, col, msg, ok := splitPosLine(line)
+		if !ok {
+			continue
+		}
+		if strings.HasPrefix(msg, " ") || strings.HasPrefix(msg, "\t") {
+			continue // indented flow-detail continuation of the previous fact
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		f := Fact{File: file, Line: ln, Col: col, Msg: msg}
+		f.Kind, f.Name, f.Cost = classifyDiagnostic(msg)
+		facts = append(facts, f)
+	}
+	return facts
+}
+
+// splitPosLine splits "path:line:col: msg" (msg keeps its leading
+// whitespace so continuation lines remain recognizable).
+func splitPosLine(line string) (file string, ln, col int, msg string, ok bool) {
+	// Scan for ":N:N: " working left to right; the path may contain
+	// colons on other platforms, so find the first spot where two
+	// integer fields follow.
+	rest := line
+	offset := 0
+	for {
+		i := strings.Index(rest, ":")
+		if i < 0 {
+			return "", 0, 0, "", false
+		}
+		tail := rest[i+1:]
+		j := strings.Index(tail, ":")
+		if j < 0 {
+			return "", 0, 0, "", false
+		}
+		k := strings.Index(tail[j+1:], ":")
+		if k < 0 {
+			return "", 0, 0, "", false
+		}
+		lnStr, colStr := tail[:j], tail[j+1:j+1+k]
+		l1, err1 := strconv.Atoi(lnStr)
+		c1, err2 := strconv.Atoi(colStr)
+		if err1 == nil && err2 == nil {
+			file = line[:offset+i]
+			msg = tail[j+1+k+1:]
+			msg = strings.TrimPrefix(msg, " ")
+			return file, l1, c1, msg, true
+		}
+		offset += i + 1
+		rest = rest[i+1:]
+	}
+}
+
+// classifyDiagnostic maps one compiler message to a fact kind, pulling
+// out the function name and cost for inline decisions.
+func classifyDiagnostic(msg string) (kind, name string, cost int) {
+	switch {
+	case strings.HasPrefix(msg, "can inline "):
+		rest := strings.TrimPrefix(msg, "can inline ")
+		if i := strings.Index(rest, " with cost "); i >= 0 {
+			name = rest[:i]
+			costStr := rest[i+len(" with cost "):]
+			if j := strings.IndexByte(costStr, ' '); j >= 0 {
+				costStr = costStr[:j]
+			}
+			cost, _ = strconv.Atoi(costStr)
+		} else {
+			// Older/newer format without a cost: the name runs to the
+			// first separator, or the whole message.
+			name = rest
+			if i := strings.IndexAny(rest, ": "); i >= 0 {
+				name = rest[:i]
+			}
+		}
+		return FactCanInline, name, cost
+	case strings.HasPrefix(msg, "cannot inline "):
+		rest := strings.TrimPrefix(msg, "cannot inline ")
+		name = rest
+		if i := strings.Index(rest, ":"); i >= 0 {
+			name = rest[:i]
+		}
+		return FactCannotInline, name, 0
+	case strings.HasPrefix(msg, "inlining call to "):
+		return FactInlineCall, strings.TrimPrefix(msg, "inlining call to "), 0
+	case strings.Contains(msg, "escapes to heap"), strings.HasPrefix(msg, "moved to heap:"):
+		return FactEscape, "", 0
+	case strings.Contains(msg, "does not escape"):
+		return FactNoEscape, "", 0
+	case strings.HasPrefix(msg, "leaking param"):
+		return FactLeak, "", 0
+	case strings.Contains(msg, "Found IsInBounds"), strings.Contains(msg, "Found IsSliceInBounds"):
+		return FactBounds, "", 0
+	}
+	return FactOther, "", 0
+}

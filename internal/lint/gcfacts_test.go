@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseDiagnostics pins the parser against captured compiler output
+// shapes: group headers, flow-detail continuations, and every fact kind.
+func TestParseDiagnostics(t *testing.T) {
+	out := strings.Join([]string{
+		"# gveleiden/internal/hashtable",
+		"internal/hashtable/flat.go:61:6: can inline (*Flat).Add with cost 71 as: method(*Flat) func(uint32, float64) { ... }",
+		"internal/hashtable/flat.go:12:6: cannot inline NewFlat: function too complex: cost 90 exceeds budget 80",
+		"internal/hashtable/flat.go:30:14: inlining call to bucketIndex",
+		"internal/hashtable/flat.go:40:2: moved to heap: x",
+		"internal/hashtable/flat.go:40:2:   flow: ~r0 = &x:",
+		"internal/hashtable/flat.go:45:10: y escapes to heap:",
+		"internal/hashtable/flat.go:50:7: f does not escape",
+		"internal/hashtable/flat.go:55:15: leaking param: keys",
+		"internal/hashtable/flat.go:70:12: Found IsInBounds",
+		"internal/hashtable/flat.go:71:12: Found IsSliceInBounds",
+		"internal/hashtable/flat.go:80:3: some future diagnostic the parser has never seen",
+		"no position at all on this line",
+		"",
+	}, "\n")
+	facts := parseDiagnostics(out, "/abs/root")
+	wantKinds := []string{
+		FactCanInline, FactCannotInline, FactInlineCall, FactEscape,
+		FactEscape, FactNoEscape, FactLeak, FactBounds, FactBounds, FactOther,
+	}
+	if len(facts) != len(wantKinds) {
+		t.Fatalf("got %d facts, want %d: %+v", len(facts), len(wantKinds), facts)
+	}
+	for i, k := range wantKinds {
+		if facts[i].Kind != k {
+			t.Errorf("fact %d: kind %q, want %q (%+v)", i, facts[i].Kind, k, facts[i])
+		}
+	}
+	if facts[0].Name != "(*Flat).Add" || facts[0].Cost != 71 {
+		t.Errorf("can-inline fact parsed as %+v", facts[0])
+	}
+	if facts[1].Name != "NewFlat" {
+		t.Errorf("cannot-inline fact parsed as %+v", facts[1])
+	}
+	if facts[2].Name != "bucketIndex" {
+		t.Errorf("inline-call fact parsed as %+v", facts[2])
+	}
+	if facts[0].File != "/abs/root/internal/hashtable/flat.go" {
+		t.Errorf("relative path not absolutized: %q", facts[0].File)
+	}
+	if facts[0].Line != 61 || facts[0].Col != 6 {
+		t.Errorf("position parsed as %d:%d", facts[0].Line, facts[0].Col)
+	}
+}
+
+// TestClassifyDiagnosticDrift: a can-inline line without a cost (format
+// drift) must still classify with the right name, cost 0.
+func TestClassifyDiagnosticDrift(t *testing.T) {
+	kind, name, cost := classifyDiagnostic("can inline frob")
+	if kind != FactCanInline || name != "frob" || cost != 0 {
+		t.Errorf("got (%q, %q, %d)", kind, name, cost)
+	}
+	kind, _, _ = classifyDiagnostic("something entirely new")
+	if kind != FactOther {
+		t.Errorf("unknown message classified as %q, want %q", kind, FactOther)
+	}
+}
+
+// TestContractsGolden pins the optimization state of every contracted
+// function in the repository: the golden file records, per function,
+// whether each contracted outcome holds. Regenerate with
+// GVEVET_UPDATE=1 after an intentional change.
+func TestContractsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the whole module with -gcflags")
+	}
+	root := filepath.Join("..", "..")
+	prog, err := Load(LoadConfig{Dir: root, Patterns: []string{"./..."}})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	facts, err := CompileFacts(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("compiling facts: %v", err)
+	}
+	results, findings := CheckContracts(prog, facts)
+	for _, f := range findings {
+		t.Errorf("violated contract: %s", f)
+	}
+	if len(results) == 0 {
+		t.Fatal("no contracts found in the repository; the hot kernels must stay pinned")
+	}
+
+	got := FormatContracts(results)
+	golden := filepath.Join("testdata", "contracts.golden")
+	if os.Getenv("GVEVET_UPDATE") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with GVEVET_UPDATE=1): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("contract state drifted from %s (regenerate with GVEVET_UPDATE=1 if intentional)\ngot:\n%swant:\n%s", golden, got, want)
+	}
+}

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoLeak requires every go statement in non-test code to have a
+// provable stop path: the spawned function — directly, or through any
+// function it calls with source in the program — must contain one of
+//
+//   - a channel receive or a select statement (done-channel / context
+//     cancellation loops),
+//   - a range over a channel (drain-until-close workers),
+//   - a call to a context's Done or Err method,
+//   - a sync.WaitGroup.Done call (join-counted workers),
+//   - a close of a channel (completion-signalling one-shots).
+//
+// A goroutine with none of these runs until the process exits; in a
+// resident server that is a leak the race detector never sees — the
+// goroutine isn't racing, it's just immortal, pinning its stack and
+// whatever it captured. Goroutines whose lifetime is genuinely bounded
+// by other means (e.g. a bounded loop over a finite work list) carry
+// //gvevet:owned <reason> on the go statement.
+//
+// The check is an existence proof, not a liveness proof: it cannot show
+// the select is reached or the WaitGroup is awaited. It is a tripwire
+// for the common failure — a spawn written with no stop protocol at
+// all — which is exactly the bug class a long-lived gveserve would
+// accumulate.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "requires every go statement in non-test code to have a provable stop path or an //gvevet:owned annotation",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	g := pass.Prog.CallGraph()
+	memo := map[string]stopState{}
+	for _, f := range pass.Files {
+		name := pass.Prog.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue // tests bound goroutines with the test's own lifetime
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			// Stop evidence first: an //gvevet:owned on a goroutine
+			// that provably stops anyway is stale, not used.
+			if spawnStops(pass, g, memo, gs.Call) {
+				return true
+			}
+			if pass.Directives.OwnedGo(gs.Pos()) {
+				return true
+			}
+			pass.Report(gs.Pos(),
+				"goroutine has no provable stop path (channel receive/select, range over channel, context Done/Err, WaitGroup.Done, or close), directly or in its callees; add one or annotate //gvevet:owned <why its lifetime is bounded>")
+			return true
+		})
+	}
+}
+
+// stopState is the memo entry for functionStops: visiting breaks call
+// cycles (a cycle with no stop evidence anywhere in it proves nothing).
+// The zero value must mean "never seen", so the real states start at 1.
+type stopState int
+
+const (
+	stopUnknown stopState = iota
+	stopVisiting
+	stopNo
+	stopYes
+)
+
+// spawnStops reports whether the function launched by a go statement's
+// call has stop evidence — in its own body or transitively in a callee.
+func spawnStops(pass *Pass, g *callGraph, memo map[string]stopState, call *ast.CallExpr) bool {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if bodyStops(pass.Info, lit.Body) {
+			return true
+		}
+		// No direct evidence in the literal: check the functions it
+		// calls.
+		stops := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if stops {
+				return false
+			}
+			if c, ok := n.(*ast.CallExpr); ok {
+				if fn, _ := resolveCallee(pass.Info, c); fn != nil && functionStops(g, memo, fn) {
+					stops = true
+				}
+			}
+			return true
+		})
+		return stops
+	}
+	fn, _ := resolveCallee(pass.Info, call)
+	return fn != nil && functionStops(g, memo, fn)
+}
+
+// functionStops reports whether fn (transitively) contains stop
+// evidence. Functions without source are opaque and count as no
+// evidence.
+func functionStops(g *callGraph, memo map[string]stopState, fn *types.Func) bool {
+	node := g.node(fn)
+	if node == nil {
+		return false
+	}
+	switch memo[node.key] {
+	case stopYes:
+		return true
+	case stopNo, stopVisiting:
+		return false
+	case stopUnknown:
+	}
+	memo[node.key] = stopVisiting
+	result := bodyStops(node.pkg.Info, node.decl.Body)
+	if !result {
+		for _, cs := range node.calls {
+			if functionStops(g, memo, cs.callee) {
+				result = true
+				break
+			}
+		}
+	}
+	if result {
+		memo[node.key] = stopYes
+	} else {
+		memo[node.key] = stopNo
+	}
+	return result
+}
+
+// bodyStops scans one function body for direct stop evidence.
+func bodyStops(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if stopCall(info, n) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// stopCall recognizes calls that are themselves stop evidence: close,
+// context Done/Err methods, and sync.WaitGroup.Done.
+func stopCall(info *types.Info, call *ast.CallExpr) bool {
+	if calleeName(info, call) == "close" {
+		return true
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	switch fn.FullName() {
+	case "(*sync.WaitGroup).Done", "(*sync.WaitGroup).Wait":
+		return true
+	}
+	// Done()/Err() methods on anything context-shaped: the concrete
+	// context implementations vary (context.Context, custom clocks in
+	// tests), so match by method name + niladic signature.
+	if name := fn.Name(); name == "Done" || name == "Err" {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && sig.Params().Len() == 0 {
+			return true
+		}
+	}
+	return false
+}

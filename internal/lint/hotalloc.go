@@ -56,6 +56,7 @@ func runHotAlloc(pass *Pass) {
 			if !ok {
 				return true
 			}
+			pass.Directives.noteHotPath()
 			checkRegionBody(pass, body)
 			return true
 		})

@@ -26,7 +26,8 @@
 //	                                      verifies the guards
 //	//gvevet:padded                       declare a type a per-worker
 //	                                      shared slot; padsize verifies
-//	                                      its size is a multiple of 64
+//	                                      its size is a multiple of 64,
+//	                                      padcopy forbids by-value copies
 //	//gvevet:deterministic                (package level) mark a package
 //	                                      determinism-sensitive; nodeterm
 //	                                      polices wall clocks, global
@@ -35,6 +36,17 @@
 //	                                      hot-path; hotalloc polices
 //	                                      allocations inside parallel
 //	                                      region bodies
+//	//gvevet:contract <kind...>           (function doc comment) pin the
+//	                                      optimizer's outcome for a hot
+//	                                      kernel: noescape, inline,
+//	                                      nobounds (see CheckContracts)
+//	//gvevet:owned <reason>               bless a go statement whose
+//	                                      goroutine's lifetime is bounded
+//	                                      by other means (goleak)
+//
+// A directive that suppresses or asserts nothing in the current tree is
+// itself a finding (stale-directive detection), so annotations cannot
+// rot after refactors.
 package lint
 
 import (
@@ -68,6 +80,22 @@ type Package struct {
 	Info  *types.Info
 	// Directives are the parsed gvevet directives of this package.
 	Directives *Directives
+
+	// parents caches per-file parent maps, shared by the analyzers.
+	parents map[*ast.File]map[ast.Node]ast.Node
+}
+
+// ParentMap returns (building on first use) the node→parent map of f.
+func (p *Package) ParentMap(f *ast.File) map[ast.Node]ast.Node {
+	if p.parents == nil {
+		p.parents = map[*ast.File]map[ast.Node]ast.Node{}
+	}
+	m := p.parents[f]
+	if m == nil {
+		m = parentMap(f)
+		p.parents[f] = m
+	}
+	return m
 }
 
 // Program is a whole load: every analyzed package plus the
@@ -80,9 +108,27 @@ type Program struct {
 	// Sizes computes type sizes with the gc layout rules for the
 	// build's target architecture (padsize).
 	Sizes types.Sizes
-	// PaddedTypes is the set of //gvevet:padded type names, keyed
-	// "path.Name". Generic entries are checked per instantiation.
-	PaddedTypes map[string]bool
+	// PaddedTypes maps "path.Name" of each //gvevet:padded type to its
+	// directive (looked up through paddedType so uses mark the
+	// directive live for stale detection). Generic entries are checked
+	// per instantiation.
+	PaddedTypes map[string]*Directive
+
+	// graph is the lazily built whole-program call graph the
+	// interprocedural analyzers share.
+	graph *callGraph
+	// sums are atomic-mix's lazily built per-function summaries.
+	sums *atomicSummaries
+}
+
+// paddedType reports whether the "path.Name" key names an annotated
+// padded type anywhere in the program, marking its directive live.
+func (prog *Program) paddedType(key string) bool {
+	if d := prog.PaddedTypes[key]; d != nil {
+		d.used = true
+		return true
+	}
+	return false
 }
 
 // Pass is the per-(analyzer, package) context handed to Analyzer.Run.
@@ -117,20 +163,41 @@ func (f Finding) String() string {
 func All() []*Analyzer {
 	return []*Analyzer{
 		AtomicMix,
+		GoLeak,
 		HotAlloc,
 		NilRecv,
+		PadCopy,
 		PadSize,
 		NoDeterm,
 	}
 }
 
+// Interprocedural returns the analyzers that need the whole-program
+// call graph (cmd/gvevet -callgraph).
+func Interprocedural() []*Analyzer {
+	return []*Analyzer{AtomicMix, GoLeak, PadCopy}
+}
+
 // Run executes the analyzers over every package of prog, applies
 // //gvevet:ignore suppression, validates the directives themselves, and
-// returns the surviving findings sorted by position.
+// returns the surviving findings sorted by position. When the analyzer
+// set covers the full suite, directives that suppressed or asserted
+// nothing are reported as stale.
 func Run(prog *Program, analyzers []*Analyzer) []Finding {
-	known := map[string]bool{}
+	ran := map[string]bool{}
 	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	// Directive validation is against the full suite's names: an
+	// //gvevet:ignore naming hotalloc is well-formed even in a
+	// -callgraph run that does not execute hotalloc.
+	known := map[string]bool{}
+	fullSuite := true
+	for _, a := range All() {
 		known[a.Name] = true
+		if !ran[a.Name] {
+			fullSuite = false
+		}
 	}
 	var out []Finding
 	for _, pkg := range prog.Packages {
@@ -146,6 +213,18 @@ func Run(prog *Program, analyzers []*Analyzer) []Finding {
 		}
 		out = append(out, validateDirectives(prog, pkg, known)...)
 	}
+	if fullSuite {
+		for _, pkg := range prog.Packages {
+			out = append(out, staleDirectives(prog, pkg)...)
+		}
+	}
+	SortFindings(out)
+	return out
+}
+
+// SortFindings orders findings by position, then analyzer — the
+// deterministic reporting order every producer uses.
+func SortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -159,13 +238,14 @@ func Run(prog *Program, analyzers []*Analyzer) []Finding {
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out
 }
 
 // validateDirectives reports malformed gvevet directives: unknown
-// kinds, ignore without an analyzer name or reason, and ignore naming
-// an analyzer that does not exist. A directive that silently does
-// nothing is worse than a finding.
+// kinds, ignore without an analyzer name or reason, ignore naming an
+// analyzer that does not exist, contract with no (or unknown) outcome
+// kinds or not attached to a function declaration, and owned without a
+// reason. A directive that silently does nothing is worse than a
+// finding.
 func validateDirectives(prog *Program, pkg *Package, known map[string]bool) []Finding {
 	var out []Finding
 	bad := func(pos token.Pos, format string, args ...any) {
@@ -183,10 +263,73 @@ func validateDirectives(prog *Program, pkg *Package, known map[string]bool) []Fi
 			} else if !known[d.Analyzer] {
 				bad(d.Pos, "//gvevet:ignore names unknown analyzer %q", d.Analyzer)
 			}
+		case kindContract:
+			if len(d.Args) == 0 {
+				bad(d.Pos, "malformed //gvevet:contract: need \"//gvevet:contract <noescape|inline|nobounds>...\"")
+				continue
+			}
+			for _, k := range d.Args {
+				if !contractKinds[k] {
+					bad(d.Pos, "//gvevet:contract names unknown outcome %q (valid: inline, noescape, nobounds)", k)
+				}
+			}
+			if _, ok := d.node.(*ast.FuncDecl); !ok {
+				bad(d.Pos, "//gvevet:contract must be a doc comment on a function declaration")
+			}
+		case kindOwned:
+			if d.Reason == "" {
+				bad(d.Pos, "malformed //gvevet:owned: need \"//gvevet:owned <why the goroutine is bounded>\"")
+			}
 		case kindExclusive, kindNilSafe, kindPadded, kindDeterministic, kindHotPath:
 			// No required arguments.
 		default:
 			bad(d.Pos, "unknown gvevet directive %q", d.Kind)
+		}
+	}
+	return out
+}
+
+// staleDirectives reports directives that neither suppressed a finding
+// nor asserted anything the current tree exercises. Only run with the
+// full analyzer suite: a partial run cannot tell "nothing to suppress"
+// from "the suppressing analyzer did not run".
+func staleDirectives(prog *Program, pkg *Package) []Finding {
+	var out []Finding
+	stale := func(d *Directive, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:      prog.Fset.Position(d.Pos),
+			Analyzer: "gvevet",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, d := range pkg.Directives.list {
+		if d.used {
+			continue
+		}
+		switch d.Kind {
+		case kindIgnore:
+			if d.Analyzer != "" && d.Reason != "" {
+				stale(d, "stale //gvevet:ignore %s: it suppresses nothing; the finding it silenced is gone — remove the directive", d.Analyzer)
+			}
+		case kindExclusive:
+			stale(d, "stale //gvevet:exclusive: no plain access to atomically shared memory in its scope needed blessing — remove the directive")
+		case kindOwned:
+			if d.Reason != "" {
+				stale(d, "stale //gvevet:owned: it covers no go statement that needed it — remove the directive")
+			}
+		case kindNilSafe:
+			stale(d, "stale //gvevet:nilsafe: no exported pointer-receiver method dereferences the type — remove the directive or export the contract surface")
+		case kindPadded:
+			stale(d, "stale //gvevet:padded: the annotation attached to no type declaration — move it onto the type's doc comment")
+		case kindHotPath:
+			stale(d, "stale //gvevet:hotpath: the package has no parallel region bodies to police — remove the directive")
+		case kindContract:
+			// Contracts assert against the compiler, not the analyzers;
+			// CheckContracts marks them used. A static-only run says
+			// nothing about their liveness.
+		case kindDeterministic:
+			// Package-wide negative invariant ("nothing nondeterministic
+			// here"): holds vacuously, never stale.
 		}
 	}
 	return out

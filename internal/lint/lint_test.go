@@ -68,10 +68,37 @@ func collectWants(t *testing.T, dir string) map[string][]*want {
 	return wants
 }
 
-// TestAnalyzersGolden runs each analyzer over its fixture corpus and
-// requires an exact match: every want comment matched by a finding on
-// its line, no finding without a want. Suppression and exclusive cases
-// are covered by fixture lines that must stay silent.
+// matchWants requires an exact two-way match between findings and the
+// corpus's want comments: every want matched by a finding on its line,
+// no finding without a want.
+func matchWants(t *testing.T, dir string, findings []Finding) {
+	t.Helper()
+	wants := collectWants(t, dir)
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched, matched = true, true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding (no matching want): %s", f)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: want %q not reported", key, w.re)
+			}
+		}
+	}
+}
+
+// TestAnalyzersGolden runs each analyzer over its fixture corpus.
+// Suppression and exclusive cases are covered by fixture lines that
+// must stay silent.
 func TestAnalyzersGolden(t *testing.T) {
 	for _, a := range All() {
 		t.Run(a.Name, func(t *testing.T) {
@@ -84,29 +111,81 @@ func TestAnalyzersGolden(t *testing.T) {
 			if len(findings) == 0 {
 				t.Fatalf("fixture corpus produced no findings; gvevet would exit 0 on it")
 			}
-			wants := collectWants(t, dir)
-
-			for _, f := range findings {
-				key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
-				matched := false
-				for _, w := range wants[key] {
-					if !w.matched && w.re.MatchString(f.Message) {
-						w.matched, matched = true, true
-						break
-					}
-				}
-				if !matched {
-					t.Errorf("unexpected finding (no matching want): %s", f)
-				}
-			}
-			for key, ws := range wants {
-				for _, w := range ws {
-					if !w.matched {
-						t.Errorf("%s: want %q not reported", key, w.re)
-					}
-				}
-			}
+			matchWants(t, dir, findings)
 		})
+	}
+}
+
+// TestStaleDirectives runs the full suite (stale detection only arms
+// itself when every analyzer runs) over a corpus whose directives are
+// deliberately dead, plus live counterparts that must stay silent.
+func TestStaleDirectives(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "stale")
+	prog, err := Load(LoadConfig{Patterns: []string{"./" + filepath.ToSlash(dir)}})
+	if err != nil {
+		t.Fatalf("loading fixture corpus: %v", err)
+	}
+	findings := Run(prog, All())
+	if len(findings) == 0 {
+		t.Fatalf("stale corpus produced no findings")
+	}
+	matchWants(t, dir, findings)
+}
+
+// TestStaleNeedsFullSuite: a partial run cannot distinguish "nothing to
+// suppress" from "the suppressing analyzer did not run", so it must not
+// report staleness.
+func TestStaleNeedsFullSuite(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "stale")
+	prog, err := Load(LoadConfig{Patterns: []string{"./" + filepath.ToSlash(dir)}})
+	if err != nil {
+		t.Fatalf("loading fixture corpus: %v", err)
+	}
+	for _, f := range Run(prog, []*Analyzer{AtomicMix}) {
+		if strings.Contains(f.Message, "stale") {
+			t.Errorf("partial run reported staleness: %s", f)
+		}
+	}
+}
+
+// TestContractFixture enforces //gvevet:contract over a corpus with one
+// deliberate violation per outcome kind, against real compiler facts.
+func TestContractFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build")
+	}
+	dir := filepath.Join("testdata", "src", "contract")
+	pattern := "./" + filepath.ToSlash(dir)
+	prog, err := Load(LoadConfig{Patterns: []string{pattern}})
+	if err != nil {
+		t.Fatalf("loading fixture corpus: %v", err)
+	}
+	facts, err := CompileFacts("", []string{pattern})
+	if err != nil {
+		t.Fatalf("compiling facts: %v", err)
+	}
+	results, findings := CheckContracts(prog, facts)
+	if len(findings) == 0 {
+		t.Fatalf("contract corpus produced no findings")
+	}
+	matchWants(t, dir, findings)
+
+	held := map[string]bool{}
+	for _, r := range results {
+		if r.OK {
+			held[r.Func+"/"+r.Kind] = true
+		}
+	}
+	for _, want := range []string{
+		"gveleiden/internal/lint/testdata/src/contract.add/inline",
+		"gveleiden/internal/lint/testdata/src/contract.add/noescape",
+		"gveleiden/internal/lint/testdata/src/contract.add/nobounds",
+		"gveleiden/internal/lint/testdata/src/contract.sum/inline",
+		"gveleiden/internal/lint/testdata/src/contract.sum/noescape",
+	} {
+		if !held[want] {
+			t.Errorf("contract %s did not hold (results: %v)", want, results)
+		}
 	}
 }
 

@@ -70,7 +70,7 @@ func Load(cfg LoadConfig) (*Program, error) {
 	prog := &Program{
 		Fset:        fset,
 		Sizes:       types.SizesFor("gc", runtime.GOARCH),
-		PaddedTypes: map[string]bool{},
+		PaddedTypes: map[string]*Directive{},
 	}
 	for _, t := range targets {
 		files, err := parseFiles(fset, t)
@@ -105,8 +105,8 @@ func Load(cfg LoadConfig) (*Program, error) {
 			Info:       info,
 			Directives: parseDirectives(fset, files),
 		}
-		for name := range pkg.Directives.padded {
-			prog.PaddedTypes[path+"."+name] = true
+		for name, dir := range pkg.Directives.padded {
+			prog.PaddedTypes[path+"."+name] = dir
 		}
 		prog.Packages = append(prog.Packages, pkg)
 	}

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PadCopy is the copylocks analogue for this repository's cache-line
+// types: a value of a //gvevet:padded type, or of any type transitively
+// containing sync/atomic fields, must not be copied. Copying one
+// duplicates memory that other goroutines address through the original
+// — atomic counters silently fork, and the carefully derived padding
+// geometry stops meaning anything because the copy lives at an
+// arbitrary offset. The per-worker slots these types implement are
+// meant to be reached exactly one way: by pointer or by index into
+// their preallocated slice.
+//
+// Reported: value receivers, value parameters, assignments and
+// declarations whose right-hand side is existing storage (a variable,
+// field, element, or dereference), by-value arguments at call sites,
+// and range clauses that copy elements. Fresh rvalues — composite
+// literals (the `slot = T{}` reset idiom) and function-call results —
+// are allowed: they are initializations, not aliased copies. The copy
+// and append builtins take slices, not element values, so bulk
+// phase-exclusive moves like a grow-time copy are untouched.
+//
+// Types still depending on uninstantiated type parameters are skipped;
+// concrete uses are checked at their own sites, and padded generics
+// are matched through their origin type, so Padded[T] methods and
+// arguments are covered at every instantiation.
+var PadCopy = &Analyzer{
+	Name: "padcopy",
+	Doc:  "forbids by-value copies of //gvevet:padded or atomic-bearing types",
+	Run:  runPadCopy,
+}
+
+func runPadCopy(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil && len(n.Recv.List) > 0 {
+					checkValueField(pass, n.Recv.List[0], "method %s uses a value receiver of %s; use a pointer receiver")
+				}
+				if n.Type.Params != nil {
+					for _, fld := range n.Type.Params.List {
+						checkValueField(pass, fld, "parameter copies %s %s by value; pass a pointer")
+					}
+				}
+			case *ast.FuncLit:
+				if n.Type.Params != nil {
+					for _, fld := range n.Type.Params.List {
+						checkValueField(pass, fld, "parameter copies %s %s by value; pass a pointer")
+					}
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true // multi-value call/comma-ok: RHS values are fresh
+				}
+				for i, rhs := range n.Rhs {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue // discarded, no copy materializes
+					}
+					checkCopiedValue(pass, rhs, "assignment copies %s %s by value; use a pointer or write through the original")
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				if reason, bad := noCopyType(pass, pass.Info.TypeOf(n.Value)); bad {
+					pass.Report(n.Value.Pos(),
+						"range clause copies elements of %s by value; range over the index and take a pointer", describeNoCopy(reason))
+				}
+			case *ast.CallExpr:
+				if calleeName(pass.Info, n) != "" {
+					return true // builtins take slices or pointers of these types, never values
+				}
+				if tv, ok := pass.Info.Types[n.Fun]; ok && tv.IsType() {
+					return true // conversion: operand checked where it is then stored or passed
+				}
+				for _, arg := range n.Args {
+					checkCopiedValue(pass, arg, "call passes %s %s by value; pass a pointer")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkValueField reports a receiver or parameter field declared with a
+// (non-pointer) no-copy type.
+func checkValueField(pass *Pass, fld *ast.Field, format string) {
+	t := pass.Info.TypeOf(fld.Type)
+	reason, bad := noCopyType(pass, t)
+	if !bad {
+		return
+	}
+	name := "_"
+	pos := fld.Type.Pos()
+	if len(fld.Names) > 0 {
+		name = fld.Names[0].Name
+		pos = fld.Names[0].Pos()
+	}
+	pass.Report(pos, format, name, describeNoCopy(reason))
+}
+
+// checkCopiedValue reports e when it is existing storage of a no-copy
+// type being consumed by value (fresh rvalues are allowed).
+func checkCopiedValue(pass *Pass, e ast.Expr, format string) {
+	if !isStoredValue(e) {
+		return
+	}
+	if reason, bad := noCopyType(pass, pass.Info.TypeOf(e)); bad {
+		pass.Report(e.Pos(), format, exprString(e), describeNoCopy(reason))
+	}
+}
+
+// isStoredValue reports whether e denotes existing storage — the copies
+// worth flagging — rather than a fresh rvalue.
+func isStoredValue(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name != "_"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// exprString renders a short name for the copied expression.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	}
+	return "value"
+}
+
+// noCopyReason describes why a type must not be copied.
+type noCopyReason struct {
+	padded bool
+	name   string
+}
+
+func describeNoCopy(r noCopyReason) string {
+	if r.padded {
+		return "//gvevet:padded type " + r.name
+	}
+	return "atomic-bearing type " + r.name
+}
+
+// noCopyType reports whether t is a no-copy type: annotated
+// //gvevet:padded anywhere in the program, or a struct transitively
+// holding sync/atomic typed fields (through embedded structs and
+// arrays; a pointer, slice, or map field is indirection, not storage,
+// and stops the walk).
+func noCopyType(pass *Pass, t types.Type) (noCopyReason, bool) {
+	if t == nil || dependsOnTypeParams(t) {
+		return noCopyReason{}, false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if orig := named.Origin(); orig != nil {
+			obj = orig.Obj()
+		}
+		if pass.Prog.paddedType(pathFor(obj)) {
+			return noCopyReason{padded: true, name: types.TypeString(t, types.RelativeTo(pass.Types))}, true
+		}
+	}
+	if hasAtomicField(t, map[types.Type]bool{}) {
+		return noCopyReason{name: types.TypeString(t, types.RelativeTo(pass.Types))}, true
+	}
+	return noCopyReason{}, false
+}
+
+// hasAtomicField walks value storage looking for sync/atomic types.
+func hasAtomicField(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		if obj := t.Obj(); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			return true
+		}
+		return hasAtomicField(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if hasAtomicField(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return hasAtomicField(t.Elem(), seen)
+	}
+	return false
+}

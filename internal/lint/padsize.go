@@ -64,7 +64,7 @@ func runPadSize(pass *Pass) {
 			obj = pass.Info.Defs[ident]
 		}
 		tn, ok := obj.(*types.TypeName)
-		if !ok || !pass.Prog.PaddedTypes[pathFor(tn)] {
+		if !ok || !pass.Prog.paddedType(pathFor(tn)) {
 			continue
 		}
 		if dependsOnTypeParams(inst.Type) {

@@ -1,0 +1,57 @@
+// Interprocedural cases: atomic discipline follows the data through
+// helper calls. A helper that atomic-accesses its parameter makes the
+// caller's argument tracked; a tracked argument handed to a helper that
+// plain-accesses its parameter is a finding at the call site; a helper
+// whose plain access is blessed //gvevet:exclusive propagates the
+// blessing to every caller.
+package atomicmix
+
+import "sync/atomic"
+
+// loadSlot accesses its parameter atomically: callers' arguments become
+// tracked through the summary.
+func loadSlot(s []uint32, i int) uint32 {
+	return atomic.LoadUint32(&s[i])
+}
+
+// storePlain accesses its parameter plainly: tracked arguments flowing
+// in are findings at the call site.
+func storePlain(s []uint32, i int, v uint32) {
+	s[i] = v
+}
+
+// storeWrapped only forwards; the fixpoint inherits storePlain's plain
+// summary through it.
+func storeWrapped(s []uint32, i int, v uint32) {
+	storePlain(s, i, v)
+}
+
+// zeroAll's plain access is blessed, so the blessing covers callers too.
+//
+//gvevet:exclusive zeroing runs between phases, no concurrent access by contract
+func zeroAll(s []uint32) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+func viaHelpers(n int) {
+	slots := make([]uint32, n)
+	_ = loadSlot(slots, 0)  // tracked: the helper atomic-accesses its parameter
+	slots[1] = 9            // want "plain write of slots"
+	storePlain(slots, 2, 7) // want "slots is accessed atomically .* but passed to storePlain, which accesses it plainly"
+	zeroAll(slots)          // blessed in the callee: silent
+}
+
+func viaWrapper(n int) {
+	slots := make([]uint32, n)
+	_ = loadSlot(slots, 0)
+	storeWrapped(slots, 3, 1) // want "passed to storeWrapped, which accesses it plainly"
+}
+
+// viaWrapperBlessed: the caller can also bless the call site itself.
+func viaWrapperBlessed(n int) {
+	slots := make([]uint32, n)
+	_ = loadSlot(slots, 0)
+	storePlain(slots, 4, 2) //gvevet:exclusive sequential epilogue: workers already joined
+}

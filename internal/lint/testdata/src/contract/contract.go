@@ -1,0 +1,52 @@
+// Package contract is the fixture corpus for //gvevet:contract
+// enforcement (CheckContracts against real compiler facts). Each "want"
+// comment is a regexp that must match a contract finding reported on
+// the function's declaration line; contracted functions without one
+// must hold.
+package contract
+
+// add holds all three contracts: leaf arithmetic, nothing escapes,
+// nothing indexed.
+//
+//gvevet:contract inline noescape nobounds
+func add(a, b int) int {
+	return a + b
+}
+
+// sum holds inline and noescape; the loop body indexes with a variable
+// the prover cannot bound, so nobounds would fail — it is deliberately
+// not contracted.
+//
+//gvevet:contract inline noescape
+func sum(xs []int) int {
+	t := 0
+	for i := 0; i < len(xs); i++ {
+		t += xs[i]
+	}
+	return t
+}
+
+// escapes violates noescape: returning &x forces x to the heap.
+//
+//gvevet:contract noescape
+func escapes() *int { // want "contract noescape violated on escapes: .*moved to heap"
+	x := 42
+	return &x
+}
+
+// recursive violates inline: the compiler refuses recursive functions.
+//
+//gvevet:contract inline
+func recursive(n int) int { // want "contract inline violated on recursive: cannot inline"
+	if n <= 0 {
+		return 0
+	}
+	return recursive(n-1) + n
+}
+
+// checked violates nobounds: i is unconstrained, the check stays.
+//
+//gvevet:contract nobounds
+func checked(xs []int, i int) int { // want "contract nobounds violated on checked: .*Found IsInBounds"
+	return xs[i]
+}

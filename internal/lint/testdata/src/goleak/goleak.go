@@ -1,0 +1,126 @@
+// Package goleak is the fixture corpus for the goleak analyzer. Each
+// "want" comment is a regexp that must match a finding reported on its
+// line; lines without a want comment must stay silent. The silent cases
+// pin the recognized stop-path shapes — receive, select, range over
+// channel, context Err, WaitGroup.Done, close — directly in the spawned
+// literal, through a named function, and transitively through callees,
+// plus the //gvevet:owned escape hatch.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+// leakLit spawns a literal with no stop protocol at all.
+func leakLit() {
+	go func() { // want "goroutine has no provable stop path"
+		for {
+			work()
+		}
+	}()
+}
+
+// leakNamed spawns a named spinner: the callee scan finds nothing.
+func leakNamed() {
+	go spin() // want "goroutine has no provable stop path"
+}
+
+func ping() { pong() }
+func pong() { ping() }
+
+// leakCycle: a call cycle with no stop evidence anywhere proves nothing.
+func leakCycle() {
+	go ping() // want "goroutine has no provable stop path"
+}
+
+func stopsByReceive(done chan struct{}) {
+	go func() {
+		work()
+		<-done
+	}()
+}
+
+func stopsBySelect(stop chan struct{}, in chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case v := <-in:
+				_ = v
+			}
+		}
+	}()
+}
+
+func stopsByRange(in chan int) {
+	go func() {
+		for v := range in {
+			_ = v
+		}
+	}()
+}
+
+func stopsByContext(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+			work()
+		}
+	}()
+}
+
+func stopsByWaitGroup(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func stopsByClose(done chan struct{}) {
+	go func() {
+		work()
+		close(done)
+	}()
+}
+
+// drain carries the stop evidence for its callers.
+func drain(in chan int) {
+	for range in {
+	}
+}
+
+// relay has no direct evidence; drain supplies it transitively.
+func relay(in chan int) {
+	drain(in)
+}
+
+func stopsTransitively(in chan int) {
+	go relay(in)
+}
+
+func stopsTransitivelyFromLit(in chan int) {
+	go func() {
+		work()
+		relay(in)
+	}()
+}
+
+// ownedSpawn really is bounded — the loop is finite — but the analyzer
+// cannot prove it, so the spawn carries the escape hatch.
+func ownedSpawn(n int) {
+	//gvevet:owned bounded: the loop runs exactly n iterations and returns
+	go func() {
+		for i := 0; i < n; i++ {
+			work()
+		}
+	}()
+}

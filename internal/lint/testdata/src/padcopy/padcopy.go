@@ -1,0 +1,89 @@
+// Package padcopy is the fixture corpus for the padcopy analyzer. Each
+// "want" comment is a regexp that must match a finding reported on its
+// line; lines without a want comment must stay silent. The silent cases
+// pin the allowed shapes: composite-literal resets, pointer access,
+// index-only ranges, address-of arguments, discarded values, and types
+// that reach their atomics only through pointers.
+package padcopy
+
+import "sync/atomic"
+
+// slot is a cache-line-sized per-worker accumulator.
+//
+//gvevet:padded
+type slot struct {
+	v uint64
+	_ [56]byte
+}
+
+// gauge is atomic-bearing without being padded.
+type gauge struct {
+	n atomic.Int64
+}
+
+// bank embeds gauges in an array: still atomic-bearing storage.
+type bank struct {
+	g [4]gauge
+}
+
+// handle reaches its gauge through a pointer: copying the handle copies
+// the pointer, not the atomic storage.
+type handle struct {
+	g *gauge
+}
+
+var slots []slot
+
+func (s slot) read() uint64 { // want "uses a value receiver of //gvevet:padded type slot"
+	return s.v
+}
+
+func (s *slot) readPtr() uint64 {
+	return s.v
+}
+
+func byValue(s slot) uint64 { // want "parameter copies s //gvevet:padded type slot by value"
+	return s.v
+}
+
+func byPointer(s *slot) uint64 {
+	return s.v
+}
+
+func bankByValue(b bank) {} // want "parameter copies b atomic-bearing type bank by value"
+
+func use(s *slot) {}
+
+func copies() {
+	s := slots[0] // want "assignment copies slots\[\.\.\.\] //gvevet:padded type slot by value"
+	use(&s)
+
+	var g gauge
+	h := g // want "assignment copies g atomic-bearing type gauge by value"
+	_ = &h
+
+	fresh := slot{} // fresh rvalue: an initialization, not an aliased copy
+	use(&fresh)
+
+	slots[0] = slot{} // the reset idiom stays legal
+
+	for _, s := range slots { // want "range clause copies elements of //gvevet:padded type slot"
+		_ = s.v
+	}
+	for i := range slots { // index-only range copies nothing
+		slots[i].v++
+	}
+
+	byValue(slots[1]) // want "call passes slots\[\.\.\.\] //gvevet:padded type slot by value"
+	use(&slots[1])    // address-of argument: no copy
+
+	litParam := func(s slot) uint64 { return s.v } // want "parameter copies s //gvevet:padded type slot by value"
+	_ = litParam
+
+	var keep slot
+	_ = keep // discarded: no copy materializes
+
+	var h1 handle
+	h2 := h1 // pointer indirection stops the atomic-storage walk
+	_ = &h2
+}

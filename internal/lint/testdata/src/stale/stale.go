@@ -1,0 +1,57 @@
+// Package stale is the fixture corpus for stale-directive detection.
+// The package is clean under the full analyzer suite, so every
+// directive that suppresses or asserts nothing must itself be reported.
+// Live directives (ones a finding or access actually exercises) pin the
+// negative cases: they must stay silent.
+package stale
+
+import "sync/atomic"
+
+//gvevet:hotpath // want "stale //gvevet:hotpath"
+
+var hits uint64
+
+func bump() {
+	atomic.AddUint64(&hits, 1)
+}
+
+// liveExclusive is exercised: the plain write below needs the blessing.
+//
+//gvevet:exclusive reset runs between rounds, after all workers joined
+func liveExclusive() {
+	hits = 0
+}
+
+// staleExclusive blesses nothing: every access here is atomic.
+//
+//gvevet:exclusive nothing plain happens here // want "stale //gvevet:exclusive"
+func staleExclusive() uint64 {
+	return atomic.LoadUint64(&hits)
+}
+
+//gvevet:ignore atomic-mix nothing on this line ever trips the analyzer // want "stale //gvevet:ignore atomic-mix"
+func quietReader() uint64 {
+	return atomic.LoadUint64(&hits)
+}
+
+// quiet has the nilsafe annotation but no exported pointer-receiver
+// method dereferences it, so the annotation asserts nothing.
+//
+//gvevet:nilsafe // want "stale //gvevet:nilsafe"
+type quiet struct {
+	n int
+}
+
+func floating() {
+	x := 1 //gvevet:padded // want "stale //gvevet:padded"
+	_ = x
+}
+
+// ownedButStops: the goroutine provably stops by itself, so the owned
+// blessing is dead weight.
+func ownedButStops(done chan struct{}) {
+	//gvevet:owned the receive below already bounds it // want "stale //gvevet:owned"
+	go func() {
+		<-done
+	}()
+}

@@ -29,8 +29,9 @@ import (
 //
 //gvevet:nilsafe
 type Histogram struct {
+	// shards always has power-of-two length, so shard selection is a
+	// mask with len-1 — a form the bounds-check prover discharges.
 	shards []histShard
-	mask   uint64
 }
 
 // Bucket-layout constants. Changing any of these changes the exposition
@@ -72,7 +73,7 @@ func NewHistogram() *Histogram {
 	for n < runtime.GOMAXPROCS(0) && n < 64 {
 		n <<= 1
 	}
-	return &Histogram{shards: make([]histShard, n), mask: uint64(n - 1)}
+	return &Histogram{shards: make([]histShard, n)}
 }
 
 // Observe records one value. It is lock-free, allocation-free, and safe
@@ -80,15 +81,25 @@ func NewHistogram() *Histogram {
 // shard (math/rand/v2's per-P generator, so concurrent writers scatter
 // across shards instead of contending on one line). Non-finite values
 // are dropped; values ≤ 0 land in the underflow bucket.
+//
+//gvevet:contract noescape nobounds
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
+		return
+	}
+	shards := h.shards // pin len in a local so calls below don't defeat the prover
+	if len(shards) == 0 {
 		return
 	}
 	if v != v || math.IsInf(v, 0) {
 		return // NaN/±Inf would poison the sum
 	}
-	s := &h.shards[rand.Uint64()&h.mask]
-	atomic.AddUint64(&s.counts[bucketIndex(v)], 1)
+	s := &shards[rand.Uint64()&uint64(len(shards)-1)]
+	b := bucketIndex(v)
+	if uint(b) >= NumHistogramBuckets {
+		return // unreachable: bucketIndex is bounded; lets the prover discharge the index
+	}
+	atomic.AddUint64(&s.counts[b], 1)
 	for {
 		old := atomic.LoadUint64(&s.sumBits)
 		nxt := math.Float64bits(math.Float64frombits(old) + v)
@@ -111,6 +122,8 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 // the exponent bits give the octave and the top mantissa bit the linear
 // sub-bucket, so the mapping is two shifts and two compares — no log
 // call, no branch on magnitude ranges.
+//
+//gvevet:contract inline noescape nobounds
 func bucketIndex(v float64) int {
 	if !(v > 0) {
 		return 0 // zero and negative values: underflow bucket

@@ -88,8 +88,10 @@ type paddedRange struct {
 // bits. Larger iteration spaces fall back to spawn-mode scheduling.
 const maxPackedN = 1 << 31
 
+//gvevet:contract inline noescape nobounds
 func pack(lo, hi int) uint64 { return uint64(lo)<<32 | uint64(hi) }
 
+//gvevet:contract inline noescape nobounds
 func unpack(p uint64) (lo, hi int) { return int(p >> 32), int(p & 0xffffffff) }
 
 // NewPool returns a pool whose regions can use up to `threads`
@@ -235,6 +237,8 @@ func (p *Pool) forLocked(n, threads, grain int, body func(lo, hi, tid int)) {
 
 // work participates in the current region as tid: drain the own range
 // with guided chunks, then steal until nothing claimable remains.
+//
+//gvevet:contract noescape
 func (p *Pool) work(tid int) {
 	body, grain, t := p.body, p.grain, p.rthreads
 	self := &p.ranges[tid].r
@@ -270,6 +274,8 @@ func (p *Pool) work(tid int) {
 // installs it as tid's own range. Returns false when a full sweep finds
 // nothing worth stealing — every remaining item is owned by a
 // participant that will execute it.
+//
+//gvevet:contract noescape
 func (p *Pool) steal(tid, t int) bool {
 	wc := &p.counters[tid]
 	wc.stealAttempts++
@@ -336,7 +342,11 @@ func (p *Pool) Blocks(n, threads int, body func(block, lo, hi int)) {
 	})
 }
 
-// FillUint32 sets every element of a to v, on the pool.
+// FillUint32 sets every element of a to v, on the pool. Plain stores
+// by contract: each worker owns a disjoint chunk, and callers run the
+// fill barrier-separated from any phase that touches a atomically.
+//
+//gvevet:exclusive disjoint chunks, barrier-separated from atomic phases
 func (p *Pool) FillUint32(a []uint32, v uint32, threads int) {
 	p.For(len(a), threads, 1<<14, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {

@@ -22,6 +22,12 @@ const scanSeqCutoff = 4096
 // The block partition is a pure function of (len(a), threads), so for
 // a fixed thread count the result — including any wraparound behaviour
 // of T — is identical across runs.
+//
+// The scan takes exclusive ownership of a: plain element access by
+// contract, with callers barrier-separated from any phase that touches
+// a atomically.
+//
+//gvevet:exclusive scan owns a exclusively, barrier-separated from atomic phases
 func ExclusiveScanOn[T Integer](p *Pool, a []T, threads int) T {
 	n := len(a)
 	if n == 0 {

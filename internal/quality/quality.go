@@ -262,8 +262,8 @@ func CountDisconnectedOn(p *parallel.Pool, g *graph.CSR, membership []uint32, th
 		}
 	})
 	var total int64
-	for _, b := range bad {
-		total += b.V
+	for i := range bad {
+		total += bad[i].V
 	}
 	frac := 0.0
 	if k > 0 {
