@@ -98,7 +98,10 @@ func TestPublicAPIDynamicFlow(t *testing.T) {
 	res := gveleiden.Leiden(g, opt)
 
 	delta := gveleiden.RandomDelta(g, 30, 20, 7)
-	gNew := gveleiden.ApplyDelta(g, delta)
+	gNew, err := gveleiden.ApplyDelta(g, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
 	dyn := gveleiden.LeidenDynamic(gNew, res.Membership, delta, gveleiden.DynamicFrontier, opt)
 	if len(dyn.Membership) != gNew.NumVertices() {
 		t.Fatal("dynamic membership wrong length")

@@ -97,7 +97,10 @@ func BenchmarkDynamic(b *testing.B) {
 	}
 	ins, del := graph.RandomDelta(g, m, m, 5)
 	delta := core.Delta{Insertions: ins, Deletions: del}
-	gNew := graph.ApplyDelta(g, ins, del)
+	gNew, err := graph.ApplyDelta(g, ins, del)
+	if err != nil {
+		b.Fatal(err)
+	}
 
 	b.Run("static-rerun", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -116,7 +119,9 @@ func BenchmarkDynamic(b *testing.B) {
 	})
 	b.Run("apply-delta", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			graph.ApplyDelta(g, ins, del)
+			if _, err := graph.ApplyDelta(g, ins, del); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

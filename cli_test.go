@@ -34,7 +34,7 @@ func buildCLIs(t *testing.T) string {
 		if cliErr != nil {
 			return
 		}
-		for _, tool := range []string{"gveleiden", "graphgen", "communities", "benchall"} {
+		for _, tool := range []string{"gveleiden", "graphgen", "communities", "benchall", "gveserve"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(cliDir, tool), "./cmd/"+tool)
 			if out, err := cmd.CombinedOutput(); err != nil {
 				cliErr = fmt.Errorf("building %s: %v\n%s", tool, err, out)

@@ -29,8 +29,12 @@ const (
 )
 
 // ApplyDelta returns a new snapshot with the batch applied: deletions
-// remove undirected edges, insertions add (or reinforce) them.
-func ApplyDelta(g *Graph, delta Delta) *Graph {
+// remove undirected edges first, then insertions add (or reinforce)
+// them. Every deletion must name a distinct existing edge and every
+// insertion weight must be finite; a batch violating either rule
+// returns an error and no graph. An insertion that drives an edge's
+// summed weight to zero or below cancels the edge entirely.
+func ApplyDelta(g *Graph, delta Delta) (*Graph, error) {
 	return graph.ApplyDelta(g, delta.Insertions, delta.Deletions)
 }
 

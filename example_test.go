@@ -61,7 +61,7 @@ func ExampleLeidenDynamic() {
 	delta := gveleiden.Delta{
 		Insertions: []gveleiden.Edge{{U: 0, V: 7, W: 1}},
 	}
-	gNew := gveleiden.ApplyDelta(g, delta)
+	gNew, _ := gveleiden.ApplyDelta(g, delta)
 	res2 := gveleiden.LeidenDynamic(gNew, res.Membership, delta,
 		gveleiden.DynamicFrontier, opt)
 	fmt.Println("still two communities:", res2.NumCommunities == 2)

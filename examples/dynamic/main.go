@@ -31,7 +31,10 @@ func main() {
 		// Each batch inserts and deletes 0.1% of the edges.
 		m := int(g.NumUndirectedEdges() / 1000)
 		delta := gveleiden.RandomDelta(g, m, m, uint64(batch))
-		gNew := gveleiden.ApplyDelta(g, delta)
+		gNew, err := gveleiden.ApplyDelta(g, delta)
+		if err != nil {
+			panic(err)
+		}
 
 		// Reference: full static re-run on the new snapshot.
 		t0 = time.Now()

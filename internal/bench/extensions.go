@@ -29,7 +29,11 @@ func DynamicExperiment(cfg Config) []Table {
 		}
 		ins, del := graph.RandomDelta(g, m, m, uint64(m))
 		delta := core.Delta{Insertions: ins, Deletions: del}
-		gNew := graph.ApplyDelta(g, ins, del)
+		gNew, err := graph.ApplyDelta(g, ins, del)
+		if err != nil {
+			// RandomDelta only derives valid batches from g.
+			panic(err)
+		}
 
 		tStatic, membStatic := Measure(cfg.Repeats, func() []uint32 {
 			return core.Leiden(gNew, opt).Membership

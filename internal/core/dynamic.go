@@ -60,8 +60,24 @@ func (m DynamicMode) String() string {
 // Leiden: a valid dense partition with no internally-disconnected
 // communities.
 func LeidenDynamic(g *graph.CSR, prev []uint32, delta Delta, mode DynamicMode, opt Options) *Result {
+	res, _ := runLeidenDynamic(g, prev, delta, mode, opt, false)
+	return res
+}
+
+// LeidenDynamicHierarchy is LeidenDynamic additionally recording the
+// full dendrogram, exactly as LeidenHierarchy does for a cold run —
+// the resident server uses it so hierarchy drill-down stays available
+// across warm-started recomputes.
+func LeidenDynamicHierarchy(g *graph.CSR, prev []uint32, delta Delta, mode DynamicMode, opt Options) (*Result, *Hierarchy) {
+	return runLeidenDynamic(g, prev, delta, mode, opt, true)
+}
+
+func runLeidenDynamic(g *graph.CSR, prev []uint32, delta Delta, mode DynamicMode, opt Options, hierarchy bool) (*Result, *Hierarchy) {
 	opt = opt.normalize()
 	ws := newWorkspace(g, opt)
+	if hierarchy {
+		ws.hierarchy = &Hierarchy{}
+	}
 	n := g.NumVertices()
 
 	// Previous communities become warm-start labels. Labels must be
@@ -97,7 +113,7 @@ func LeidenDynamic(g *graph.CSR, prev []uint32, delta Delta, mode DynamicMode, o
 		ws.finalRefine(g)
 		ws.splitConnected(g, ws.top)
 	}
-	return finishResult(g, ws, time.Since(start))
+	return finishResult(g, ws, time.Since(start)), ws.hierarchy
 }
 
 // frontierOf applies the dynamic-frontier marking rule: an inserted

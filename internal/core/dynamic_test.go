@@ -16,14 +16,21 @@ func evolvedPair(seed uint64, nIns, nDel int) (old, new_ *graph.CSR, delta Delta
 		AvgDegree: 12, Mixing: 0.25, Seed: seed,
 	})
 	ins, del := graph.RandomDelta(g, nIns, nDel, seed+1)
-	return g, graph.ApplyDelta(g, ins, del), Delta{Insertions: ins, Deletions: del}
+	gNew, err := graph.ApplyDelta(g, ins, del)
+	if err != nil {
+		panic(err)
+	}
+	return g, gNew, Delta{Insertions: ins, Deletions: del}
 }
 
 func TestApplyDelta(t *testing.T) {
 	g := graph.FromAdjacency([][]uint32{{1, 2}, {0}, {0, 3}, {2}})
 	ins := []graph.Edge{{U: 1, V: 3, W: 2}}
 	del := []graph.Edge{{U: 0, V: 2}}
-	h := graph.ApplyDelta(g, ins, del)
+	h, err := graph.ApplyDelta(g, ins, del)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h.HasArc(0, 2) || h.HasArc(2, 0) {
 		t.Fatal("deleted edge survived")
 	}
@@ -34,7 +41,10 @@ func TestApplyDelta(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Insertion mentioning a new vertex grows the graph.
-	h2 := graph.ApplyDelta(g, []graph.Edge{{U: 3, V: 9, W: 1}}, nil)
+	h2, err := graph.ApplyDelta(g, []graph.Edge{{U: 3, V: 9, W: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h2.NumVertices() != 10 {
 		t.Fatalf("n = %d, want 10", h2.NumVertices())
 	}
@@ -126,7 +136,10 @@ func TestLeidenDynamicNewVertices(t *testing.T) {
 	ins := []graph.Edge{
 		{U: 0, V: n, W: 1}, {U: n, V: n + 1, W: 1}, {U: n + 1, V: n + 2, W: 1},
 	}
-	gNew := graph.ApplyDelta(gOld, ins, nil)
+	gNew, err := graph.ApplyDelta(gOld, ins, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	opt := testOpts(2)
 	prev := Leiden(gOld, opt)
 	for _, mode := range []DynamicMode{DynamicNaive, DynamicFrontier} {

@@ -119,7 +119,11 @@ func TestStressDynamicChain(t *testing.T) {
 	for batch := 0; batch < 8; batch++ {
 		ins, del := graph.RandomDelta(g, 25, 15, uint64(batch)+100)
 		delta := Delta{Insertions: ins, Deletions: del}
-		g = graph.ApplyDelta(g, ins, del)
+		var err error
+		g, err = graph.ApplyDelta(g, ins, del)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
 		mode := DynamicNaive
 		if batch%2 == 1 {
 			mode = DynamicFrontier

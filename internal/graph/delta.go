@@ -1,43 +1,163 @@
 package graph
 
+import (
+	"fmt"
+	"slices"
+)
+
+// Unified delta semantics, shared verbatim by ApplyDelta (CSR rebuild)
+// and stream.Graph.Apply (in-place overlay) so the two ingest paths of
+// the dynamic pipeline cannot drift apart:
+//
+//  1. Deletions apply first, then insertions — a batch that deletes and
+//     re-inserts the same edge replaces its weight.
+//  2. Every deletion must name a distinct existing edge. A missing or
+//     duplicate deletion fails the whole batch, and a failed batch is a
+//     no-op: the graph is left untouched.
+//  3. Insertion weights must be finite, and every running per-edge sum
+//     must stay finite in float32; violations fail the whole batch.
+//  4. An insertion that drives an edge's summed weight to zero or below
+//     cancels the edge entirely — it is removed, and a later insertion
+//     for the same pair starts fresh from zero. This keeps the ingest
+//     paths from emitting CSRs the readers' weight validation
+//     (checkWeight, PR 4) would reject.
+//  5. Insertions grow the vertex set to cover new endpoints, even when
+//     the inserted edge itself is cancelled within the batch.
+//
+// EvaluateDelta implements rules 1-4 against an abstract current-weight
+// lookup; both appliers validate with it first and mutate only on
+// success.
+
+// PairKey encodes the unordered vertex pair {u, v} as a single map key.
+func PairKey(u, v uint32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}
+
+// SplitPairKey decodes a PairKey back into its (min, max) endpoints.
+func SplitPairKey(k uint64) (u, v uint32) {
+	return uint32(k >> 32), uint32(k)
+}
+
+// DeltaState is the post-batch state of one touched unordered pair:
+// either present with a final weight, or absent (deleted or cancelled).
+type DeltaState struct {
+	Present bool
+	W       float32
+}
+
+// EvaluateDelta validates a batch against the unified delta semantics
+// and returns the final state of every pair the batch touches, without
+// mutating anything. weight reports the current weight of the edge
+// {u, v} and whether it exists; it is never called with endpoints the
+// graph cannot answer for (out-of-range ids simply report absence).
+// The float32 accumulation order matches stream.Graph.AddEdge exactly,
+// so applying the returned states reproduces a sequential replay bit
+// for bit.
+func EvaluateDelta(weight func(u, v uint32) (float32, bool), insertions, deletions []Edge) (map[uint64]DeltaState, error) {
+	touched := make(map[uint64]DeltaState, len(insertions)+len(deletions))
+	for _, e := range deletions {
+		k := PairKey(e.U, e.V)
+		if _, dup := touched[k]; dup {
+			return nil, fmt.Errorf("graph: duplicate deletion of edge {%d,%d}", e.U, e.V)
+		}
+		if _, ok := weight(e.U, e.V); !ok {
+			return nil, fmt.Errorf("graph: deletion of missing edge {%d,%d}", e.U, e.V)
+		}
+		touched[k] = DeltaState{}
+	}
+	for _, e := range insertions {
+		if err := checkWeight(float64(e.W)); err != nil {
+			return nil, fmt.Errorf("graph: insertion {%d,%d}: %w", e.U, e.V, err)
+		}
+		k := PairKey(e.U, e.V)
+		st, seen := touched[k]
+		if !seen {
+			if w, ok := weight(e.U, e.V); ok {
+				st = DeltaState{Present: true, W: w}
+			}
+		}
+		sum := st.W + e.W
+		if err := checkWeight(float64(sum)); err != nil {
+			return nil, fmt.Errorf("graph: insertion {%d,%d}: summed %w", e.U, e.V, err)
+		}
+		if sum <= 0 {
+			touched[k] = DeltaState{}
+		} else {
+			touched[k] = DeltaState{Present: true, W: sum}
+		}
+	}
+	return touched, nil
+}
+
 // ApplyDelta returns a new graph with the given batch of edge updates
-// applied to g: deletions remove the undirected edge {U,V} entirely
-// (the weight field of a deletion is ignored); insertions add new
-// undirected edges, merging with existing ones by summing weights. The
-// vertex set grows to cover any new endpoints mentioned by insertions.
+// applied to g under the unified delta semantics above (the weight
+// field of a deletion is ignored). A batch that names a missing or
+// duplicate deletion, or carries a non-finite weight, returns an error
+// and no graph.
 //
 // This is the snapshot-update primitive behind the dynamic Leiden
 // variants (core.LeidenDynamic): batch updates between runs, warm-start
-// from the previous membership.
-func ApplyDelta(g *CSR, insertions, deletions []Edge) *CSR {
-	deleted := make(map[uint64]struct{}, len(deletions))
-	key := func(u, v uint32) uint64 {
-		if u > v {
-			u, v = v, u
+// from the previous membership. stream.Graph.Apply + Snapshot produces
+// an identical CSR for the same batch.
+func ApplyDelta(g *CSR, insertions, deletions []Edge) (*CSR, error) {
+	gn := g.NumVertices()
+	lookup := func(u, v uint32) (float32, bool) {
+		if int(u) >= gn {
+			return 0, false
 		}
-		return uint64(u)<<32 | uint64(v)
+		es, ws := g.Neighbors(u)
+		var t float32
+		found := false
+		for k, e := range es {
+			if e == v {
+				t += ws[k]
+				found = true
+			}
+		}
+		return t, found
 	}
-	for _, e := range deletions {
-		deleted[key(e.U, e.V)] = struct{}{}
+	touched, err := EvaluateDelta(lookup, insertions, deletions)
+	if err != nil {
+		return nil, err
 	}
-	n := g.NumVertices()
+	n := gn
+	for _, e := range insertions {
+		if int(e.U) >= n {
+			n = int(e.U) + 1
+		}
+		if int(e.V) >= n {
+			n = int(e.V) + 1
+		}
+	}
 	b := NewBuilder(n)
-	for i := 0; i < n; i++ {
+	for i := 0; i < gn; i++ {
 		es, ws := g.Neighbors(uint32(i))
 		for k, e := range es {
 			if uint32(i) > e {
 				continue // emit each undirected edge once
 			}
-			if _, gone := deleted[key(uint32(i), e)]; gone {
-				continue
+			if _, hit := touched[PairKey(uint32(i), e)]; hit {
+				continue // deleted, or re-emitted below with its final weight
 			}
 			b.AddEdge(uint32(i), e, ws[k])
 		}
 	}
-	for _, e := range insertions {
-		b.AddEdge(e.U, e.V, e.W)
+	keys := make([]uint64, 0, len(touched))
+	//gvevet:ignore nodeterm the keys are sorted below before anything consumes them
+	for k := range touched {
+		keys = append(keys, k)
 	}
-	return b.Build()
+	slices.Sort(keys)
+	for _, k := range keys {
+		if st := touched[k]; st.Present {
+			u, v := SplitPairKey(k)
+			b.AddEdge(u, v, st.W)
+		}
+	}
+	return b.Build(), nil
 }
 
 // RandomDelta derives a reproducible random batch of updates from g for
@@ -76,11 +196,7 @@ func RandomDelta(g *CSR, nIns, nDel int, seed uint64) (insertions, deletions []E
 		if u == v {
 			continue
 		}
-		a, b := u, v
-		if a > b {
-			a, b = b, a
-		}
-		k := uint64(a)<<32 | uint64(b)
+		k := PairKey(u, v)
 		if _, dup := seen[k]; dup {
 			continue
 		}

@@ -37,6 +37,23 @@ type Server struct {
 func NewServer(addr string, gather func() *MetricSet, flight *FlightRecorder) *Server {
 	s := &Server{gather: gather, flight: flight, err: make(chan error, 1)}
 	mux := http.NewServeMux()
+	Routes(mux, gather, flight)
+	s.srv = &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Routes registers the full introspection endpoint set — /metrics,
+// /metrics.json, /healthz, /debug/flight, /debug/vars, /debug/pprof/...
+// — on an arbitrary mux, so a process that already runs its own HTTP
+// server (cmd/gveserve) mounts the observability surface beside its
+// application endpoints instead of opening a second listener. gather
+// and flight may be nil, as in NewServer.
+func Routes(mux *http.ServeMux, gather func() *MetricSet, flight *FlightRecorder) {
+	s := &Server{gather: gather, flight: flight}
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("/healthz", handleHealthz)
@@ -47,12 +64,6 @@ func NewServer(addr string, gather func() *MetricSet, flight *FlightRecorder) *S
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s.srv = &http.Server{
-		Addr:              addr,
-		Handler:           mux,
-		ReadHeaderTimeout: 10 * time.Second,
-	}
-	return s
 }
 
 // Start binds the listener (reporting bind failures synchronously) and

@@ -1,0 +1,125 @@
+package oracle
+
+import (
+	"testing"
+
+	"gveleiden/internal/core"
+	"gveleiden/internal/gen"
+	"gveleiden/internal/graph"
+	"gveleiden/internal/quality"
+)
+
+// Warm-start edge cases of core.LeidenDynamic, each held to the oracle
+// invariants (valid dense partition, no internally-disconnected
+// communities) and to quality parity with a from-scratch run.
+
+const dynamicQualityBound = 0.05
+
+func dynamicOpts() core.Options {
+	opt := core.DefaultOptions()
+	opt.Threads = 2
+	return opt
+}
+
+// checkDynamicRun asserts the invariants and from-scratch parity for
+// one LeidenDynamic result.
+func checkDynamicRun(t *testing.T, name string, g *graph.CSR, res *core.Result) {
+	t.Helper()
+	r := &Report{}
+	CheckPartition(r, g, res.Membership, true)
+	CheckConnected(r, g, res.Membership, 2)
+	if err := r.Err(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	fresh := core.Leiden(g, dynamicOpts())
+	if res.Modularity < fresh.Modularity-dynamicQualityBound {
+		t.Fatalf("%s: dynamic Q %.4f below from-scratch Q %.4f (bound %g)",
+			name, res.Modularity, fresh.Modularity, dynamicQualityBound)
+	}
+}
+
+// Empty prev: every vertex is "new", so the warm start degenerates to
+// singletons — still a full, valid run.
+func TestLeidenDynamicEmptyPrev(t *testing.T) {
+	g, _ := gen.SocialNetwork(1000, 10, 8, 0.3, 51)
+	ins, del := graph.RandomDelta(g, 20, 10, 52)
+	gNew, err := graph.ApplyDelta(g, ins, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := core.Delta{Insertions: ins, Deletions: del}
+	for _, mode := range []core.DynamicMode{core.DynamicNaive, core.DynamicFrontier} {
+		res := core.LeidenDynamic(gNew, nil, delta, mode, dynamicOpts())
+		checkDynamicRun(t, "empty-prev/"+mode.String(), gNew, res)
+	}
+}
+
+// prev longer than the new vertex set: the delta shrank the graph (the
+// bound > n branch at dynamic.go's warm-start loop). The surplus labels
+// must be ignored without panicking or leaking out-of-range ids.
+func TestLeidenDynamicPrevLongerThanVertexSet(t *testing.T) {
+	gBig, _ := gen.SocialNetwork(1200, 10, 8, 0.3, 61)
+	prev := core.Leiden(gBig, dynamicOpts()).Membership
+	if len(prev) != gBig.NumVertices() {
+		t.Fatal("sanity: prev length")
+	}
+	gSmall, _ := gen.SocialNetwork(900, 10, 8, 0.3, 62)
+	ins, del := graph.RandomDelta(gSmall, 15, 10, 63)
+	gNew, err := graph.ApplyDelta(gSmall, ins, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := core.Delta{Insertions: ins, Deletions: del}
+	for _, mode := range []core.DynamicMode{core.DynamicNaive, core.DynamicFrontier} {
+		res := core.LeidenDynamic(gNew, prev, delta, mode, dynamicOpts())
+		if len(res.Membership) != gNew.NumVertices() {
+			t.Fatalf("membership length %d, want %d", len(res.Membership), gNew.NumVertices())
+		}
+		checkDynamicRun(t, "long-prev/"+mode.String(), gNew, res)
+	}
+}
+
+// A delta touching only out-of-range vertex ids: frontier marking must
+// skip every edge of the batch (nothing to reprocess beyond the warm
+// start) and the run must still satisfy all invariants.
+func TestLeidenDynamicOutOfRangeDelta(t *testing.T) {
+	g, _ := gen.SocialNetwork(800, 10, 8, 0.3, 71)
+	prev := core.Leiden(g, dynamicOpts()).Membership
+	n := uint32(g.NumVertices())
+	delta := core.Delta{
+		Insertions: []graph.Edge{{U: n, V: n + 1, W: 1}, {U: n + 5, V: n + 9, W: 2}},
+		Deletions:  []graph.Edge{{U: n + 2, V: n + 3}},
+	}
+	for _, mode := range []core.DynamicMode{core.DynamicNaive, core.DynamicFrontier} {
+		res := core.LeidenDynamic(g, prev, delta, mode, dynamicOpts())
+		checkDynamicRun(t, "out-of-range/"+mode.String(), g, res)
+	}
+}
+
+// LeidenDynamicHierarchy must deliver the same guarantees as
+// LeidenDynamic plus a flattenable dendrogram whose composed depth-D
+// view is a valid partition refining nothing it shouldn't.
+func TestLeidenDynamicHierarchy(t *testing.T) {
+	g, _ := gen.SocialNetwork(1000, 10, 8, 0.3, 81)
+	prev := core.Leiden(g, dynamicOpts()).Membership
+	ins, del := graph.RandomDelta(g, 20, 10, 82)
+	gNew, err := graph.ApplyDelta(g, ins, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := core.Delta{Insertions: ins, Deletions: del}
+	res, h := core.LeidenDynamicHierarchy(gNew, prev, delta, core.DynamicFrontier, dynamicOpts())
+	checkDynamicRun(t, "hierarchy", gNew, res)
+	if h == nil || h.Depth() < 1 {
+		t.Fatalf("no dendrogram recorded (depth %d)", h.Depth())
+	}
+	for d := 1; d <= h.Depth(); d++ {
+		flat, err := h.Flatten(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := quality.ValidatePartition(gNew, flat); err != nil {
+			t.Fatalf("depth %d: %v", d, err)
+		}
+	}
+}

@@ -1,0 +1,492 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gveleiden/internal/core"
+	"gveleiden/internal/gen"
+	"gveleiden/internal/graph"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Options.Threads = 2
+	return cfg
+}
+
+// startServer builds a Server over a small social network and mounts
+// it on an httptest listener, cleaning both up with the test.
+func startServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	g, _ := gen.SocialNetwork(2000, 10, 8, 0.3, 7)
+	s, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return s, NewClient(ts.URL)
+}
+
+// waitVersion polls /stats until the published version reaches at
+// least want.
+func waitVersion(t *testing.T, c *Client, want uint64) StatsResponse {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := c.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Version >= want {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("version %d not reached (at %d)", want, st.Version)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitRejections polls until the gate has refused at least want
+// candidates.
+func waitRejections(t *testing.T, s *Server, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for s.Rejections() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("rejections %d not reached (at %d)", want, s.Rejections())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServeQueries(t *testing.T) {
+	s, c := startServer(t, testConfig())
+	snap := s.Snapshot()
+	if snap.Version != 1 {
+		t.Fatalf("initial version = %d, want 1", snap.Version)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Vertices != 2000 || st.Communities < 2 || st.Modularity <= 0 {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+	if st.Depth < 1 {
+		t.Fatal("no dendrogram depth in stats")
+	}
+
+	for _, v := range []uint32{0, 7, 1999} {
+		cr, err := c.Community(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(cr.Community) >= st.Communities {
+			t.Fatalf("community %d out of range", cr.Community)
+		}
+		mr, err := c.Members(cr.Community, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mr.Size != cr.Size || len(mr.Members) != mr.Size {
+			t.Fatalf("member count mismatch: community says %d, members says %d/%d",
+				cr.Size, mr.Size, len(mr.Members))
+		}
+		found := false
+		for _, m := range mr.Members {
+			if m == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("vertex %d missing from its own community %d", v, cr.Community)
+		}
+
+		nr, err := c.Neighbors(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nr.Community != cr.Community {
+			t.Fatalf("neighbors community %d != community %d", nr.Community, cr.Community)
+		}
+		for _, nb := range nr.Neighbors {
+			ncr, err := c.Community(nb.V)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ncr.Community != cr.Community {
+				t.Fatalf("intra-community neighbor %d is in community %d, not %d",
+					nb.V, ncr.Community, cr.Community)
+			}
+		}
+
+		hr, err := c.Hierarchy(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hr.Depth < 1 || len(hr.Levels) != hr.Depth {
+			t.Fatalf("bad hierarchy response: %+v", hr)
+		}
+	}
+
+	// Truncation: limit=3 keeps Size at the full count.
+	cr, _ := c.Community(0)
+	if cr.Size > 3 {
+		mr, err := c.Members(cr.Community, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(mr.Members) != 3 || mr.Size != cr.Size {
+			t.Fatalf("limit truncation wrong: got %d members, size %d (want 3, %d)",
+				len(mr.Members), mr.Size, cr.Size)
+		}
+	}
+
+	// Error paths.
+	if _, err := c.Community(999999); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range vertex error = %v", err)
+	}
+	if _, err := c.Members(999999, 0); err == nil {
+		t.Fatal("out-of-range community must fail")
+	}
+	if err := c.Healthz(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeDeltaRecompute ingests a batch and waits for the swapped
+// snapshot: version bumps, the new vertex exists, and the swap was
+// warm-started.
+func TestServeDeltaRecompute(t *testing.T) {
+	s, c := startServer(t, testConfig())
+	n := uint32(s.Snapshot().Graph.NumVertices())
+
+	ins := []EdgeUpdate{{U: n, V: 0, W: 2}, {U: n, V: 1, W: 2}, {U: 0, V: 1}}
+	dr, err := c.ApplyDelta(ins, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dr.Accepted || dr.Insertions != 3 {
+		t.Fatalf("delta response: %+v", dr)
+	}
+
+	st := waitVersion(t, c, 2)
+	if st.Vertices != int(n)+1 {
+		t.Fatalf("vertices after growth = %d, want %d", st.Vertices, n+1)
+	}
+	if !st.Warm {
+		t.Fatal("recompute was not warm-started")
+	}
+	if _, err := c.Community(n); err != nil {
+		t.Fatalf("new vertex not queryable: %v", err)
+	}
+	if st.PendingInsertions != 0 || st.PendingDeletions != 0 {
+		t.Fatalf("pending delta not drained: %+v", st)
+	}
+}
+
+// TestServeConcurrentQueriesDuringRecompute hammers the read path from
+// many goroutines while deltas force snapshot swaps underneath. Every
+// response must be internally consistent — a vertex always appears in
+// the member list of the community the *same snapshot version* assigned
+// it — and under -race this doubles as the lock-free-read proof.
+func TestServeConcurrentQueriesDuringRecompute(t *testing.T) {
+	s, c := startServer(t, testConfig())
+	n := uint32(s.Snapshot().Graph.NumVertices())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	report := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint32) {
+			defer wg.Done()
+			rng := seed*2654435761 + 1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rng = rng*1664525 + 1013904223
+				v := rng % n
+				cr, err := c.Community(v)
+				if err != nil {
+					report(err)
+					return
+				}
+				mr, err := c.Members(cr.Community, 0)
+				if err != nil {
+					report(err)
+					return
+				}
+				if mr.Version != cr.Version {
+					continue // swapped between the two requests: no cross-version claim
+				}
+				found := false
+				for _, m := range mr.Members {
+					if m == v {
+						found = true
+						break
+					}
+				}
+				if !found {
+					report(fmt.Errorf("version %d: vertex %d not in its community %d (%d members)",
+						cr.Version, v, cr.Community, len(mr.Members)))
+					return
+				}
+			}
+		}(uint32(w))
+	}
+
+	// Drive three swaps while the readers run.
+	base := n
+	for i := 0; i < 3; i++ {
+		u := base + uint32(i)
+		if _, err := c.ApplyDelta([]EdgeUpdate{{U: u, V: u % n, W: 1}, {U: u, V: (u + 1) % n, W: 1}}, nil); err != nil {
+			t.Fatal(err)
+		}
+		waitVersion(t, c, uint64(2+i))
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	if err := c.Healthz(); err != nil {
+		t.Fatalf("healthz after swaps: %v", err)
+	}
+}
+
+// TestServeOracleGateRejection forces the differential gate to refuse
+// every candidate (a negative MaxQualityDrop demands an impossible
+// improvement): the previous snapshot must keep serving, the rejection
+// must be observable in /stats and /metrics, and /healthz stays green.
+func TestServeOracleGateRejection(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxQualityDrop = -10 // candidate must beat prev by 10 — impossible
+	s, c := startServer(t, cfg)
+	before, _ := c.Community(0)
+
+	if _, err := c.ApplyDelta([]EdgeUpdate{{U: 0, V: 999, W: 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	waitRejections(t, s, 1)
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != 1 {
+		t.Fatalf("rejected candidate was published: version %d", st.Version)
+	}
+	if st.Rejections < 1 || !strings.Contains(st.LastRejection, "differential-quality") {
+		t.Fatalf("rejection not recorded: %+v", st)
+	}
+	// The consumed delta is re-queued for the next (still-gated) attempt.
+	if st.PendingInsertions != 1 {
+		t.Fatalf("rejected delta not re-queued: %+v", st)
+	}
+
+	// Old snapshot still serves, byte-for-byte.
+	after, err := c.Community(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Fatalf("serving state changed across rejection: %+v -> %+v", before, after)
+	}
+	if err := c.Healthz(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rejection visible on the Prometheus scrape.
+	resp, err := http.Get(c.Base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	if !strings.Contains(text, "gveserve_recompute_rejections_total") {
+		t.Fatal("rejections counter missing from /metrics")
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "gveserve_recompute_rejections_total") {
+			if strings.HasSuffix(line, " 0") {
+				t.Fatalf("rejections counter still zero: %s", line)
+			}
+		}
+	}
+}
+
+// TestServeInvalidDeltaIsNoOp sends a batch deleting a missing edge:
+// the request must fail 400, the mutable graph must stay unmutated (a
+// later valid batch still applies against the original state), and no
+// recompute must be triggered by the failed ingest.
+func TestServeInvalidDeltaIsNoOp(t *testing.T) {
+	s, c := startServer(t, testConfig())
+	es, _ := s.Snapshot().Graph.Neighbors(0)
+	if len(es) == 0 {
+		t.Fatal("vertex 0 has no neighbors")
+	}
+	good := es[0]
+
+	// {0,good} exists; delete it twice in one batch — invalid as a whole,
+	// so even the first (individually valid) deletion must not apply.
+	_, err := c.ApplyDelta(nil, []EdgeUpdate{{U: 0, V: good}, {U: good, V: 0}})
+	if err == nil || !strings.Contains(err.Error(), "duplicate deletion") {
+		t.Fatalf("duplicate deletion error = %v", err)
+	}
+	_, err = c.ApplyDelta(nil, []EdgeUpdate{{U: 0, V: 1999999}})
+	if err == nil || !strings.Contains(err.Error(), "missing edge") {
+		t.Fatalf("missing deletion error = %v", err)
+	}
+
+	st, _ := c.Stats()
+	if st.PendingDeletions != 0 || st.PendingInsertions != 0 {
+		t.Fatalf("failed batch left pending state: %+v", st)
+	}
+	if st.Version != 1 {
+		t.Fatalf("failed batch triggered a recompute: version %d", st.Version)
+	}
+
+	// The single deletion is still valid — the failed batches were no-ops.
+	if _, err := c.ApplyDelta(nil, []EdgeUpdate{{U: 0, V: good}}); err != nil {
+		t.Fatalf("valid deletion after failed batches: %v", err)
+	}
+	waitVersion(t, c, 2)
+}
+
+// TestServeRequestLimits exercises the two ingest guards: an oversized
+// batch and an oversized body both answer 413 without mutating.
+func TestServeRequestLimits(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxBatch = 4
+	cfg.MaxBody = 256
+	_, c := startServer(t, cfg)
+
+	big := make([]EdgeUpdate, 5)
+	for i := range big {
+		big[i] = EdgeUpdate{U: 0, V: uint32(i + 1), W: 1}
+	}
+	_, err := c.ApplyDelta(big, nil)
+	if err == nil || !strings.Contains(err.Error(), "status 413") {
+		t.Fatalf("oversized batch error = %v", err)
+	}
+
+	// A body over MaxBody trips MaxBytesReader before batch counting.
+	huge := strings.NewReader(`{"insertions":[` + strings.Repeat(`{"u":1,"v":2,"w":1},`, 50) + `{"u":1,"v":2,"w":1}]}`)
+	resp, err := http.Post(c.Base+"/delta", "application/json", huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status = %d, want 413", resp.StatusCode)
+	}
+
+	st, _ := c.Stats()
+	if st.PendingInsertions != 0 || st.Version != 1 {
+		t.Fatalf("limit-rejected requests mutated state: %+v", st)
+	}
+}
+
+// TestServeRecomputeEndpoint: a bare /recompute (no delta) republishes
+// a fresh snapshot — still warm-started, still gated.
+func TestServeRecomputeEndpoint(t *testing.T) {
+	_, c := startServer(t, testConfig())
+	rr, err := c.Recompute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Queued {
+		t.Fatalf("recompute response: %+v", rr)
+	}
+	st := waitVersion(t, c, 2)
+	if !st.Warm {
+		t.Fatal("recompute was not warm-started")
+	}
+}
+
+// TestServePeriodicRebuild: RebuildInterval republishes without any
+// ingest.
+func TestServePeriodicRebuild(t *testing.T) {
+	cfg := testConfig()
+	cfg.RebuildInterval = 50 * time.Millisecond
+	_, c := startServer(t, cfg)
+	waitVersion(t, c, 2)
+}
+
+// TestServeGateRunsInvariantSuite: sanity-check that the gate itself
+// catches a corrupt membership, independent of the differential bound.
+func TestServeGateRejectsCorruptPartition(t *testing.T) {
+	g, _ := gen.SocialNetwork(500, 10, 8, 0.3, 7)
+	cfg := testConfig()
+	s, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	}()
+	res := &core.Result{
+		Membership:     make([]uint32, g.NumVertices()),
+		NumCommunities: 2, // labels are all 0 — not dense in [0,2)
+	}
+	if err := s.gate(g, res, s.Snapshot()); err == nil {
+		t.Fatal("gate accepted a corrupt partition")
+	}
+}
+
+// TestServeIngestDirect exercises the library-level ingest path used
+// by embedders (no HTTP): invalid batch errors and mutates nothing.
+func TestServeIngestDirect(t *testing.T) {
+	g, _ := gen.SocialNetwork(500, 10, 8, 0.3, 7)
+	s, err := New(g, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	}()
+	if err := s.Ingest(nil, []graph.Edge{{U: 0, V: 499}, {U: 0, V: 499}}); err == nil {
+		t.Fatal("duplicate deletion must fail")
+	}
+	if err := s.Ingest([]graph.Edge{{U: 1, V: 2, W: 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,6 +9,7 @@ package stream
 
 import (
 	"fmt"
+	"math"
 
 	"gveleiden/internal/graph"
 )
@@ -25,7 +26,10 @@ func New(n int) *Graph {
 	return &Graph{adj: make([]map[uint32]float32, n)}
 }
 
-// FromCSR returns a mutable copy of a CSR graph.
+// FromCSR returns a mutable copy of a CSR graph. CSR weights are finite
+// by construction (the readers and builders validate them), so AddEdge
+// cannot fail here; an edge whose CSR weight is ≤ 0 is dropped, per
+// AddEdge's cancellation rule.
 func FromCSR(g *graph.CSR) *Graph {
 	s := New(g.NumVertices())
 	n := g.NumVertices()
@@ -33,7 +37,7 @@ func FromCSR(g *graph.CSR) *Graph {
 		es, ws := g.Neighbors(uint32(i))
 		for k, e := range es {
 			if uint32(i) <= e {
-				s.AddEdge(uint32(i), e, ws[k])
+				_ = s.AddEdge(uint32(i), e, ws[k])
 			}
 		}
 	}
@@ -72,37 +76,69 @@ func (s *Graph) Weight(u, v uint32) float32 {
 
 // AddEdge inserts {u,v} with weight w, adding w to an existing edge.
 // Self-loops are allowed. New endpoints grow the vertex set.
-func (s *Graph) AddEdge(u, v uint32, w float32) {
+//
+// Weights follow the unified delta semantics (graph.EvaluateDelta): a
+// non-finite w, or a summed weight that overflows float32, is rejected
+// with an error and the graph is untouched; a summed weight of zero or
+// below cancels the edge entirely, so the graph can never materialize a
+// CSR the readers' weight validation would reject.
+func (s *Graph) AddEdge(u, v uint32, w float32) error {
+	if math.IsNaN(float64(w)) || math.IsInf(float64(w), 0) {
+		return fmt.Errorf("stream: edge {%d,%d}: non-finite weight %v", u, v, w)
+	}
+	sum := s.Weight(u, v) + w
+	if math.IsInf(float64(sum), 0) {
+		return fmt.Errorf("stream: edge {%d,%d}: summed weight overflows float32", u, v)
+	}
 	s.ensure(u)
 	s.ensure(v)
+	if sum <= 0 {
+		s.dropEdge(u, v)
+		return nil
+	}
+	s.setEdge(u, v, sum)
+	return nil
+}
+
+// setEdge stores {u,v} with exactly weight w (both directions), growing
+// nothing: callers ensure the vertex set first.
+func (s *Graph) setEdge(u, v uint32, w float32) {
 	if s.adj[u] == nil {
 		s.adj[u] = make(map[uint32]float32, 4)
 	}
 	if _, exists := s.adj[u][v]; !exists {
 		s.edges++
 	}
-	s.adj[u][v] += w
+	s.adj[u][v] = w
 	if u != v {
 		if s.adj[v] == nil {
 			s.adj[v] = make(map[uint32]float32, 4)
 		}
-		s.adj[v][u] += w
+		s.adj[v][u] = w
 	}
 }
 
-// RemoveEdge deletes {u,v} entirely, reporting whether it existed.
-func (s *Graph) RemoveEdge(u, v uint32) bool {
+// dropEdge removes {u,v} if present (both directions).
+func (s *Graph) dropEdge(u, v uint32) {
 	if int(u) >= len(s.adj) || s.adj[u] == nil {
-		return false
+		return
 	}
 	if _, ok := s.adj[u][v]; !ok {
-		return false
+		return
 	}
 	delete(s.adj[u], v)
 	if u != v && int(v) < len(s.adj) && s.adj[v] != nil {
 		delete(s.adj[v], u)
 	}
 	s.edges--
+}
+
+// RemoveEdge deletes {u,v} entirely, reporting whether it existed.
+func (s *Graph) RemoveEdge(u, v uint32) bool {
+	if !s.HasEdge(u, v) {
+		return false
+	}
+	s.dropEdge(u, v)
 	return true
 }
 
@@ -114,17 +150,39 @@ func (s *Graph) Degree(u uint32) int {
 	return len(s.adj[u])
 }
 
-// Apply applies a batch: deletions first, then insertions (matching
-// graph.ApplyDelta's semantics). It returns an error when a deletion
-// names a missing edge, so callers notice desynchronized batches.
+// Apply applies a batch under the unified delta semantics shared with
+// graph.ApplyDelta (see graph.EvaluateDelta): deletions first, then
+// insertions; every deletion must name a distinct existing edge;
+// insertion weights must be finite. The whole batch is validated before
+// anything mutates, so a rejected batch is a no-op — the graph stays
+// bit-identical, which is what lets a long-running ingest path survive
+// a desynchronized batch.
 func (s *Graph) Apply(insertions, deletions []graph.Edge) error {
-	for _, e := range deletions {
-		if !s.RemoveEdge(e.U, e.V) {
-			return fmt.Errorf("stream: deletion of missing edge {%d,%d}", e.U, e.V)
+	lookup := func(u, v uint32) (float32, bool) {
+		if int(u) >= len(s.adj) || s.adj[u] == nil {
+			return 0, false
 		}
+		w, ok := s.adj[u][v]
+		return w, ok
 	}
+	touched, err := graph.EvaluateDelta(lookup, insertions, deletions)
+	if err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	// The batch is valid: apply the final per-pair states. Insertions
+	// grow the vertex set even when their edge cancelled within the
+	// batch, matching a sequential AddEdge replay.
 	for _, e := range insertions {
-		s.AddEdge(e.U, e.V, e.W)
+		s.ensure(e.U)
+		s.ensure(e.V)
+	}
+	for k, st := range touched {
+		u, v := graph.SplitPairKey(k)
+		if st.Present {
+			s.setEdge(u, v, st.W)
+		} else {
+			s.dropEdge(u, v)
+		}
 	}
 	return nil
 }

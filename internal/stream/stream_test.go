@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -74,37 +75,114 @@ func TestFromCSRRoundTrip(t *testing.T) {
 	}
 }
 
-func TestApplyMatchesApplyDelta(t *testing.T) {
-	g, _ := gen.SocialNetwork(600, 10, 6, 0.3, 5)
-	ins, del := graph.RandomDelta(g, 40, 30, 9)
-
-	viaRebuild := graph.ApplyDelta(g, ins, del)
-
-	s := FromCSR(g)
-	if err := s.Apply(ins, del); err != nil {
-		t.Fatal(err)
+// assertSameCSR fails unless a and b are bit-identical CSRs: same
+// vertex count and the same sorted adjacency with equal weights.
+func assertSameCSR(t *testing.T, a, b *graph.CSR) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() {
+		t.Fatalf("vertex counts differ: %d vs %d", a.NumVertices(), b.NumVertices())
 	}
-	viaStream := s.Snapshot()
-
-	if viaStream.NumArcs() != viaRebuild.NumArcs() {
-		t.Fatalf("arc counts differ: %d vs %d", viaStream.NumArcs(), viaRebuild.NumArcs())
+	if a.NumArcs() != b.NumArcs() {
+		t.Fatalf("arc counts differ: %d vs %d", a.NumArcs(), b.NumArcs())
 	}
-	diff := viaStream.TotalWeight() - viaRebuild.TotalWeight()
-	if diff > 1e-3 || diff < -1e-3 {
-		t.Fatalf("weights differ: %v vs %v", viaStream.TotalWeight(), viaRebuild.TotalWeight())
-	}
-	// Structural equality: same sorted adjacency everywhere.
-	n := viaRebuild.NumVertices()
+	n := a.NumVertices()
 	for i := 0; i < n; i++ {
-		e1, w1 := viaStream.Neighbors(uint32(i))
-		e2, w2 := viaRebuild.Neighbors(uint32(i))
+		e1, w1 := a.Neighbors(uint32(i))
+		e2, w2 := b.Neighbors(uint32(i))
 		if len(e1) != len(e2) {
 			t.Fatalf("vertex %d: degree %d vs %d", i, len(e1), len(e2))
 		}
 		for k := range e1 {
 			if e1[k] != e2[k] || w1[k] != w2[k] {
-				t.Fatalf("vertex %d arc %d differs", i, k)
+				t.Fatalf("vertex %d arc %d differs: (%d,%g) vs (%d,%g)",
+					i, k, e1[k], w1[k], e2[k], w2[k])
 			}
+		}
+	}
+}
+
+func TestApplyMatchesApplyDelta(t *testing.T) {
+	g, _ := gen.SocialNetwork(600, 10, 6, 0.3, 5)
+	ins, del := graph.RandomDelta(g, 40, 30, 9)
+
+	viaRebuild, err := graph.ApplyDelta(g, ins, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := FromCSR(g)
+	if err := s.Apply(ins, del); err != nil {
+		t.Fatal(err)
+	}
+	assertSameCSR(t, s.Snapshot(), viaRebuild)
+}
+
+// TestApplyDifferentialRandomized is the unified-semantics oracle: on
+// randomized batches — duplicate insertions, delete-then-reinsert of
+// the same edge, negative (cancelling) weights — stream.Apply+Snapshot
+// and graph.ApplyDelta must produce bit-identical CSRs, and must agree
+// on whether the batch is valid at all.
+func TestApplyDifferentialRandomized(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		g, _ := gen.SocialNetwork(300, 8, 5, 0.3, seed+1)
+		rng := seed*2654435761 + 17
+		next := func() uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng
+		}
+		n := uint32(g.NumVertices())
+
+		// Deletions: existing edges, with an occasional duplicate.
+		_, del := graph.RandomDelta(g, 0, 12, seed+3)
+		if seed%4 == 0 && len(del) > 0 {
+			del = append(del, del[int(next()%uint64(len(del)))]) // duplicate → invalid
+		}
+		// Insertions: fresh edges, reinforcements, re-inserts of deleted
+		// edges, duplicates within the batch, and negative weights.
+		var ins []graph.Edge
+		for i := 0; i < 30; i++ {
+			var e graph.Edge
+			switch next() % 4 {
+			case 0: // random pair (may exist, may repeat)
+				e = graph.Edge{U: uint32(next()) % n, V: uint32(next()) % n, W: float32(next()%5) + 1}
+			case 1: // re-insert a deleted edge
+				if len(del) > 0 {
+					d := del[int(next()%uint64(len(del)))]
+					e = graph.Edge{U: d.U, V: d.V, W: 2}
+				} else {
+					e = graph.Edge{U: uint32(next()) % n, V: uint32(next()) % n, W: 1}
+				}
+			case 2: // negative weight: cancels or dips an existing edge
+				e = graph.Edge{U: uint32(next()) % n, V: uint32(next()) % n, W: -float32(next()%3) - 1}
+			case 3: // duplicate of an earlier insertion
+				if len(ins) > 0 {
+					e = ins[int(next()%uint64(len(ins)))]
+				} else {
+					e = graph.Edge{U: uint32(next()) % n, V: uint32(next()) % n, W: 1}
+				}
+			}
+			ins = append(ins, e)
+		}
+
+		viaRebuild, errRebuild := graph.ApplyDelta(g, ins, del)
+		s := FromCSR(g)
+		before := s.Snapshot()
+		errStream := s.Apply(ins, del)
+
+		if (errRebuild == nil) != (errStream == nil) {
+			t.Fatalf("seed %d: appliers disagree on validity: rebuild=%v stream=%v",
+				seed, errRebuild, errStream)
+		}
+		if errRebuild != nil {
+			// Rejected batch: the stream graph must be untouched.
+			assertSameCSR(t, s.Snapshot(), before)
+			continue
+		}
+		assertSameCSR(t, s.Snapshot(), viaRebuild)
+		if err := viaRebuild.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
 		}
 	}
 }
@@ -115,6 +193,108 @@ func TestApplyRejectsMissingDeletion(t *testing.T) {
 	err := s.Apply(nil, []graph.Edge{{U: 1, V: 2}})
 	if err == nil {
 		t.Fatal("deleting a missing edge must error")
+	}
+}
+
+// TestApplyFailedBatchIsNoOp is the regression test for the
+// partial-mutation bug: Apply used to delete edges one at a time and
+// return mid-batch on the first missing deletion, leaving earlier
+// deletions applied. A rejected batch must leave NumEdges, weights, and
+// adjacency bit-identical.
+func TestApplyFailedBatchIsNoOp(t *testing.T) {
+	g, _ := gen.WebGraph(400, 8, 7)
+	s := FromCSR(g)
+	before := s.Snapshot()
+	edgesBefore := s.NumEdges()
+
+	ins, del := graph.RandomDelta(before, 10, 10, 11)
+	// Poison the batch *after* valid deletions, so the old
+	// apply-as-you-validate behaviour would have mutated first.
+	del = append(del, graph.Edge{U: 0, V: 0}) // self-loop that does not exist
+
+	if err := s.Apply(ins, del); err == nil {
+		t.Fatal("batch with a missing deletion must be rejected")
+	}
+	if s.NumEdges() != edgesBefore {
+		t.Fatalf("NumEdges mutated: %d vs %d", s.NumEdges(), edgesBefore)
+	}
+	assertSameCSR(t, s.Snapshot(), before)
+
+	// Duplicate deletions poison a batch the same way.
+	ins2, del2 := graph.RandomDelta(before, 5, 5, 13)
+	del2 = append(del2, del2[0])
+	if err := s.Apply(ins2, del2); err == nil {
+		t.Fatal("batch with a duplicate deletion must be rejected")
+	}
+	assertSameCSR(t, s.Snapshot(), before)
+
+	// A non-finite insertion weight poisons a batch too.
+	if err := s.Apply([]graph.Edge{{U: 1, V: 2, W: float32(math.NaN())}}, nil); err == nil {
+		t.Fatal("batch with a NaN insertion must be rejected")
+	}
+	assertSameCSR(t, s.Snapshot(), before)
+
+	// The valid prefix of the poisoned batch still applies on its own.
+	if err := s.Apply(ins, del[:len(del)-1]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddEdgeWeightValidation mirrors the PR 4 reader validation on the
+// mutable ingest path: non-finite weights are rejected, float32
+// overflow of the summed weight is rejected, and a sum reaching zero or
+// below cancels the edge instead of materializing a CSR the readers
+// would refuse.
+func TestAddEdgeWeightValidation(t *testing.T) {
+	s := New(2)
+	for _, w := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := s.AddEdge(0, 1, float32(w)); err == nil {
+			t.Fatalf("AddEdge accepted non-finite weight %v", w)
+		}
+	}
+	if s.NumEdges() != 0 || s.NumVertices() != 2 {
+		t.Fatal("rejected AddEdge mutated the graph")
+	}
+
+	// Overflowing sum.
+	if err := s.AddEdge(0, 1, math.MaxFloat32); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddEdge(0, 1, math.MaxFloat32); err == nil {
+		t.Fatal("AddEdge accepted a float32-overflowing sum")
+	}
+	if s.Weight(0, 1) != math.MaxFloat32 {
+		t.Fatal("failed AddEdge mutated the weight")
+	}
+
+	// Cancellation to zero removes the edge entirely.
+	s2 := New(0)
+	s2.AddEdge(3, 4, 2)
+	if err := s2.AddEdge(3, 4, -2); err != nil {
+		t.Fatal(err)
+	}
+	if s2.HasEdge(3, 4) || s2.HasEdge(4, 3) || s2.NumEdges() != 0 {
+		t.Fatal("zero-sum edge survived")
+	}
+	// Driving below zero removes it too.
+	s2.AddEdge(3, 4, 1)
+	if err := s2.AddEdge(3, 4, -5); err != nil {
+		t.Fatal(err)
+	}
+	if s2.HasEdge(3, 4) || s2.NumEdges() != 0 {
+		t.Fatal("negative-sum edge survived")
+	}
+	// A fresh negative insertion never creates an edge, but still grows
+	// the vertex set (the endpoints were mentioned).
+	if err := s2.AddEdge(7, 8, -1); err != nil {
+		t.Fatal(err)
+	}
+	if s2.HasEdge(7, 8) || s2.NumVertices() != 9 {
+		t.Fatalf("fresh negative edge: has=%v n=%d", s2.HasEdge(7, 8), s2.NumVertices())
+	}
+	// Snapshots of a cancelled-edge graph stay reader-clean.
+	if err := s2.Snapshot().Validate(); err != nil {
+		t.Fatal(err)
 	}
 }
 

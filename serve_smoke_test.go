@@ -1,0 +1,184 @@
+package gveleiden_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"gveleiden"
+)
+
+// TestServeSmoke is the serving counterpart of TestScaleSmoke: build
+// cmd/gveserve, stand it up on a generated 100k-vertex graph, hammer
+// the query API concurrently while a delta ingest forces a snapshot
+// swap, verify /healthz stays green throughout, and shut down with
+// SIGTERM expecting a clean exit 0. Gated behind an env var so the
+// regular test run stays fast; CI sets GVE_SERVE_SMOKE=1 with -race
+// and a job timeout.
+func TestServeSmoke(t *testing.T) {
+	if os.Getenv("GVE_SERVE_SMOKE") == "" {
+		t.Skip("set GVE_SERVE_SMOKE=1 to run the serving smoke test")
+	}
+	bin := buildCLIs(t)
+
+	cmd := exec.Command(filepath.Join(bin, "gveserve"),
+		"-gen", "social", "-n", "100000",
+		"-addr", "127.0.0.1:0", "-log-format", "json")
+	var stdout, stderr lockedBuffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait for the listen line and extract the ephemeral address.
+	addrRe := regexp.MustCompile(`serving on http://(\S+) `)
+	deadline := time.Now().Add(120 * time.Second)
+	var base string
+	for base == "" {
+		if m := addrRe.FindStringSubmatch(stdout.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up:\nstdout:\n%s\nstderr:\n%s", stdout.String(), stderr.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	c := gveleiden.NewServeClient(base)
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Vertices != 100000 || st.Version != 1 {
+		t.Fatalf("unexpected initial stats: %+v", st)
+	}
+
+	// Concurrent query load: 8 workers mixing the read endpoints, with
+	// a liveness prober keeping /healthz green across the swap below.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	report := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	var queries int64
+	var qmu sync.Mutex
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed uint32) {
+			defer wg.Done()
+			rng := seed*2654435761 + 1
+			local := int64(0)
+			for {
+				select {
+				case <-stop:
+					qmu.Lock()
+					queries += local
+					qmu.Unlock()
+					return
+				default:
+				}
+				rng = rng*1664525 + 1013904223
+				v := rng % 100000
+				switch rng % 3 {
+				case 0:
+					if _, err := c.Community(v); err != nil {
+						report(err)
+						return
+					}
+				case 1:
+					if _, err := c.Neighbors(v); err != nil {
+						report(err)
+						return
+					}
+				case 2:
+					if _, err := c.Hierarchy(v); err != nil {
+						report(err)
+						return
+					}
+				}
+				local++
+			}
+		}(uint32(w))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := c.Healthz(); err != nil {
+				report(fmt.Errorf("healthz went red: %w", err))
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	// One delta ingest under load: insert a new vertex wired into the
+	// graph and wait for the warm-started snapshot swap.
+	loadStart := time.Now()
+	if _, err := c.ApplyDelta([]gveleiden.ServeEdgeUpdate{
+		{U: 100000, V: 1, W: 1}, {U: 100000, V: 2, W: 1}, {U: 100000, V: 3, W: 1},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		st, err := c.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Version >= 2 {
+			if !st.Warm {
+				t.Fatalf("swap was not warm-started: %+v", st)
+			}
+			if st.Vertices != 100001 {
+				t.Fatalf("vertices after ingest = %d, want 100001", st.Vertices)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot swap never happened:\nstderr:\n%s", stderr.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Keep load running briefly past the swap, then stop and count.
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	loadSecs := time.Since(loadStart).Seconds()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	t.Logf("served %d queries in %.1fs (%.0f QPS) across a snapshot swap",
+		queries, loadSecs, float64(queries)/loadSecs)
+
+	// Graceful SIGTERM: drain and exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("exit after SIGTERM = %v, want 0\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "shutdown complete") {
+		t.Fatalf("no shutdown line:\n%s", stdout.String())
+	}
+}
