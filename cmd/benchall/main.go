@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		expList = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig1,fig3,fig6,fig7,fig8,fig9,quality,dynamic,ablation,cpm,profile,ordering,lpa,memory,complexity,scaling or 'all'")
+		expList = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig1,fig3,fig6,fig7,fig8,fig9,quality,dynamic,ablation,cpm,profile,ordering,lpa,memory,complexity,scaling,storage or 'all'")
 		scale   = flag.Float64("scale", 1.0, "dataset size multiplier")
 		repeat  = flag.Int("repeat", 3, "measurement repeats (paper uses 5)")
 		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
@@ -117,6 +117,9 @@ func main() {
 	}
 	if all || want["scaling"] {
 		emit(bench.ScalingExperiment(cfg))
+	}
+	if all || want["storage"] {
+		emit(bench.StorageExperiment(cfg))
 	}
 	footer := fmt.Sprintf("total harness time: %s", time.Since(start).Round(time.Millisecond))
 	fmt.Println(footer)

@@ -15,13 +15,13 @@ import (
 	"sort"
 
 	"gveleiden/internal/core"
-	"gveleiden/internal/graph"
+	"gveleiden/internal/graph/gvecsr"
 	"gveleiden/internal/quality"
 )
 
 func main() {
 	var (
-		graphPath = flag.String("g", "", "graph file (.mtx, .bin, or edge list)")
+		graphPath = flag.String("g", "", "graph file (.gvecsr, .mtx, .bin, or edge list)")
 		membPath  = flag.String("m", "", "membership file ('vertex community' lines); empty = run GVE-Leiden")
 		top       = flag.Int("top", 5, "show the N largest communities")
 		threads   = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
@@ -31,7 +31,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "communities: need -g GRAPH")
 		os.Exit(2)
 	}
-	g, err := graph.LoadFile(*graphPath)
+	gf, err := gvecsr.LoadAny(*graphPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "communities: %v\n", err)
+		os.Exit(1)
+	}
+	g, err := gf.Graph()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "communities: %v\n", err)
 		os.Exit(1)

@@ -5,6 +5,7 @@
 //	graphgen -corpus -dir data/           # write all 13 corpus graphs
 //	graphgen -gen web -n 50000 -o web.mtx # one graph, Matrix Market
 //	graphgen -gen road -n 50000 -format bin -o road.bin
+//	graphgen -gen road -n 50000 -o road.gvecsr # mmap-able binary container
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"gveleiden/internal/bench"
 	"gveleiden/internal/gen"
 	"gveleiden/internal/graph"
+	"gveleiden/internal/graph/gvecsr"
 )
 
 func main() {
@@ -28,7 +30,7 @@ func main() {
 		n       = flag.Int("n", 100000, "vertices")
 		seed    = flag.Uint64("seed", 1, "generator seed")
 		out     = flag.String("o", "", "output file for -gen")
-		format  = flag.String("format", "", "mtx|bin|edges (default from -o extension)")
+		format  = flag.String("format", "", "mtx|bin|edges|gvecsr (default from -o extension)")
 	)
 	flag.Parse()
 
@@ -112,9 +114,14 @@ func write(g *graph.CSR, path, format string) error {
 			format = "mtx"
 		case strings.HasSuffix(path, ".bin"):
 			format = "bin"
+		case strings.HasSuffix(path, gvecsr.Ext):
+			format = "gvecsr"
 		default:
 			format = "edges"
 		}
+	}
+	if format == "gvecsr" {
+		return gvecsr.WriteFile(path, g, gvecsr.WriteOptions{})
 	}
 	f, err := os.Create(path)
 	if err != nil {

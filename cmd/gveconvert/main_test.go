@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gveleiden/internal/graph"
+	"gveleiden/internal/graph/gvecsr"
+	"gveleiden/internal/order"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("gveconvert %v exited %d: %s", args, code, errb.String())
+	}
+	return out.String()
+}
+
+func writeEdgeList(t *testing.T, dir string, g *graph.CSR) string {
+	t.Helper()
+	path := filepath.Join(dir, "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func smallGraph() *graph.CSR {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(0, 2, 2)
+	b.AddEdge(0, 3, 1)
+	b.AddEdge(1, 2, 0.5)
+	b.AddEdge(3, 4, 1)
+	b.AddEdge(4, 5, 4)
+	return b.Build()
+}
+
+func TestConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := smallGraph()
+	in := writeEdgeList(t, dir, g)
+	out := filepath.Join(dir, "g"+gvecsr.Ext)
+	runOK(t, "-i", in, "-o", out)
+
+	f, err := gvecsr.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := f.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != g.NumVertices() || len(got.Edges) != len(g.Edges) {
+		t.Fatalf("converted graph shape |V|=%d m=%d, want |V|=%d m=%d",
+			got.NumVertices(), len(got.Edges), g.NumVertices(), len(g.Edges))
+	}
+	for i := range g.Edges {
+		if g.Edges[i] != got.Edges[i] || g.Weights[i] != got.Weights[i] {
+			t.Fatalf("arc %d differs", i)
+		}
+	}
+}
+
+func TestConvertCompressAndPerm(t *testing.T) {
+	dir := t.TempDir()
+	g := smallGraph()
+	in := writeEdgeList(t, dir, g)
+	out := filepath.Join(dir, "p"+gvecsr.Ext)
+	runOK(t, "-i", in, "-o", out, "-compress", "-perm", "degree")
+
+	f, err := gvecsr.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if !f.Header().Compressed() || !f.Header().HasPerm() {
+		t.Fatalf("flags %#x: want gap-adjacency and perm", f.Header().Flags)
+	}
+	got, err := f.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := f.Permutation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := order.ByDegreeDescCounting(g)
+	for i := range want {
+		if perm[i] != want[i] {
+			t.Fatalf("perm[%d] = %d, want %d", i, perm[i], want[i])
+		}
+	}
+	pg, err := graph.Permute(g, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pg.Edges {
+		if pg.Edges[i] != got.Edges[i] {
+			t.Fatalf("stored graph is not the permuted graph at arc %d", i)
+		}
+	}
+}
+
+func TestGenerateAndInspect(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "er"+gvecsr.Ext)
+	runOK(t, "-gen", "er", "-n", "2000", "-seed", "3", "-o", out)
+
+	text := runOK(t, "-inspect", out)
+	for _, want := range []string{"gvecsr v1", "vertices  2000", "offsets", "edges", "weights", "ok"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("inspection output missing %q:\n%s", want, text)
+		}
+	}
+
+	// Corrupt one payload byte: -inspect must report CORRUPT and exit 1.
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var outb, errb bytes.Buffer
+	if code := run([]string{"-inspect", out}, &outb, &errb); code != 1 {
+		t.Fatalf("inspect of corrupt container exited %d, want 1\n%s", code, outb.String())
+	}
+	if !strings.Contains(outb.String(), "CORRUPT") {
+		t.Fatalf("inspection did not flag corruption:\n%s", outb.String())
+	}
+}
+
+func TestGenerateStreamedClassesMatchBuilders(t *testing.T) {
+	dir := t.TempDir()
+	for _, class := range []string{"social", "web", "road", "kmer"} {
+		out := filepath.Join(dir, class+gvecsr.Ext)
+		runOK(t, "-gen", class, "-n", "3000", "-seed", "11", "-o", out)
+		f, err := gvecsr.Load(out)
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		g, err := f.Graph()
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: generated container holds invalid graph: %v", class, err)
+		}
+		if g.NumVertices() < 3000 {
+			t.Fatalf("%s: %d vertices, want >= 3000", class, g.NumVertices())
+		}
+		f.Close()
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                   // nothing
+		{"-o", "x.gvecsr"},                   // no input
+		{"-i", "a", "-gen", "er", "-o", "x"}, // both inputs
+		{"-inspect"},                         // no paths
+	} {
+		var outb, errb bytes.Buffer
+		if code := run(args, &outb, &errb); code != 2 {
+			t.Fatalf("args %v exited %d, want 2", args, code)
+		}
+	}
+	var outb, errb bytes.Buffer
+	if code := run([]string{"-gen", "nope", "-o", filepath.Join(t.TempDir(), "x.gvecsr")}, &outb, &errb); code != 1 {
+		t.Fatalf("unknown generator exited %d, want 1", code)
+	}
+}

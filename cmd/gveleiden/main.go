@@ -35,6 +35,7 @@ import (
 	"gveleiden/internal/export"
 	"gveleiden/internal/gen"
 	"gveleiden/internal/graph"
+	"gveleiden/internal/graph/gvecsr"
 	"gveleiden/internal/observe"
 	"gveleiden/internal/oracle"
 	"gveleiden/internal/parallel"
@@ -71,7 +72,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs := flag.NewFlagSet("gveleiden", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	c := &config{}
-	fs.StringVar(&c.input, "i", "", "input graph file (.mtx, .bin, or edge list)")
+	fs.StringVar(&c.input, "i", "", "input graph file (.gvecsr, .mtx, .bin, or edge list)")
 	fs.StringVar(&c.genName, "gen", "", "generate input instead: web|social|road|kmer|er|ba|rmat")
 	fs.IntVar(&c.n, "n", 100000, "vertices for generated input")
 	fs.Uint64Var(&c.seed, "seed", 1, "generator seed")
@@ -484,7 +485,13 @@ func exportTo(path string, write func(io.Writer) error) error {
 
 func loadOrGenerate(input, genName string, n int, seed uint64) (*graph.CSR, error) {
 	if input != "" {
-		return graph.LoadFile(input)
+		// gvecsr containers are memory-mapped; the mapping stays alive
+		// for the process lifetime, which is exactly the graph's.
+		f, err := gvecsr.LoadAny(input)
+		if err != nil {
+			return nil, err
+		}
+		return f.Graph()
 	}
 	switch genName {
 	case "web":

@@ -42,6 +42,7 @@ import (
 	"gveleiden/internal/core"
 	"gveleiden/internal/gen"
 	"gveleiden/internal/graph"
+	"gveleiden/internal/graph/gvecsr"
 	"gveleiden/internal/observe"
 	"gveleiden/internal/serve"
 )
@@ -71,7 +72,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs := flag.NewFlagSet("gveserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	c := &config{}
-	fs.StringVar(&c.input, "i", "", "input graph file (.mtx, .bin, or edge list)")
+	fs.StringVar(&c.input, "i", "", "input graph file (.gvecsr, .mtx, .bin, or edge list)")
 	fs.StringVar(&c.genName, "gen", "", "generate input instead: web|social|road|kmer|er|ba|rmat")
 	fs.IntVar(&c.n, "n", 100000, "vertices for generated input")
 	fs.Uint64Var(&c.seed, "seed", 1, "generator seed")
@@ -215,7 +216,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 func loadOrGenerate(input, genName string, n int, seed uint64) (*graph.CSR, error) {
 	if input != "" {
-		return graph.LoadFile(input)
+		// Containers are memory-mapped (gvecsr.Open): the server keeps
+		// the snapshot's base graph for its whole lifetime, so the
+		// mapping is never unmapped — and restarts reload in
+		// milliseconds instead of re-parsing text.
+		f, err := gvecsr.LoadAny(input)
+		if err != nil {
+			return nil, err
+		}
+		return f.Graph()
 	}
 	switch genName {
 	case "web":

@@ -32,8 +32,21 @@ const (
 // remove undirected edges first, then insertions add (or reinforce)
 // them. Every deletion must name a distinct existing edge and every
 // insertion weight must be finite; a batch violating either rule
-// returns an error and no graph. An insertion that drives an edge's
-// summed weight to zero or below cancels the edge entirely.
+// returns an error and no graph — validation is whole-batch, so a
+// rejected delta is a no-op and g is never left half-applied. An
+// insertion that drives an edge's summed weight to zero or below
+// cancels the edge entirely, and an insertion naming a vertex one past
+// the current maximum grows the graph.
+//
+// g itself is never mutated: the input snapshot stays valid (and, if
+// it came from a memory-mapped container, read-only) while both
+// versions are in use — pass the old membership plus the returned
+// graph to LeidenDynamic for a warm-started update. The rebuild costs
+// O(V+E); for sustained high-rate mutation keep an internal/stream
+// mutable overlay (as cmd/gveserve does) and snapshot per recompute
+// instead of rebuilding the CSR per batch. The same whole-batch
+// semantics (graph.EvaluateDelta) back both paths, so a batch accepted
+// here is accepted there and vice versa.
 func ApplyDelta(g *Graph, delta Delta) (*Graph, error) {
 	return graph.ApplyDelta(g, delta.Insertions, delta.Deletions)
 }

@@ -23,6 +23,7 @@ import (
 
 	"gveleiden/internal/core"
 	"gveleiden/internal/graph"
+	"gveleiden/internal/graph/gvecsr"
 	"gveleiden/internal/observe"
 	"gveleiden/internal/parallel"
 	"gveleiden/internal/quality"
@@ -101,8 +102,15 @@ func FromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
 // FromAdjacency builds a unit-weight graph from adjacency lists.
 func FromAdjacency(adj [][]uint32) *Graph { return graph.FromAdjacency(adj) }
 
-// LoadGraph loads a graph from a .mtx, .bin, or edge-list file.
-func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
+// LoadGraph loads a graph from a .gvecsr container (memory-mapped; see
+// storage.go and FORMAT.md), or a .mtx, .bin, or edge-list file.
+func LoadGraph(path string) (*Graph, error) {
+	f, err := gvecsr.LoadAny(path)
+	if err != nil {
+		return nil, err
+	}
+	return f.Graph()
+}
 
 // Modularity evaluates Equation 1 of the paper for any membership.
 func Modularity(g *Graph, membership []uint32) float64 {

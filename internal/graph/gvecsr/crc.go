@@ -1,0 +1,150 @@
+package gvecsr
+
+import (
+	"sync"
+
+	"gveleiden/internal/parallel"
+)
+
+// CRC32C combination: crcCombine(crcA, crcB, lenB) returns the
+// checksum of the concatenation A‖B given the independent checksums of
+// A and B. This is the zlib crc32_combine construction — appending
+// lenB zero bytes to A is a linear operator over GF(2), applied to
+// crcA in O(log lenB) 32×32 bit-matrix multiplies — instantiated for
+// the Castagnoli polynomial. It lets the reader checksum a section in
+// independent chunks on every core and fold the results, instead of
+// streaming the whole payload through one sequential CRC.
+
+// crcPoly is the reflected CRC32C (Castagnoli) polynomial.
+const crcPoly = 0x82F63B78
+
+// gf2MatrixTimes multiplies the 32×32 GF(2) matrix by a vector.
+func gf2MatrixTimes(mat *[32]uint32, vec uint32) uint32 {
+	var sum uint32
+	for i := 0; vec != 0; i++ {
+		if vec&1 != 0 {
+			sum ^= mat[i]
+		}
+		vec >>= 1
+	}
+	return sum
+}
+
+// gf2MatrixSquare sets square = mat², composing the zero-append
+// operator with itself.
+func gf2MatrixSquare(square, mat *[32]uint32) {
+	for i := 0; i < 32; i++ {
+		square[i] = gf2MatrixTimes(mat, mat[i])
+	}
+}
+
+// gf2MatrixMult returns a∘b (apply b, then a).
+func gf2MatrixMult(a, b *[32]uint32) [32]uint32 {
+	var out [32]uint32
+	for i := 0; i < 32; i++ {
+		out[i] = gf2MatrixTimes(a, b[i])
+	}
+	return out
+}
+
+// zeroOperator returns the GF(2) matrix that maps crc(A) to
+// crc(A‖0^length) for length zero bytes, by binary exponentiation of
+// the single-zero-bit operator.
+func zeroOperator(length int64) [32]uint32 {
+	var acc [32]uint32
+	for i := range acc {
+		acc[i] = 1 << i // identity
+	}
+	if length <= 0 {
+		return acc
+	}
+	var even, odd [32]uint32
+	odd[0] = crcPoly // operator for one zero bit
+	row := uint32(1)
+	for i := 1; i < 32; i++ {
+		odd[i] = row
+		row <<= 1
+	}
+	gf2MatrixSquare(&even, &odd) // two zero bits
+	gf2MatrixSquare(&odd, &even) // four zero bits
+	// First squaring below yields the one-zero-byte operator, so the
+	// loop walks the bits of length in bytes.
+	for {
+		gf2MatrixSquare(&even, &odd)
+		if length&1 != 0 {
+			acc = gf2MatrixMult(&even, &acc)
+		}
+		length >>= 1
+		if length == 0 {
+			return acc
+		}
+		gf2MatrixSquare(&odd, &even)
+		if length&1 != 0 {
+			acc = gf2MatrixMult(&odd, &acc)
+		}
+		length >>= 1
+		if length == 0 {
+			return acc
+		}
+	}
+}
+
+// crcCombine returns the CRC32C of A‖B from crc(A), crc(B), len(B).
+func crcCombine(crc1, crc2 uint32, len2 int64) uint32 {
+	if len2 <= 0 {
+		return crc1
+	}
+	op := zeroOperator(len2)
+	return gf2MatrixTimes(&op, crc1) ^ crc2
+}
+
+// crcChunkBytes is the unit of chunk-parallel checksumming: big enough
+// that the combine folds are noise, small enough that a fused semantic
+// scan re-reads the chunk from L2, not DRAM.
+const crcChunkBytes = 1 << 17
+
+// checksumScan computes the CRC32C of data in parallel chunks and, for
+// each chunk, runs scan over its element range [elemLo, elemHi) while
+// the bytes are cache-hot — one DRAM pass instead of two. elemSize
+// must divide crcChunkBytes. scan may be nil (plain parallel CRC);
+// when present it must be safe to run on untrusted bytes, since it
+// executes before the checksum verdict is known.
+func checksumScan(data []byte, elemSize int, scan func(elemLo, elemHi, tid int)) uint32 {
+	nChunks := (len(data) + crcChunkBytes - 1) / crcChunkBytes
+	if nChunks <= 1 {
+		if scan != nil {
+			scan(0, len(data)/elemSize, 0)
+		}
+		return Checksum(data)
+	}
+	crcs := make([]uint32, nChunks)
+	parallel.Default().For(nChunks, parallel.DefaultThreads(), 1, func(lo, hi, tid int) {
+		for c := lo; c < hi; c++ {
+			bLo := c * crcChunkBytes
+			bHi := bLo + crcChunkBytes
+			if bHi > len(data) {
+				bHi = len(data)
+			}
+			crcs[c] = Checksum(data[bLo:bHi])
+			if scan != nil {
+				scan(bLo/elemSize, bHi/elemSize, tid)
+			}
+		}
+	})
+	// Fold the chunk checksums. Every chunk but the last has the same
+	// length, so one cached operator (a single 32×32 apply per chunk,
+	// ~100ns) folds the whole file; only the tail pays a fresh
+	// exponentiation.
+	chunkOpOnce.Do(func() { chunkOp = zeroOperator(crcChunkBytes) })
+	crc := crcs[0]
+	for c := 1; c < nChunks-1; c++ {
+		crc = gf2MatrixTimes(&chunkOp, crc) ^ crcs[c]
+	}
+	tail := len(data) - (nChunks-1)*crcChunkBytes
+	return crcCombine(crc, crcs[nChunks-1], int64(tail))
+}
+
+var (
+	chunkOpOnce sync.Once
+	chunkOp     [32]uint32
+)

@@ -1,0 +1,63 @@
+package gvecsr
+
+import (
+	"testing"
+)
+
+// deterministic pseudo-random bytes (no math/rand: package directive
+// forbids nondeterminism, and the test must be reproducible anyway).
+func testBytes(n int, seed uint64) []byte {
+	b := make([]byte, n)
+	s := seed
+	for i := range b {
+		s = s*6364136223846793005 + 1442695040888963407
+		b[i] = byte(s >> 33)
+	}
+	return b
+}
+
+// TestCrcCombine checks the GF(2) combine against the streaming CRC on
+// every split point of a small buffer and on chunk-boundary splits of
+// a large one.
+func TestCrcCombine(t *testing.T) {
+	small := testBytes(257, 1)
+	want := Checksum(small)
+	for cut := 0; cut <= len(small); cut++ {
+		a, b := small[:cut], small[cut:]
+		if got := crcCombine(Checksum(a), Checksum(b), int64(len(b))); got != want {
+			t.Fatalf("split at %d: combined %#08x, want %#08x", cut, got, want)
+		}
+	}
+
+	big := testBytes(3*crcChunkBytes+12345, 2)
+	want = Checksum(big)
+	for _, cut := range []int{0, 1, crcChunkBytes - 1, crcChunkBytes, crcChunkBytes + 1, 2 * crcChunkBytes, len(big)} {
+		a, b := big[:cut], big[cut:]
+		if got := crcCombine(Checksum(a), Checksum(b), int64(len(b))); got != want {
+			t.Fatalf("split at %d: combined %#08x, want %#08x", cut, got, want)
+		}
+	}
+}
+
+// TestChecksumScan checks the chunk-parallel checksum against the
+// streaming CRC across the chunking edge cases, and that the fused
+// scan sees every element exactly once.
+func TestChecksumScan(t *testing.T) {
+	for _, size := range []int{0, 1, 4, crcChunkBytes - 4, crcChunkBytes, crcChunkBytes + 4, 3*crcChunkBytes + 64} {
+		data := testBytes(size, uint64(size)+3)
+		seen := make([]int32, size/4)
+		got := checksumScan(data, 4, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		})
+		if want := Checksum(data); got != want {
+			t.Fatalf("size %d: checksumScan %#08x, want %#08x", size, got, want)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("size %d: element %d scanned %d times", size, i, c)
+			}
+		}
+	}
+}

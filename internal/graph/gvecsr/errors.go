@@ -1,0 +1,39 @@
+package gvecsr
+
+import "errors"
+
+// Every rejection of a container — structural, checksum, or semantic —
+// returns an error wrapping ErrFormat, so callers (and the fuzz
+// harness) can distinguish "this is not a valid gvecsr file" from
+// filesystem errors with one errors.Is check. The finer-grained
+// sentinels below classify the failure.
+var (
+	// ErrFormat is the base class of every invalid-container error.
+	ErrFormat = errors.New("gvecsr: invalid container")
+	// ErrBadMagic: the file does not start with the gvecsr magic.
+	ErrBadMagic = wrap("bad magic")
+	// ErrVersion: the container's format version is not supported.
+	ErrVersion = wrap("unsupported version")
+	// ErrTruncated: the file is shorter than its own description.
+	ErrTruncated = wrap("truncated")
+	// ErrChecksum: a CRC32C integrity check failed.
+	ErrChecksum = wrap("checksum mismatch")
+	// ErrMalformed: a structural rule of the format is violated
+	// (alignment, section order, mandated lengths, reserved fields).
+	ErrMalformed = wrap("malformed")
+	// ErrSemantics: the bytes are well-formed but do not describe a
+	// valid CSR (non-monotone offsets, out-of-range targets,
+	// non-finite weights, invalid permutation, bad gap encoding).
+	ErrSemantics = wrap("invalid graph data")
+)
+
+// wrap builds a sentinel that errors.Is-matches both itself and
+// ErrFormat.
+func wrap(msg string) error {
+	return &formatError{msg: msg}
+}
+
+type formatError struct{ msg string }
+
+func (e *formatError) Error() string { return "gvecsr: " + e.msg }
+func (e *formatError) Unwrap() error { return ErrFormat }

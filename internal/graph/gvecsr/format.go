@@ -1,0 +1,327 @@
+package gvecsr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// The byte-level layout implemented here is specified normatively in
+// FORMAT.md at the repository root; TestFormatSpecMatchesImplementation
+// cross-checks the constants below against that document, so neither
+// can drift without failing the build.
+
+// Magic identifies a gvecsr container. The 0x89 lead byte (outside
+// ASCII) and the trailing newline catch text-mode transfers and
+// truncation-by-line tools, PNG style.
+var Magic = [8]byte{0x89, 'G', 'V', 'E', 'C', 'S', 'R', '\n'}
+
+// FormatVersion is the container version this package reads and
+// writes. Readers must reject any other major version.
+const FormatVersion = 1
+
+const (
+	// HeaderBytes is the fixed size of the v1 header. The section
+	// directory follows immediately at this offset.
+	HeaderBytes = 64
+	// PageSize is the section alignment: every section payload starts
+	// at a multiple of PageSize so mmap'd section views are aligned to
+	// OS pages (and therefore to their element types).
+	PageSize = 4096
+	// DirEntryBytes is the size of one section-directory entry.
+	DirEntryBytes = 32
+	// maxSections bounds the section count a reader will accept;
+	// far above anything v1 writes, it keeps a corrupt count from
+	// driving directory allocation.
+	maxSections = 16
+)
+
+// Section identifiers. Ids are stable across versions: a v1 reader
+// skips unknown ids ≥ SecPerm only if flags say so — in v1 the exact
+// section set is determined by the flags, anything else is malformed.
+const (
+	SecOffsets  = 1 // uint32 × (n+1): CSR row offsets, Offsets[n] = m
+	SecEdges    = 2 // uint32 × m: arc targets (absent when FlagGapAdjacency)
+	SecWeights  = 3 // float32 × m: arc weights, IEEE-754 bits, parallel to targets
+	SecPerm     = 4 // uint32 × n: optional vertex permutation, perm[original] = stored
+	SecGapIndex = 5 // uint64 × (n+1): byte offset of each vertex's varint run in SecGapBlob
+	SecGapBlob  = 6 // varint gap-encoded adjacency (present instead of SecEdges)
+)
+
+// SectionName returns the spec name of a section id ("?" if unknown).
+func SectionName(id uint32) string {
+	switch id {
+	case SecOffsets:
+		return "offsets"
+	case SecEdges:
+		return "edges"
+	case SecWeights:
+		return "weights"
+	case SecPerm:
+		return "perm"
+	case SecGapIndex:
+		return "gapindex"
+	case SecGapBlob:
+		return "gapblob"
+	}
+	return "?"
+}
+
+// Header flags.
+const (
+	// FlagGapAdjacency: adjacency is stored varint gap-encoded
+	// (SecGapIndex + SecGapBlob) instead of as raw uint32s (SecEdges).
+	FlagGapAdjacency = 1 << 0
+	// FlagHasPerm: the container carries a vertex permutation section.
+	FlagHasPerm = 1 << 1
+
+	flagsKnown = FlagGapAdjacency | FlagHasPerm
+)
+
+// Fixed header field offsets (bytes from the start of the file). The
+// header is little-endian throughout.
+const (
+	offMagic    = 0x00 // 8 bytes
+	offVersion  = 0x08 // uint32
+	offHdrBytes = 0x0C // uint32, = HeaderBytes
+	offVertices = 0x10 // uint64
+	offArcs     = 0x18 // uint64
+	offFlags    = 0x20 // uint32
+	offSections = 0x24 // uint32 section count
+	offFileSize = 0x28 // uint64 total container bytes
+	offPageSize = 0x30 // uint32, = PageSize
+	offDirCRC   = 0x34 // uint32 CRC32C of the section directory
+	offReserved = 0x38 // uint32, must be zero
+	offHdrCRC   = 0x3C // uint32 CRC32C of header bytes [0x00, 0x3C)
+)
+
+// castagnoli is the CRC32C (Castagnoli) table; hardware-accelerated on
+// amd64/arm64, which is what keeps full-file verification cheap
+// relative to any parse path.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of b, the checksum algorithm of every
+// integrity field in the container.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// Header is the decoded fixed-size container header.
+type Header struct {
+	Version     uint32
+	NumVertices uint64
+	NumArcs     uint64
+	Flags       uint32
+	Sections    uint32
+	FileBytes   uint64
+}
+
+// Compressed reports whether the adjacency is varint gap-encoded.
+func (h Header) Compressed() bool { return h.Flags&FlagGapAdjacency != 0 }
+
+// HasPerm reports whether a vertex permutation section is present.
+func (h Header) HasPerm() bool { return h.Flags&FlagHasPerm != 0 }
+
+// SectionInfo is one decoded section-directory entry.
+type SectionInfo struct {
+	ID     uint32
+	Offset uint64 // bytes from file start; multiple of PageSize
+	Length uint64 // exact payload bytes, excluding alignment padding
+	CRC    uint32 // CRC32C of the payload bytes
+}
+
+// Name returns the spec name of the section.
+func (s SectionInfo) Name() string { return SectionName(s.ID) }
+
+// encodeHeader serializes h into a HeaderBytes-long buffer, computing
+// the header CRC; dirCRC is the CRC32C of the already-encoded section
+// directory.
+func encodeHeader(h Header, dirCRC uint32) []byte {
+	b := make([]byte, HeaderBytes)
+	copy(b[offMagic:], Magic[:])
+	le := binary.LittleEndian
+	le.PutUint32(b[offVersion:], h.Version)
+	le.PutUint32(b[offHdrBytes:], HeaderBytes)
+	le.PutUint64(b[offVertices:], h.NumVertices)
+	le.PutUint64(b[offArcs:], h.NumArcs)
+	le.PutUint32(b[offFlags:], h.Flags)
+	le.PutUint32(b[offSections:], h.Sections)
+	le.PutUint64(b[offFileSize:], h.FileBytes)
+	le.PutUint32(b[offPageSize:], PageSize)
+	le.PutUint32(b[offDirCRC:], dirCRC)
+	le.PutUint32(b[offReserved:], 0)
+	le.PutUint32(b[offHdrCRC:], Checksum(b[:offHdrCRC]))
+	return b
+}
+
+// encodeDirectory serializes the section directory.
+func encodeDirectory(secs []SectionInfo) []byte {
+	b := make([]byte, len(secs)*DirEntryBytes)
+	le := binary.LittleEndian
+	for i, s := range secs {
+		e := b[i*DirEntryBytes:]
+		le.PutUint32(e[0x00:], s.ID)
+		le.PutUint32(e[0x04:], 0)
+		le.PutUint64(e[0x08:], s.Offset)
+		le.PutUint64(e[0x10:], s.Length)
+		le.PutUint32(e[0x18:], s.CRC)
+		le.PutUint32(e[0x1C:], 0)
+	}
+	return b
+}
+
+// parseHeader decodes and structurally validates the fixed header. It
+// does not check anything beyond the header bytes themselves.
+func parseHeader(b []byte) (Header, error) {
+	if len(b) < HeaderBytes {
+		return Header{}, fmt.Errorf("%w: %d header bytes, need %d", ErrTruncated, len(b), HeaderBytes)
+	}
+	var m [8]byte
+	copy(m[:], b[offMagic:])
+	if m != Magic {
+		return Header{}, fmt.Errorf("%w: % x", ErrBadMagic, m[:])
+	}
+	le := binary.LittleEndian
+	if got, want := le.Uint32(b[offHdrCRC:]), Checksum(b[:offHdrCRC]); got != want {
+		return Header{}, fmt.Errorf("%w: header crc %#08x, computed %#08x", ErrChecksum, got, want)
+	}
+	h := Header{
+		Version:     le.Uint32(b[offVersion:]),
+		NumVertices: le.Uint64(b[offVertices:]),
+		NumArcs:     le.Uint64(b[offArcs:]),
+		Flags:       le.Uint32(b[offFlags:]),
+		Sections:    le.Uint32(b[offSections:]),
+		FileBytes:   le.Uint64(b[offFileSize:]),
+	}
+	if h.Version != FormatVersion {
+		return Header{}, fmt.Errorf("%w: version %d (this reader handles %d)", ErrVersion, h.Version, FormatVersion)
+	}
+	if hb := le.Uint32(b[offHdrBytes:]); hb != HeaderBytes {
+		return Header{}, fmt.Errorf("%w: header size %d, want %d", ErrMalformed, hb, HeaderBytes)
+	}
+	if ps := le.Uint32(b[offPageSize:]); ps != PageSize {
+		return Header{}, fmt.Errorf("%w: page size %d, want %d", ErrMalformed, ps, PageSize)
+	}
+	if r := le.Uint32(b[offReserved:]); r != 0 {
+		return Header{}, fmt.Errorf("%w: reserved field %#x, want 0", ErrMalformed, r)
+	}
+	if h.Flags&^uint32(flagsKnown) != 0 {
+		return Header{}, fmt.Errorf("%w: unknown flag bits %#x", ErrMalformed, h.Flags&^uint32(flagsKnown))
+	}
+	if h.Sections == 0 || h.Sections > maxSections {
+		return Header{}, fmt.Errorf("%w: implausible section count %d", ErrMalformed, h.Sections)
+	}
+	return h, nil
+}
+
+// parseDirectory decodes the section directory and verifies its CRC
+// against the header field.
+func parseDirectory(hdr []byte, h Header, dir []byte) ([]SectionInfo, error) {
+	want := int(h.Sections) * DirEntryBytes
+	if len(dir) < want {
+		return nil, fmt.Errorf("%w: %d directory bytes, need %d", ErrTruncated, len(dir), want)
+	}
+	dir = dir[:want]
+	le := binary.LittleEndian
+	if got, computed := le.Uint32(hdr[offDirCRC:]), Checksum(dir); got != computed {
+		return nil, fmt.Errorf("%w: directory crc %#08x, computed %#08x", ErrChecksum, got, computed)
+	}
+	secs := make([]SectionInfo, h.Sections)
+	for i := range secs {
+		e := dir[i*DirEntryBytes:]
+		if le.Uint32(e[0x04:]) != 0 || le.Uint32(e[0x1C:]) != 0 {
+			return nil, fmt.Errorf("%w: directory entry %d has nonzero reserved fields", ErrMalformed, i)
+		}
+		secs[i] = SectionInfo{
+			ID:     le.Uint32(e[0x00:]),
+			Offset: le.Uint64(e[0x08:]),
+			Length: le.Uint64(e[0x10:]),
+			CRC:    le.Uint32(e[0x18:]),
+		}
+	}
+	return secs, nil
+}
+
+// expectedSections returns the exact ordered id set the flags imply.
+func expectedSections(h Header) []uint32 {
+	ids := []uint32{SecOffsets}
+	if h.Compressed() {
+		ids = append(ids, SecWeights)
+		if h.HasPerm() {
+			ids = append(ids, SecPerm)
+		}
+		ids = append(ids, SecGapIndex, SecGapBlob)
+	} else {
+		ids = append(ids, SecEdges, SecWeights)
+		if h.HasPerm() {
+			ids = append(ids, SecPerm)
+		}
+	}
+	return ids
+}
+
+// sectionBytes returns the mandated payload length of a section, or
+// ^uint64(0) when the length is data-dependent (the gap blob).
+func sectionBytes(id uint32, n, m uint64) uint64 {
+	switch id {
+	case SecOffsets:
+		return 4 * (n + 1)
+	case SecEdges:
+		return 4 * m
+	case SecWeights:
+		return 4 * m
+	case SecPerm:
+		return 4 * n
+	case SecGapIndex:
+		return 8 * (n + 1)
+	}
+	return ^uint64(0)
+}
+
+// alignUp rounds x up to the next multiple of PageSize.
+func alignUp(x uint64) uint64 {
+	return (x + PageSize - 1) &^ uint64(PageSize-1)
+}
+
+// validateLayout cross-checks the directory against the header and the
+// actual file size: ids in the exact flag-implied order, page-aligned
+// monotone non-overlapping payloads, mandated lengths, and a file-size
+// field matching reality.
+func validateLayout(h Header, secs []SectionInfo, fileSize uint64) error {
+	if h.NumVertices >= 1<<31 {
+		return fmt.Errorf("%w: vertex count %d exceeds the 32-bit id space", ErrMalformed, h.NumVertices)
+	}
+	if h.NumArcs > 0xFFFFFFFF {
+		return fmt.Errorf("%w: arc count %d overflows the uint32 offsets of v1", ErrMalformed, h.NumArcs)
+	}
+	if h.FileBytes != fileSize {
+		return fmt.Errorf("%w: header says %d file bytes, file has %d", ErrTruncated, h.FileBytes, fileSize)
+	}
+	want := expectedSections(h)
+	if len(secs) != len(want) {
+		return fmt.Errorf("%w: %d sections, flags %#x imply %d", ErrMalformed, len(secs), h.Flags, len(want))
+	}
+	minOff := uint64(HeaderBytes + len(secs)*DirEntryBytes)
+	prevEnd := minOff
+	for i, s := range secs {
+		if s.ID != want[i] {
+			return fmt.Errorf("%w: section %d is id %d (%s), spec order wants id %d (%s)",
+				ErrMalformed, i, s.ID, s.Name(), want[i], SectionName(want[i]))
+		}
+		if s.Offset%PageSize != 0 {
+			return fmt.Errorf("%w: section %s at offset %d is not %d-aligned", ErrMalformed, s.Name(), s.Offset, PageSize)
+		}
+		if s.Offset < alignUp(prevEnd) {
+			return fmt.Errorf("%w: section %s at offset %d overlaps the previous region ending at %d",
+				ErrMalformed, s.Name(), s.Offset, prevEnd)
+		}
+		if s.Length > fileSize || s.Offset > fileSize-s.Length {
+			return fmt.Errorf("%w: section %s [%d, %d) exceeds file size %d",
+				ErrTruncated, s.Name(), s.Offset, s.Offset+s.Length, fileSize)
+		}
+		if mandated := sectionBytes(s.ID, h.NumVertices, h.NumArcs); mandated != ^uint64(0) && s.Length != mandated {
+			return fmt.Errorf("%w: section %s is %d bytes, header shape mandates %d",
+				ErrMalformed, s.Name(), s.Length, mandated)
+		}
+		prevEnd = s.Offset + s.Length
+	}
+	return nil
+}

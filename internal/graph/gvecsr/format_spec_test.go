@@ -1,0 +1,292 @@
+package gvecsr
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// mdTable is one parsed markdown table: the header cells plus rows.
+type mdTable struct {
+	header []string
+	rows   [][]string
+}
+
+// parseMarkdownTables extracts every pipe table from a markdown
+// document, in order.
+func parseMarkdownTables(md string) []mdTable {
+	var tables []mdTable
+	var cur *mdTable
+	for _, line := range strings.Split(md, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "|") {
+			cur = nil
+			continue
+		}
+		cells := strings.Split(trimmed, "|")
+		cells = cells[1 : len(cells)-1] // drop the empty edges
+		for i := range cells {
+			cells[i] = strings.TrimSpace(cells[i])
+		}
+		if len(cells) > 0 && strings.HasPrefix(strings.ReplaceAll(cells[0], " ", ""), "--") {
+			continue // separator row
+		}
+		if cur == nil {
+			tables = append(tables, mdTable{header: cells})
+			cur = &tables[len(tables)-1]
+			continue
+		}
+		cur.rows = append(cur.rows, cells)
+	}
+	return tables
+}
+
+// findTable returns the first table whose header starts with the given
+// column names.
+func findTable(t *testing.T, tables []mdTable, cols ...string) mdTable {
+	t.Helper()
+	for _, tb := range tables {
+		if len(tb.header) < len(cols) {
+			continue
+		}
+		match := true
+		for i, c := range cols {
+			if !strings.EqualFold(tb.header[i], c) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return tb
+		}
+	}
+	t.Fatalf("FORMAT.md has no table with columns %v", cols)
+	return mdTable{}
+}
+
+func specInt(t *testing.T, s, what string) uint64 {
+	t.Helper()
+	s = strings.TrimPrefix(strings.TrimSpace(s), "0x")
+	base := 10
+	if s != strings.TrimSpace(s) || strings.ContainsAny(s, "abcdefABCDEF") {
+		base = 16
+	}
+	// Offsets in the spec are written as 0x..; detect by the original prefix.
+	v, err := strconv.ParseUint(s, base, 64)
+	if err != nil {
+		t.Fatalf("FORMAT.md: cannot parse %s value %q: %v", what, s, err)
+	}
+	return v
+}
+
+// specHex parses a 0x-prefixed offset.
+func specHex(t *testing.T, s, what string) uint64 {
+	t.Helper()
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "0x") {
+		t.Fatalf("FORMAT.md: %s offset %q is not 0x-prefixed", what, s)
+	}
+	v, err := strconv.ParseUint(s[2:], 16, 64)
+	if err != nil {
+		t.Fatalf("FORMAT.md: cannot parse %s offset %q: %v", what, s, err)
+	}
+	return v
+}
+
+// TestFormatSpecMatchesImplementation parses the normative tables in
+// FORMAT.md and cross-checks every constant against this package, so
+// the spec and the code cannot drift independently.
+func TestFormatSpecMatchesImplementation(t *testing.T) {
+	raw, err := os.ReadFile("../../../FORMAT.md")
+	if err != nil {
+		t.Fatalf("reading FORMAT.md: %v", err)
+	}
+	tables := parseMarkdownTables(string(raw))
+
+	// §2.1 global constants.
+	consts := findTable(t, tables, "Constant", "Value")
+	got := map[string]string{}
+	for _, r := range consts.rows {
+		got[r[0]] = r[1]
+	}
+	// The magic row spells each byte: `\x89 G V E C S R \x0A`.
+	magicSpec := strings.Trim(got["magic"], "` ")
+	var magicBytes []byte
+	for _, tok := range strings.Fields(magicSpec) {
+		switch {
+		case strings.HasPrefix(tok, `\x`):
+			v, err := strconv.ParseUint(tok[2:], 16, 8)
+			if err != nil {
+				t.Fatalf("magic token %q: %v", tok, err)
+			}
+			magicBytes = append(magicBytes, byte(v))
+		case len(tok) == 1:
+			magicBytes = append(magicBytes, tok[0])
+		default:
+			t.Fatalf("magic token %q not understood", tok)
+		}
+	}
+	if string(magicBytes) != string(Magic[:]) {
+		t.Errorf("spec magic % x != implementation % x", magicBytes, Magic[:])
+	}
+	for name, want := range map[string]uint64{
+		"format_version":  FormatVersion,
+		"header_bytes":    HeaderBytes,
+		"dir_entry_bytes": DirEntryBytes,
+		"page_size":       PageSize,
+		"max_sections":    maxSections,
+	} {
+		cell, ok := got[name]
+		if !ok {
+			t.Errorf("FORMAT.md constants table is missing %s", name)
+			continue
+		}
+		if v := specInt(t, cell, name); v != want {
+			t.Errorf("spec %s = %d, implementation has %d", name, v, want)
+		}
+	}
+
+	// §2.2 header layout.
+	hdr := findTable(t, tables, "Offset", "Size", "Field")
+	hdrOffsets := map[string]uint64{}
+	hdrSizes := map[string]uint64{}
+	var total uint64
+	for _, r := range hdr.rows {
+		off := specHex(t, r[0], r[2])
+		size := specInt(t, r[1], r[2])
+		if off != total {
+			t.Errorf("header field %s at 0x%02X leaves a gap (previous fields end at 0x%02X)", r[2], off, total)
+		}
+		total = off + size
+		hdrOffsets[r[2]] = off
+		hdrSizes[r[2]] = size
+	}
+	if total != HeaderBytes {
+		t.Errorf("header table covers %d bytes, want %d", total, HeaderBytes)
+	}
+	for field, want := range map[string]uint64{
+		"magic":        offMagic,
+		"version":      offVersion,
+		"header_bytes": offHdrBytes,
+		"vertices":     offVertices,
+		"arcs":         offArcs,
+		"flags":        offFlags,
+		"sections":     offSections,
+		"file_size":    offFileSize,
+		"page_size":    offPageSize,
+		"dir_crc":      offDirCRC,
+		"reserved":     offReserved,
+		"header_crc":   offHdrCRC,
+	} {
+		off, ok := hdrOffsets[field]
+		if !ok {
+			t.Errorf("FORMAT.md header table is missing field %s", field)
+			continue
+		}
+		if off != want {
+			t.Errorf("spec puts %s at 0x%02X, implementation at 0x%02X", field, off, want)
+		}
+	}
+	if hdrSizes["magic"] != 8 {
+		t.Errorf("spec magic size %d, want 8", hdrSizes["magic"])
+	}
+
+	// §2.3 flags.
+	flags := findTable(t, tables, "Bit", "Name")
+	flagBits := map[string]uint64{}
+	for _, r := range flags.rows {
+		flagBits[r[1]] = specInt(t, r[0], r[1])
+	}
+	for name, want := range map[string]uint32{
+		"gap_adjacency": FlagGapAdjacency,
+		"has_perm":      FlagHasPerm,
+	} {
+		bit, ok := flagBits[name]
+		if !ok {
+			t.Errorf("FORMAT.md flags table is missing %s", name)
+			continue
+		}
+		if uint32(1)<<bit != want {
+			t.Errorf("spec flag %s is bit %d, implementation has %#x", name, bit, want)
+		}
+	}
+	if len(flagBits) != 2 {
+		t.Errorf("spec defines %d flags, implementation knows 2 (flagsKnown=%#x)", len(flagBits), flagsKnown)
+	}
+
+	// §2.4 directory entry layout: the second Offset/Size/Field table.
+	var dirTable mdTable
+	seen := 0
+	for _, tb := range tables {
+		if len(tb.header) >= 3 && strings.EqualFold(tb.header[0], "Offset") && strings.EqualFold(tb.header[2], "Field") {
+			seen++
+			if seen == 2 {
+				dirTable = tb
+			}
+		}
+	}
+	if seen < 2 {
+		t.Fatalf("FORMAT.md is missing the directory entry table")
+	}
+	dirOffsets := map[string]uint64{}
+	total = 0
+	for _, r := range dirTable.rows {
+		off := specHex(t, r[0], r[2])
+		size := specInt(t, r[1], r[2])
+		if off != total {
+			t.Errorf("directory field %s at 0x%02X leaves a gap", r[2], off)
+		}
+		total = off + size
+		if prev, dup := dirOffsets[r[2]]; dup && prev != off {
+			continue // "reserved" appears twice; keep the first
+		}
+		if _, dup := dirOffsets[r[2]]; !dup {
+			dirOffsets[r[2]] = off
+		}
+	}
+	if total != DirEntryBytes {
+		t.Errorf("directory entry table covers %d bytes, want %d", total, DirEntryBytes)
+	}
+	for field, want := range map[string]uint64{"id": 0x00, "offset": 0x08, "length": 0x10, "crc": 0x18} {
+		if off, ok := dirOffsets[field]; !ok || off != want {
+			t.Errorf("spec directory field %s at %v, implementation encodes it at 0x%02X", field, dirOffsets[field], want)
+		}
+	}
+
+	// §2.5 section ids.
+	secs := findTable(t, tables, "ID", "Name")
+	specIDs := map[string]uint64{}
+	for _, r := range secs.rows {
+		specIDs[strings.Trim(r[1], "`")] = specInt(t, r[0], r[1])
+	}
+	for name, want := range map[string]uint32{
+		"offsets":  SecOffsets,
+		"edges":    SecEdges,
+		"weights":  SecWeights,
+		"perm":     SecPerm,
+		"gapindex": SecGapIndex,
+		"gapblob":  SecGapBlob,
+	} {
+		id, ok := specIDs[name]
+		if !ok {
+			t.Errorf("FORMAT.md sections table is missing %s", name)
+			continue
+		}
+		if uint32(id) != want {
+			t.Errorf("spec section %s has id %d, implementation %d", name, id, want)
+		}
+		if SectionName(want) != name {
+			t.Errorf("SectionName(%d) = %q, spec says %q", want, SectionName(want), name)
+		}
+	}
+	if len(specIDs) != 6 {
+		t.Errorf("spec defines %d sections, implementation knows 6", len(specIDs))
+	}
+
+	// The CRC polynomial claim: RFC 3720 test vector. CRC32C of the
+	// 32-byte zero buffer is 0x8A9136AA (iSCSI spec, appendix B.4).
+	if c := Checksum(make([]byte, 32)); c != 0x8A9136AA {
+		t.Errorf("Checksum is not CRC32C: zeros[32] -> %#08x, want 0x8A9136AA", c)
+	}
+}

@@ -1,0 +1,210 @@
+package gvecsr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gveleiden/internal/graph"
+)
+
+// fuzzTempFile writes data to a fresh file under the fuzz temp dir.
+func fuzzTempFile(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fuzz"+Ext)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// FuzzGvecsrReader feeds arbitrary bytes to both read paths. The
+// contract under fuzzing: no panics, no file-size-independent
+// allocations, and every rejection is a typed format error (or a plain
+// I/O error from the OS) — never a silent success over corrupt data
+// unless the bytes genuinely form a valid container.
+func FuzzGvecsrReader(f *testing.F) {
+	// Seed with valid containers (raw, compressed, permuted) and a few
+	// deliberate corruptions so the fuzzer starts near the format.
+	g := func() *graph.CSR {
+		b := graph.NewBuilder(5)
+		b.AddEdge(0, 1, 1)
+		b.AddEdge(1, 2, 0.5)
+		b.AddEdge(2, 3, 2)
+		b.AddEdge(3, 4, 1)
+		b.AddEdge(0, 4, 4)
+		return b.Build()
+	}()
+	dir := f.TempDir()
+	for i, opts := range []WriteOptions{
+		{},
+		{GapAdjacency: true},
+		{Permutation: []uint32{4, 3, 2, 1, 0}},
+		{GapAdjacency: true, Permutation: []uint32{1, 0, 3, 2, 4}},
+	} {
+		path := filepath.Join(dir, "seed"+Ext)
+		if err := WriteFile(path, g, opts); err != nil {
+			f.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		if i == 0 {
+			trunc := append([]byte(nil), data[:len(data)/2]...)
+			f.Add(trunc)
+			flip := append([]byte(nil), data...)
+			flip[len(flip)-3] ^= 0x40
+			f.Add(flip)
+		}
+	}
+	f.Add([]byte{})
+	f.Add(Magic[:])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return // keep the corpus small; layout bugs reproduce at small sizes
+		}
+		path := fuzzTempFile(t, data)
+		for _, mode := range []struct {
+			name string
+			open func(string) (*File, error)
+		}{{"Open", Open}, {"Load", Load}} {
+			fl, err := mode.open(path)
+			if err == nil {
+				_, err = fl.Graph()
+				if err == nil {
+					if _, perr := fl.Permutation(); perr != nil {
+						t.Fatalf("%s: Graph ok but Permutation failed: %v", mode.name, perr)
+					}
+				}
+				fl.Close()
+			}
+			if err != nil && !errors.Is(err, ErrFormat) {
+				t.Fatalf("%s: rejection %v is not typed as ErrFormat", mode.name, err)
+			}
+		}
+	})
+}
+
+// FuzzGvecsrRoundTrip is the writer→reader property test: build a
+// graph from fuzzer-chosen edges with graph.Builder, write it through
+// every option combination, and require the loaded CSR to be
+// bit-identical — offsets, targets, and weight bit patterns.
+func FuzzGvecsrRoundTrip(f *testing.F) {
+	f.Add(uint16(4), []byte{0, 1, 1, 2, 2, 3})
+	f.Add(uint16(1), []byte{0, 0})
+	f.Add(uint16(9), []byte{0, 8, 3, 3, 7, 2, 5, 6})
+	f.Fuzz(func(t *testing.T, nRaw uint16, edges []byte) {
+		n := int(nRaw%256) + 1
+		b := graph.NewBuilder(n)
+		for i := 0; i+1 < len(edges) && i < 2048; i += 2 {
+			u := uint32(edges[i]) % uint32(n)
+			v := uint32(edges[i+1]) % uint32(n)
+			w := float32(edges[i]%7) + 0.5
+			b.AddEdge(u, v, w)
+		}
+		want := b.Build()
+
+		perm := make([]uint32, n)
+		for i := range perm {
+			perm[i] = uint32(n - 1 - i) // reversal is always a permutation
+		}
+		permuted, err := graph.Permute(want, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		dir := t.TempDir()
+		for _, tc := range []struct {
+			name string
+			g    *graph.CSR
+			opts WriteOptions
+		}{
+			{"raw", want, WriteOptions{}},
+			{"gap", want, WriteOptions{GapAdjacency: true}},
+			{"raw-perm", permuted, WriteOptions{Permutation: perm}},
+			{"gap-perm", permuted, WriteOptions{GapAdjacency: true, Permutation: perm}},
+		} {
+			path := filepath.Join(dir, tc.name+Ext)
+			if err := WriteFile(path, tc.g, tc.opts); err != nil {
+				t.Fatalf("%s: WriteFile: %v", tc.name, err)
+			}
+			for _, open := range []func(string) (*File, error){Open, Load} {
+				fl, err := open(path)
+				if err != nil {
+					t.Fatalf("%s: open: %v", tc.name, err)
+				}
+				got, err := fl.Graph()
+				if err != nil {
+					t.Fatalf("%s: Graph: %v", tc.name, err)
+				}
+				if !sameCSRBits(tc.g, got) {
+					t.Fatalf("%s: round-trip not bit-identical", tc.name)
+				}
+				fl.Close()
+			}
+		}
+
+		// Writes are byte-deterministic: a second emission matches.
+		again := filepath.Join(dir, "again"+Ext)
+		if err := WriteFile(again, want, WriteOptions{GapAdjacency: true}); err != nil {
+			t.Fatal(err)
+		}
+		first, err := os.ReadFile(filepath.Join(dir, "gap"+Ext))
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := os.ReadFile(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatal("writer output is not deterministic")
+		}
+	})
+}
+
+func sameCSRBits(a, b *graph.CSR) bool {
+	if len(a.Offsets) != len(b.Offsets) || len(a.Edges) != len(b.Edges) {
+		return false
+	}
+	for i := range a.Offsets {
+		if a.Offsets[i] != b.Offsets[i] {
+			return false
+		}
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] ||
+			math.Float32bits(a.Weights[i]) != math.Float32bits(b.Weights[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReaderAllocationBounded guards the anti-over-allocation property
+// directly: a tiny file whose header claims a billion vertices must be
+// rejected by layout validation before any size-driven allocation.
+func TestReaderAllocationBounded(t *testing.T) {
+	data := make([]byte, HeaderBytes+2*DirEntryBytes)
+	copy(data, Magic[:])
+	binary.LittleEndian.PutUint32(data[offVersion:], FormatVersion)
+	binary.LittleEndian.PutUint32(data[offHdrBytes:], HeaderBytes)
+	binary.LittleEndian.PutUint64(data[offVertices:], 1<<30)
+	binary.LittleEndian.PutUint64(data[offArcs:], 1<<32-1)
+	binary.LittleEndian.PutUint32(data[offSections:], 2)
+	binary.LittleEndian.PutUint64(data[offFileSize:], uint64(len(data)))
+	binary.LittleEndian.PutUint32(data[offPageSize:], PageSize)
+	// Leave the directory zeroed; patch both CRCs so parsing reaches
+	// layout validation.
+	binary.LittleEndian.PutUint32(data[offDirCRC:], Checksum(data[HeaderBytes:]))
+	binary.LittleEndian.PutUint32(data[offHdrCRC:], Checksum(data[:offHdrCRC]))
+	path := fuzzTempFile(t, data)
+	requireFormatError(t, path, nil)
+}

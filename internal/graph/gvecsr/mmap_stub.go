@@ -1,0 +1,18 @@
+//go:build !unix
+
+package gvecsr
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this platform can memory-map
+// containers; when false, Open silently degrades to the Load path.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func munmapFile(b []byte) error { return nil }

@@ -1,0 +1,26 @@
+//go:build unix
+
+package gvecsr
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform can memory-map
+// containers; when false, Open silently degrades to the Load path.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared: page-cache pages
+// are reused across every process mapping the same dataset, and a
+// store to the mapping faults instead of corrupting the file.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, fmt.Errorf("gvecsr: cannot map %d bytes", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(b []byte) error { return syscall.Munmap(b) }

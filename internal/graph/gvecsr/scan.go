@@ -1,0 +1,87 @@
+package gvecsr
+
+import (
+	"math"
+	"unsafe"
+)
+
+// Branch-free bulk predicates for the fused verification scans. The
+// machine-sized loops here decide only *whether* a chunk contains a
+// violation; the caller rescans the (rare) dirty chunk element by
+// element for the exact index. Both predicates pack two 32-bit lanes
+// into each 64-bit word — on the memory-bandwidth-starved single-core
+// runners this roughly halves the loads and the per-element ALU work
+// of the hot clean path.
+
+const (
+	laneHigh = 0x8000000080000000 // bit 31 of each 32-bit lane
+	laneOne  = 0x0000000100000001 // 1 in each 32-bit lane
+	expMask  = 0x7F800000         // all-ones float32 exponent = Inf or NaN
+)
+
+// aligned8 reports whether p is 8-byte aligned, the precondition for
+// reinterpreting a []uint32 as []uint64. Section payloads from mmap
+// are page-aligned and chunk boundaries are multiples of
+// crcChunkBytes, so the fast path is taken in practice; the scalar
+// fallback keeps the predicates correct for arbitrary slices.
+func aligned8(p unsafe.Pointer) bool { return uintptr(p)%8 == 0 }
+
+// anyTargetGE reports whether any element of chunk is >= nv.
+//
+// Fast path, valid for nv <= 2^31: with k = 2^31 - nv, bit 31 of
+// (lane & 0x7FFFFFFF) + k is set exactly when the lane's low 31 bits
+// reach nv, and the lane's own bit 31 covers values >= 2^31 >= nv.
+// Lane sums never exceed 2^32 - 1, so no carry crosses lanes.
+func anyTargetGE(chunk []uint32, nv uint32) bool {
+	i := 0
+	if uint64(nv) <= 1<<31 && len(chunk) >= 2 && aligned8(unsafe.Pointer(&chunk[0])) {
+		words := unsafe.Slice((*uint64)(unsafe.Pointer(&chunk[0])), len(chunk)/2)
+		k := uint64(1)<<31 - uint64(nv)
+		kk := k<<32 | k
+		var acc uint64
+		for _, x := range words {
+			acc |= ((x &^ laneHigh) + kk) | x
+		}
+		if acc&laneHigh != 0 {
+			return true
+		}
+		i = len(words) * 2
+	}
+	for _, e := range chunk[i:] {
+		if e >= nv {
+			return true
+		}
+	}
+	return false
+}
+
+// anyNonFinite reports whether any element of chunk has an all-ones
+// exponent (Inf or NaN).
+//
+// Fast path: z = (x & mm) ^ mm has a zero lane exactly where the
+// exponent is all ones, and z lanes never set bit 31, so after the
+// lane-wise decrement z - laneOne a set bit 31 identifies a zero
+// lane. The borrow out of a zero low lane can fake a high-lane hit,
+// but only when the low lane is itself a violation — the chunk is
+// dirty either way, and the scalar rescan reports the exact index.
+func anyNonFinite(chunk []float32) bool {
+	const mm = uint64(expMask)<<32 | uint64(expMask)
+	i := 0
+	if len(chunk) >= 2 && aligned8(unsafe.Pointer(&chunk[0])) {
+		words := unsafe.Slice((*uint64)(unsafe.Pointer(&chunk[0])), len(chunk)/2)
+		var acc uint64
+		for _, x := range words {
+			acc |= ((x & mm) ^ mm) - laneOne
+		}
+		if acc&laneHigh != 0 {
+			return true
+		}
+		i = len(words) * 2
+	}
+	for _, w := range chunk[i:] {
+		if math.Float32bits(w)&expMask == expMask {
+			return true
+		}
+	}
+	return false
+}

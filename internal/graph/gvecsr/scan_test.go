@@ -1,0 +1,79 @@
+package gvecsr
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAnyTargetGE plants single violations at every position of
+// odd/even-length chunks, including misaligned subslices that force
+// the scalar fallback, across boundary values of nv.
+func TestAnyTargetGE(t *testing.T) {
+	for _, nv := range []uint32{1, 2, 999_983, 1 << 20, 1<<31 - 1, 1 << 31, 1<<31 + 1, math.MaxUint32} {
+		for _, n := range []int{1, 2, 3, 8, 17} {
+			for _, off := range []int{0, 1} {
+				backing := make([]uint32, n+off)
+				chunk := backing[off:]
+				for i := range chunk {
+					chunk[i] = nv - 1 // largest legal target
+				}
+				if anyTargetGE(chunk, nv) {
+					t.Fatalf("nv=%d n=%d off=%d: clean chunk flagged", nv, n, off)
+				}
+				for i := range chunk {
+					chunk[i] = nv
+					if !anyTargetGE(chunk, nv) {
+						t.Fatalf("nv=%d n=%d off=%d: violation at %d missed", nv, n, off, i)
+					}
+					if nv != math.MaxUint32 {
+						chunk[i] = math.MaxUint32
+						if !anyTargetGE(chunk, nv) {
+							t.Fatalf("nv=%d n=%d off=%d: max violation at %d missed", nv, n, off, i)
+						}
+					}
+					chunk[i] = nv - 1
+				}
+			}
+		}
+	}
+	if anyTargetGE(nil, 1) {
+		t.Fatal("empty chunk flagged")
+	}
+}
+
+// TestAnyNonFinite plants NaN and ±Inf at every position, again with
+// odd lengths and misaligned subslices.
+func TestAnyNonFinite(t *testing.T) {
+	bad := []float32{float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1))}
+	for _, n := range []int{1, 2, 3, 8, 17} {
+		for _, off := range []int{0, 1} {
+			backing := make([]float32, n+off)
+			chunk := backing[off:]
+			for i := range chunk {
+				chunk[i] = float32(i) - 2.5 // includes 0 and negatives
+			}
+			if anyNonFinite(chunk) {
+				t.Fatalf("n=%d off=%d: clean chunk flagged", n, off)
+			}
+			// math.MaxFloat32 has exponent 0xFE, one below the mask.
+			chunk[0] = math.MaxFloat32
+			if anyNonFinite(chunk) {
+				t.Fatalf("n=%d off=%d: MaxFloat32 flagged", n, off)
+			}
+			chunk[0] = -2.5
+			for i := range chunk {
+				save := chunk[i]
+				for _, b := range bad {
+					chunk[i] = b
+					if !anyNonFinite(chunk) {
+						t.Fatalf("n=%d off=%d: %v at %d missed", n, off, b, i)
+					}
+				}
+				chunk[i] = save
+			}
+		}
+	}
+	if anyNonFinite(nil) {
+		t.Fatal("empty chunk flagged")
+	}
+}

@@ -1,0 +1,97 @@
+package gvecsr
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Varint gap encoding of one adjacency list (WebGraph style): the
+// targets of a vertex, already sorted strictly ascending (the CSR
+// builders merge duplicates), are stored as unsigned LEB128 varints —
+// the first target verbatim, every later one as the gap to its
+// predecessor minus one. Road- and k-mer-class graphs, whose neighbour
+// ids are overwhelmingly near-diagonal, compress to ~1–2 bytes per arc
+// against the 4 raw bytes.
+
+// uvarintLen returns the encoded size of x in bytes (1..10).
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// gapRunLen returns the encoded byte length of one sorted adjacency
+// list without materializing the encoding, or an error if the list is
+// not strictly ascending (gap encoding would not round-trip).
+func gapRunLen(targets []uint32) (int, error) {
+	if len(targets) == 0 {
+		return 0, nil
+	}
+	total := uvarintLen(uint64(targets[0]))
+	prev := targets[0]
+	for _, t := range targets[1:] {
+		if t <= prev {
+			return 0, fmt.Errorf("gvecsr: adjacency not strictly ascending (%d after %d): gap compression requires builder-sorted, duplicate-merged lists", t, prev)
+		}
+		total += uvarintLen(uint64(t - prev - 1))
+		prev = t
+	}
+	return total, nil
+}
+
+// appendGapRun appends the gap encoding of one sorted adjacency list
+// to dst. The caller has validated sortedness via gapRunLen.
+func appendGapRun(dst []byte, targets []uint32) []byte {
+	if len(targets) == 0 {
+		return dst
+	}
+	dst = binary.AppendUvarint(dst, uint64(targets[0]))
+	prev := targets[0]
+	for _, t := range targets[1:] {
+		dst = binary.AppendUvarint(dst, uint64(t-prev-1))
+		prev = t
+	}
+	return dst
+}
+
+// decodeGapRun decodes exactly degree targets from run into out,
+// validating that every target is < n and that the run is consumed
+// exactly. out must have length degree.
+func decodeGapRun(run []byte, out []uint32, n uint64) error {
+	if len(out) == 0 {
+		if len(run) != 0 {
+			return fmt.Errorf("%w: %d trailing gap bytes after an empty adjacency run", ErrSemantics, len(run))
+		}
+		return nil
+	}
+	v, k := binary.Uvarint(run)
+	if k <= 0 {
+		return fmt.Errorf("%w: bad leading varint in gap run", ErrSemantics)
+	}
+	if v >= n {
+		return fmt.Errorf("%w: decoded target %d out of range (n=%d)", ErrSemantics, v, n)
+	}
+	out[0] = uint32(v)
+	run = run[k:]
+	prev := v
+	for i := 1; i < len(out); i++ {
+		g, k := binary.Uvarint(run)
+		if k <= 0 {
+			return fmt.Errorf("%w: bad varint at arc %d of gap run", ErrSemantics, i)
+		}
+		run = run[k:]
+		v = prev + g + 1
+		if v < prev || v >= n {
+			return fmt.Errorf("%w: decoded target %d out of range (n=%d)", ErrSemantics, v, n)
+		}
+		out[i] = uint32(v)
+		prev = v
+	}
+	if len(run) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after a gap run", ErrSemantics, len(run))
+	}
+	return nil
+}

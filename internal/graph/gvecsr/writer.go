@@ -1,0 +1,277 @@
+package gvecsr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"gveleiden/internal/graph"
+)
+
+// WriteOptions configures container emission. The zero value writes a
+// raw (uncompressed) container with no permutation section.
+type WriteOptions struct {
+	// GapAdjacency stores the adjacency varint gap-encoded instead of
+	// as raw uint32 targets. Requires builder-style strictly-ascending
+	// duplicate-merged adjacency lists; pays off on low-degree
+	// near-diagonal classes (road, k-mer), costs decode time on open.
+	GapAdjacency bool
+	// Permutation, when non-nil, is embedded as the perm section. It
+	// must be a permutation of [0, n) describing how the stored graph
+	// was relabeled: perm[original] = stored (graph.Permute semantics),
+	// so order.ApplyToMembership translates results back.
+	Permutation []uint32
+}
+
+// WriteFile writes g as a gvecsr container at path. Holey CSRs are
+// compacted first. Scratch beyond the CSR itself is O(V): the gap
+// index (which is itself a section) plus a fixed-size I/O buffer.
+// The output is byte-deterministic: identical graphs and options
+// produce identical files.
+func WriteFile(path string, g *graph.CSR, opts WriteOptions) error {
+	g = g.Compact()
+	n := uint64(g.NumVertices())
+	m := uint64(len(g.Edges))
+	if n >= 1<<31 {
+		return fmt.Errorf("gvecsr: vertex count %d exceeds the 32-bit id space", n)
+	}
+	if m > 0xFFFFFFFF {
+		return fmt.Errorf("gvecsr: arc count %d overflows the uint32 offsets of v1", m)
+	}
+	if opts.Permutation != nil {
+		if err := checkPermutation(opts.Permutation, int(n)); err != nil {
+			return err
+		}
+	}
+
+	h := Header{Version: FormatVersion, NumVertices: n, NumArcs: m}
+	if opts.GapAdjacency {
+		h.Flags |= FlagGapAdjacency
+	}
+	if opts.Permutation != nil {
+		h.Flags |= FlagHasPerm
+	}
+
+	// Pre-pass: compute every section length (the gap blob needs a
+	// sweep over the adjacency, which also fills the gap index and
+	// validates sortedness), then assign page-aligned offsets.
+	var gapIndex []uint64
+	if opts.GapAdjacency {
+		gapIndex = make([]uint64, n+1)
+		var total uint64
+		for i := uint64(0); i < n; i++ {
+			gapIndex[i] = total
+			es, _ := g.Neighbors(uint32(i))
+			l, err := gapRunLen(es)
+			if err != nil {
+				return err
+			}
+			total += uint64(l)
+		}
+		gapIndex[n] = total
+	}
+	ids := expectedSections(h)
+	h.Sections = uint32(len(ids))
+	secs := make([]SectionInfo, len(ids))
+	cursor := uint64(HeaderBytes + len(ids)*DirEntryBytes)
+	for i, id := range ids {
+		length := sectionBytes(id, n, m)
+		if id == SecGapBlob {
+			length = gapIndex[n]
+		}
+		off := alignUp(cursor)
+		secs[i] = SectionInfo{ID: id, Offset: off, Length: length}
+		cursor = off + length
+	}
+	h.FileBytes = cursor
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := &sectionWriter{w: bufio.NewWriterSize(f, 1<<20)}
+
+	// Header and directory go out with zeroed CRCs to reserve the
+	// space; they are rewritten with real checksums after the payloads
+	// stream through the CRC below.
+	if err := w.raw(make([]byte, HeaderBytes+len(ids)*DirEntryBytes)); err != nil {
+		return err
+	}
+	for i := range secs {
+		if err := w.padTo(secs[i].Offset); err != nil {
+			return err
+		}
+		w.beginCRC()
+		switch secs[i].ID {
+		case SecOffsets:
+			err = w.uint32s(g.Offsets)
+		case SecEdges:
+			err = w.uint32s(g.Edges)
+		case SecWeights:
+			err = w.float32s(g.Weights)
+		case SecPerm:
+			err = w.uint32s(opts.Permutation)
+		case SecGapIndex:
+			err = w.uint64s(gapIndex)
+		case SecGapBlob:
+			err = w.gapBlob(g)
+		}
+		if err != nil {
+			return err
+		}
+		secs[i].CRC = w.endCRC()
+		if w.pos != secs[i].Offset+secs[i].Length {
+			return fmt.Errorf("gvecsr: internal error: section %s wrote %d bytes, planned %d",
+				secs[i].Name(), w.pos-secs[i].Offset, secs[i].Length)
+		}
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	dir := encodeDirectory(secs)
+	hdr := encodeHeader(h, Checksum(dir))
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(dir, HeaderBytes); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// WriteFileStream builds the CSR from a replayable edge stream
+// (graph.BuildStream: two replays, O(V) scratch beyond the final
+// arrays) and writes it as a container — the path generators use to
+// emit million-vertex datasets without ever holding an edge list.
+func WriteFileStream(path string, n int, stream graph.EdgeStream, opts WriteOptions) error {
+	return WriteFile(path, graph.BuildStream(n, stream), opts)
+}
+
+// checkPermutation validates that perm is a permutation of [0, n).
+func checkPermutation(perm []uint32, n int) error {
+	if len(perm) != n {
+		return fmt.Errorf("gvecsr: permutation length %d != vertex count %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if int(p) >= n || seen[p] {
+			return fmt.Errorf("gvecsr: not a permutation (value %d)", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// sectionWriter streams section payloads through a buffered writer,
+// tracking the absolute position and an optional running CRC32C.
+type sectionWriter struct {
+	w   *bufio.Writer
+	pos uint64
+	crc uint32
+	buf [1 << 16]byte
+}
+
+func (s *sectionWriter) beginCRC()      { s.crc = 0 }
+func (s *sectionWriter) endCRC() uint32 { return s.crc }
+func (s *sectionWriter) raw(b []byte) error {
+	s.crc = crc32.Update(s.crc, castagnoli, b)
+	n, err := s.w.Write(b)
+	s.pos += uint64(n)
+	return err
+}
+
+// padTo writes zero bytes up to the absolute offset off.
+func (s *sectionWriter) padTo(off uint64) error {
+	if s.pos > off {
+		return fmt.Errorf("gvecsr: internal error: position %d past planned offset %d", s.pos, off)
+	}
+	var zeros [PageSize]byte
+	for s.pos < off {
+		take := off - s.pos
+		if take > PageSize {
+			take = PageSize
+		}
+		n, err := s.w.Write(zeros[:take])
+		s.pos += uint64(n)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *sectionWriter) uint32s(v []uint32) error {
+	b := s.buf[:]
+	for len(v) > 0 {
+		take := len(v)
+		if take > len(b)/4 {
+			take = len(b) / 4
+		}
+		for i := 0; i < take; i++ {
+			binary.LittleEndian.PutUint32(b[4*i:], v[i])
+		}
+		if err := s.raw(b[:4*take]); err != nil {
+			return err
+		}
+		v = v[take:]
+	}
+	return nil
+}
+
+func (s *sectionWriter) uint64s(v []uint64) error {
+	b := s.buf[:]
+	for len(v) > 0 {
+		take := len(v)
+		if take > len(b)/8 {
+			take = len(b) / 8
+		}
+		for i := 0; i < take; i++ {
+			binary.LittleEndian.PutUint64(b[8*i:], v[i])
+		}
+		if err := s.raw(b[:8*take]); err != nil {
+			return err
+		}
+		v = v[take:]
+	}
+	return nil
+}
+
+func (s *sectionWriter) float32s(v []float32) error {
+	b := s.buf[:]
+	for len(v) > 0 {
+		take := len(v)
+		if take > len(b)/4 {
+			take = len(b) / 4
+		}
+		for i := 0; i < take; i++ {
+			binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(v[i]))
+		}
+		if err := s.raw(b[:4*take]); err != nil {
+			return err
+		}
+		v = v[take:]
+	}
+	return nil
+}
+
+// gapBlob streams the gap-encoded adjacency, one vertex run at a time
+// through a small reused buffer.
+func (s *sectionWriter) gapBlob(g *graph.CSR) error {
+	n := g.NumVertices()
+	run := make([]byte, 0, 1024)
+	for i := 0; i < n; i++ {
+		es, _ := g.Neighbors(uint32(i))
+		run = appendGapRun(run[:0], es)
+		if err := s.raw(run); err != nil {
+			return err
+		}
+	}
+	return nil
+}

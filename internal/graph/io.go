@@ -1,5 +1,12 @@
 package graph
 
+// Text and legacy-binary graph I/O — the conversion import path. These
+// readers parse and validate external formats (Matrix Market, edge
+// lists, the pre-container .bin dump); the repo's own storage format
+// is the gvecsr subpackage's container, which loads without parsing.
+// gvecsr.LoadAny dispatches to the readers here for non-container
+// inputs, so they remain the way external data enters the system.
+
 import (
 	"bufio"
 	"encoding/binary"

@@ -1,25 +1,3 @@
-// Package serve is the resident community-detection service: it loads
-// (or is handed) a graph once, runs GVE-Leiden, and answers structural
-// queries — the community of a vertex, a community's members, a
-// vertex's intra-community neighbours, hierarchy drill-down, partition
-// statistics — from an immutable snapshot behind an atomic pointer, so
-// the read path is lock-free and unaffected by recomputation.
-//
-// Mutations arrive as delta batches (POST /delta) under the unified
-// delta semantics of graph.EvaluateDelta; they accumulate in a mutable
-// stream.Graph and a bounded background worker folds them into the next
-// snapshot with a warm-started dynamic Leiden run
-// (core.LeidenDynamicHierarchy). Every candidate partition must pass
-// the internal/oracle invariant suite — CSR well-formedness, partition
-// validity, no internally-disconnected communities — plus a
-// differential quality bound against the previous snapshot before the
-// pointer swap; a rejected candidate leaves the previous snapshot
-// serving and is counted, logged, and visible in /metrics and /stats.
-//
-// This is the paper's stated deployment shape for the dynamic
-// direction of §4.1: detection as a long-lived service over an evolving
-// graph rather than a batch run, with the observability stack of the
-// repo (internal/observe) mounted on the same mux.
 package serve
 
 import (

@@ -1,10 +1,3 @@
-// Package stream provides a mutable graph for evolving-network
-// workloads: an adjacency-map overlay supporting edge insertion,
-// deletion and weight updates in O(1) expected time, with an efficient
-// Snapshot that materializes the current state as the immutable CSR the
-// detection algorithms consume. It is the substrate under the dynamic
-// Leiden workflow (core.LeidenDynamic): batch mutations accumulate
-// here; Snapshot + the batch go to the detector.
 package stream
 
 import (
